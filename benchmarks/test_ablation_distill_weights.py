@@ -1,0 +1,28 @@
+"""Benchmark: ablation sweeps over α and γ (the design-choice checks of
+DESIGN.md §5).
+
+Shape asserted: the paper's operating point (α=0.1, γ=2) is not dominated —
+its unseen EM is within slack of the best swept value.
+"""
+
+import pytest
+
+from repro.experiments.ablations import run_alpha_sweep, run_gamma_sweep
+
+from .conftest import print_table
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_alpha_sweep(benchmark, scale):
+    table = benchmark.pedantic(run_alpha_sweep, args=(scale,), rounds=1, iterations=1)
+    print_table(table)
+    best = max(table.value(row, "unseen EM") for row in table.row_names())
+    assert table.value("alpha=0.1", "unseen EM") >= best - 25.0
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_gamma_sweep(benchmark, scale):
+    table = benchmark.pedantic(run_gamma_sweep, args=(scale,), rounds=1, iterations=1)
+    print_table(table)
+    best = max(table.value(row, "unseen EM") for row in table.row_names())
+    assert table.value("gamma=2.0", "unseen EM") >= best - 25.0

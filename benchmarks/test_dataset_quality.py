@@ -1,0 +1,25 @@
+"""Benchmark: regenerate the §IV-A2 dataset-quality check.
+
+Shape asserted: near-paper agreement (κ high), all pages content-rich and
+correctly attributed by majority vote, ~92.6% of topics perfectly suitable.
+"""
+
+import pytest
+
+from repro.experiments.dataset_quality import run_dataset_quality
+
+from .conftest import print_table
+
+
+@pytest.mark.benchmark(group="dataset-quality")
+def test_dataset_quality(benchmark, scale):
+    table = benchmark.pedantic(
+        run_dataset_quality, args=(scale,), kwargs={"num_pages": 100}, rounds=1, iterations=1
+    )
+    print_table(table)
+
+    for aspect in ("content-rich", "topic suitable", "attributes correct"):
+        assert table.value(aspect, "majority >= 1 (%)") == 100.0
+        assert table.value(aspect, "kappa min") > 0.7  # paper: κ > 0.93
+    assert table.value("content-rich", "perfect (%)") >= 85.0
+    assert 80.0 <= table.value("topic suitable", "perfect (%)") <= 100.0

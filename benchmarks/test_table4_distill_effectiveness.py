@@ -1,0 +1,30 @@
+"""Benchmark: regenerate Table IV — distillation effectiveness (topic gen).
+
+Shape asserted (paper §IV-B1):
+* every distilled variant improves over No Distill on unseen domains;
+* distilled students stay close to the teacher on seen domains.
+"""
+
+import pytest
+
+from repro.experiments.table4 import run_table4
+
+from .conftest import print_table
+
+
+@pytest.mark.benchmark(group="table4")
+def test_table4_distillation_effectiveness(benchmark, scale):
+    table = benchmark.pedantic(run_table4, args=(scale,), rounds=1, iterations=1)
+    print_table(table)
+
+    no_distill_unseen = table.value("No Distill", "unseen EM")
+    for variant in ("ID only", "Dual-Distill"):
+        assert table.value(variant, "unseen EM") >= no_distill_unseen, (
+            f"{variant} should improve over No Distill on unseen domains"
+        )
+    assert table.value("Dual-Distill", "unseen EM") > no_distill_unseen
+    # Seen-domain knowledge is preserved (within slack of the teacher).
+    assert table.value("Dual-Distill", "seen EM") >= table.value("No Distill", "seen EM") - 25
+    # RM is always at least EM.
+    for row in table.row_names():
+        assert table.value(row, "unseen RM") >= table.value(row, "unseen EM")

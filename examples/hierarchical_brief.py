@@ -1,0 +1,54 @@
+"""Three-level briefing with attribute names (the paper's future work, §V).
+
+The paper plans to "predict attribute names for key attributes (e.g., the
+attribute name for the key attribute '$40.13' is 'Price')" and to extend WB
+to more hierarchy levels.  This example realises both: a Joint-WB model plus
+an attribute-name classifier produce a brief of the form
+
+    Topic: online shopping for books
+      [title]
+        - classic handbook
+      [brand]
+        - acme
+      [price]
+        - <digit>
+
+Run:  python examples/hierarchical_brief.py
+"""
+
+import numpy as np
+
+from repro import nn
+from repro.core import HierarchicalBriefer, TrainConfig, Trainer, train_name_classifier
+from repro.data import Vocabulary, build_jasmine_corpus
+from repro.models import BertSumEncoder, make_joint_model
+
+
+def main() -> None:
+    print("Training Joint-WB...")
+    corpus = build_jasmine_corpus(num_topics=3, pages_per_site=6, seed=7)
+    vocabulary = Vocabulary.from_corpus(corpus)
+    rng = np.random.default_rng(0)
+    bert = nn.MiniBert(
+        vocab_size=len(vocabulary), dim=24, num_layers=1, num_heads=2, rng=rng, max_len=512
+    )
+    model = make_joint_model(
+        "Joint-WB", BertSumEncoder(vocabulary, bert), vocabulary, hidden_dim=16, rng=rng
+    )
+    split = corpus.random_split(np.random.default_rng(0))
+    Trainer(model, TrainConfig(epochs=10, learning_rate=5e-3, batch_size=2)).train(split.train)
+
+    print("Training the attribute-name classifier on top (model frozen)...")
+    classifier = train_name_classifier(
+        model, split.train, np.random.default_rng(1), epochs=6
+    )
+    print(f"  type inventory: {classifier.type_names}")
+
+    briefer = HierarchicalBriefer(model, classifier)
+    for page in split.test[:3]:
+        print(f"\n[{page.url}] (gold topic: {' '.join(page.topic_tokens)})")
+        print(briefer.brief(page).render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""Joint learning vs single-task learning (the Tables VI–IX story, miniature).
+
+Trains a single-task extractor, a single-task generator, a Naive-Join model
+(no signal exchange) and the full Joint-WB (dual-aware signal exchange +
+Markov section enhancement) on the same seen-domain split, then compares
+attribute-extraction F1 and topic-generation EM.
+
+Run:  python examples/joint_vs_single.py
+"""
+
+import numpy as np
+
+from repro.experiments import (
+    ExperimentScale,
+    extraction_metrics,
+    generation_metrics,
+    get_world,
+    make_joint,
+    make_single_extractor,
+    make_single_generator,
+    train_model,
+)
+
+
+def main() -> None:
+    scale = ExperimentScale(
+        num_seen_topics=4, num_unseen_topics=2, pages_per_site=6, epochs=12
+    )
+    world = get_world(scale)
+    train, test = world.seen_split.train, world.seen_split.test
+    print(f"{len(train)} training pages / {len(test)} test pages (seen domains)\n")
+
+    print("Training BERTSUM->Bi-LSTM extractor (single task)...")
+    extractor = make_single_extractor(world, "bertsum", np.random.default_rng(1))
+    train_model(extractor, train, scale)
+
+    print("Training BERTSUM->[Bi-LSTM, LSTM] generator (single task)...")
+    generator = make_single_generator(world, "bertsum", np.random.default_rng(2))
+    train_model(generator, train, scale)
+
+    print("Training Naive-Join (joint, no signal exchange)...")
+    naive = make_joint(world, "Naive-Join", np.random.default_rng(3))
+    train_model(naive, train, scale)
+
+    print("Training Joint-WB (dual-aware signal exchange + enhancement)...")
+    joint = make_joint(world, "Joint-WB", np.random.default_rng(4))
+    train_model(joint, train, scale)
+
+    print("\n{:<28} {:>8} {:>8}".format("model", "F1", "EM"))
+    rows = [
+        ("single-task extractor", extraction_metrics(extractor, test).f1, None),
+        ("single-task generator", None, generation_metrics(generator, test).exact_match),
+        (
+            "Naive-Join",
+            extraction_metrics(naive, test).f1,
+            generation_metrics(naive, test).exact_match,
+        ),
+        (
+            "Joint-WB",
+            extraction_metrics(joint, test).f1,
+            generation_metrics(joint, test).exact_match,
+        ),
+    ]
+    for name, f1, em in rows:
+        f1_text = "-" if f1 is None else f"{100 * f1:8.2f}"
+        em_text = "-" if em is None else f"{100 * em:8.2f}"
+        print(f"{name:<28} {f1_text:>8} {em_text:>8}")
+
+    print("\nThe joint models exploit the topic <-> attribute correlation; "
+          "Joint-WB adds the\nsection/topic/attribute signal exchange on top "
+          "(paper Tables VI-IX).")
+
+
+if __name__ == "__main__":
+    main()

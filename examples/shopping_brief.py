@@ -1,0 +1,93 @@
+"""Fig. 1 walkthrough: brief a raw book-shopping page, end to end from HTML.
+
+Reproduces the paper's motivating example: a book-shopping webpage is parsed,
+rendered (the Selenium substitute), and briefed by a trained model.  The
+output contrasts WB against the related-task outputs of Table I
+(keyphrase-style and outline-style summaries derived from the same page).
+
+Run:  python examples/shopping_brief.py
+"""
+
+from collections import Counter
+
+import numpy as np
+
+from repro import nn
+from repro.core import BriefingPipeline, TrainConfig, Trainer, document_from_raw_html
+from repro.data import DatasetConfig, Vocabulary, build_corpus
+from repro.html import parse_html, render_visible_text
+from repro.models import BertSumEncoder, make_joint_model
+
+BOOK_PAGE = """<!DOCTYPE html>
+<html>
+<head><title>Classic Handbook — Book Shop</title>
+<script>trackVisit();</script></head>
+<body>
+  <header><nav><a href="/">home</a> <a href="/about">about</a>
+  <a href="/contact">contact</a></nav></header>
+  <section>
+    <p>welcome to our books pages about online shopping for books</p>
+    <p>browse the books catalogue and compare books picks side by side</p>
+    <p>the title is classic handbook for this books listing</p>
+    <p>the brand is acme for this books listing</p>
+    <p>the price is 40.13 for this books listing</p>
+    <p>the availability is in stock for this books listing</p>
+  </section>
+  <aside><ul><li>popular this week</li><li>newsletter signup</li></ul></aside>
+  <footer><p>all rights reserved worldwide</p></footer>
+</body>
+</html>"""
+
+
+def train_model(seed: int = 0):
+    # Several sites per topic force the model to read page *content*
+    # rather than memorising per-site boilerplate (cross-site transfer).
+    corpus = build_corpus(DatasetConfig(num_topics=3, sites_per_topic=5, pages_per_site=4, seed=7))
+    vocabulary = Vocabulary.from_corpus(corpus)
+    rng = np.random.default_rng(seed)
+    bert = nn.MiniBert(
+        vocab_size=len(vocabulary), dim=24, num_layers=1, num_heads=2, rng=rng, max_len=512
+    )
+    model = make_joint_model(
+        "Joint-WB", BertSumEncoder(vocabulary, bert), vocabulary, hidden_dim=16, rng=rng
+    )
+    split = corpus.random_split(np.random.default_rng(seed))
+    Trainer(model, TrainConfig(epochs=14, learning_rate=5e-3, batch_size=2)).train(split.train)
+    return model
+
+
+def main() -> None:
+    print("Rendering the raw HTML (Selenium substitute)...")
+    visible = render_visible_text(BOOK_PAGE)
+    print("-" * 60)
+    print(visible)
+    print("-" * 60)
+
+    print("\nTraining Joint-WB on the synthetic shopping corpus...")
+    model = train_model()
+    pipeline = BriefingPipeline(model)
+
+    print("\n=== Webpage Briefing (this paper) ===")
+    brief = pipeline.brief_html(BOOK_PAGE)
+    print(brief.render())
+
+    # Table I contrast: what the *related* tasks would return for this page.
+    document = document_from_raw_html(BOOK_PAGE)
+    print("\n=== Keyphrase extraction (Table I contrast) ===")
+    counts = Counter(
+        t for s in document.sentences for t in s if len(t) > 3 and t.isalpha()
+    )
+    print(", ".join(w for w, _ in counts.most_common(5)))
+
+    print("\n=== Webpage outline summarization (Table I contrast) ===")
+    root = parse_html(BOOK_PAGE)
+    headings = [n.text_content().strip() for n in root.find_all("title")]
+    nav_items = [a.text_content() for a in root.find_all("a")]
+    print(", ".join(headings + nav_items))
+
+    print("\nThe WB output above is hierarchical, concise and fluent, while the")
+    print("contrasted outputs are flat keyword lists / boilerplate headings.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,142 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``brief <file.html>``
+    Train a small Joint-WB model (or load ``--model checkpoint.npz``) and
+    print the hierarchical brief for the page.
+``corpus-stats``
+    Synthesise a corpus at the requested size and print its statistics in the
+    shape of the paper's §IV-A1 summary.
+``train --save model.npz``
+    Train a Joint-WB model on a synthetic corpus and save the weights (the
+    matching vocabulary is rebuilt deterministically from the same seed).
+``tables [--only table4 ...] [--scale tiny|small]``
+    Regenerate the paper's tables (delegates to
+    :mod:`repro.experiments.runner`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    brief = sub.add_parser("brief", help="brief an HTML file")
+    brief.add_argument("html_file")
+    brief.add_argument("--model", help="checkpoint saved by `repro train`")
+    brief.add_argument("--topics", type=int, default=3)
+    brief.add_argument("--pages", type=int, default=6)
+    brief.add_argument("--epochs", type=int, default=10)
+    brief.add_argument("--seed", type=int, default=7)
+
+    stats = sub.add_parser("corpus-stats", help="synthesise a corpus and print stats")
+    stats.add_argument("--topics", type=int, default=6)
+    stats.add_argument("--pages", type=int, default=8)
+    stats.add_argument("--seed", type=int, default=7)
+
+    train = sub.add_parser("train", help="train Joint-WB and save weights")
+    train.add_argument("--save", required=True)
+    train.add_argument("--topics", type=int, default=3)
+    train.add_argument("--pages", type=int, default=6)
+    train.add_argument("--epochs", type=int, default=10)
+    train.add_argument("--seed", type=int, default=7)
+
+    tables = sub.add_parser("tables", help="regenerate the paper's tables")
+    tables.add_argument("--scale", choices=("tiny", "small"), default="small")
+    tables.add_argument("--only", nargs="*")
+    return parser
+
+
+def _build_model(topics: int, pages: int, seed: int):
+    from . import nn
+    from .data import Vocabulary, build_jasmine_corpus
+    from .models import BertSumEncoder, make_joint_model
+
+    corpus = build_jasmine_corpus(num_topics=topics, pages_per_site=pages, seed=seed)
+    vocabulary = Vocabulary.from_corpus(corpus)
+    rng = np.random.default_rng(seed)
+    bert = nn.MiniBert(
+        vocab_size=len(vocabulary), dim=24, num_layers=1, num_heads=2, rng=rng, max_len=512
+    )
+    model = make_joint_model(
+        "Joint-WB", BertSumEncoder(vocabulary, bert), vocabulary, hidden_dim=16, rng=rng
+    )
+    return corpus, vocabulary, model
+
+
+def _train(model, corpus, epochs: int, seed: int) -> None:
+    from .core import TrainConfig, Trainer
+
+    split = corpus.random_split(np.random.default_rng(seed))
+    Trainer(model, TrainConfig(epochs=epochs, learning_rate=5e-3, batch_size=2, seed=seed)).train(
+        split.train
+    )
+
+
+def _command_brief(args) -> int:
+    from .core import BriefingPipeline
+
+    corpus, _, model = _build_model(args.topics, args.pages, args.seed)
+    if args.model:
+        model.load(args.model)
+    else:
+        print("No checkpoint given; training a small model first...", file=sys.stderr)
+        _train(model, corpus, args.epochs, args.seed)
+    with open(args.html_file) as handle:
+        html = handle.read()
+    brief = BriefingPipeline(model).brief_html(html)
+    print(brief.render())
+    return 0
+
+
+def _command_corpus_stats(args) -> int:
+    from .data import analyze_corpus, build_jasmine_corpus
+
+    corpus = build_jasmine_corpus(
+        num_topics=args.topics, pages_per_site=args.pages, seed=args.seed
+    )
+    for key, value in corpus.statistics().items():
+        print(f"{key:>20}: {value:.2f}")
+    print()
+    print(analyze_corpus(corpus).format())
+    return 0
+
+
+def _command_train(args) -> int:
+    corpus, _, model = _build_model(args.topics, args.pages, args.seed)
+    _train(model, corpus, args.epochs, args.seed)
+    model.save(args.save)
+    print(f"saved {model.num_parameters():,} parameters to {args.save}")
+    return 0
+
+
+def _command_tables(args) -> int:
+    from .experiments.config import small, tiny
+    from .experiments.runner import run_all
+
+    scale = tiny() if args.scale == "tiny" else small()
+    run_all(scale, names=args.only)
+    return 0
+
+
+_COMMANDS = {
+    "brief": _command_brief,
+    "corpus-stats": _command_corpus_stats,
+    "train": _command_train,
+    "tables": _command_tables,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)

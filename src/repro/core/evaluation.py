@@ -1,0 +1,113 @@
+"""Evaluation metrics (paper §IV-A4).
+
+* Key attribute extraction: precision / recall / F1 over predicted attribute
+  strings vs gold attribute strings (multiset matching, micro-averaged over
+  the document set).
+* Topic generation: **EM** (exact match of the full phrase) and **RM**
+  (relaxed match — the generated topic contains at least one gold token).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+from ..data.corpus import Document
+
+__all__ = [
+    "ExtractionMetrics",
+    "GenerationMetrics",
+    "match_counts",
+    "evaluate_extraction",
+    "evaluate_generation",
+    "exact_match",
+    "relaxed_match",
+]
+
+
+@dataclass
+class ExtractionMetrics:
+    precision: float
+    recall: float
+    f1: float
+    true_positives: int
+    predicted: int
+    gold: int
+
+    def as_dict(self) -> Dict[str, float]:
+        return {"P": self.precision, "R": self.recall, "F1": self.f1}
+
+
+@dataclass
+class GenerationMetrics:
+    exact_match: float
+    relaxed_match: float
+    num_documents: int
+    #: Per-document EM correctness flags (inputs to McNemar's test).
+    em_flags: List[bool]
+
+    def as_dict(self) -> Dict[str, float]:
+        return {"EM": self.exact_match, "RM": self.relaxed_match}
+
+
+def match_counts(predicted: Sequence[str], gold: Sequence[str]) -> int:
+    """Multiset intersection size between predicted and gold strings."""
+    overlap = Counter(predicted) & Counter(gold)
+    return sum(overlap.values())
+
+
+def evaluate_extraction(
+    predict: Callable[[Document], Sequence[str]],
+    documents: Sequence[Document],
+) -> ExtractionMetrics:
+    """Micro-averaged span-level P/R/F1 of ``predict`` over ``documents``."""
+    true_positives = predicted_total = gold_total = 0
+    for document in documents:
+        predicted = list(predict(document))
+        gold = document.attribute_texts()
+        true_positives += match_counts(predicted, gold)
+        predicted_total += len(predicted)
+        gold_total += len(gold)
+    precision = true_positives / predicted_total if predicted_total else 0.0
+    recall = true_positives / gold_total if gold_total else 0.0
+    f1 = 2 * precision * recall / (precision + recall) if precision + recall else 0.0
+    return ExtractionMetrics(
+        precision=precision,
+        recall=recall,
+        f1=f1,
+        true_positives=true_positives,
+        predicted=predicted_total,
+        gold=gold_total,
+    )
+
+
+def exact_match(predicted: Sequence[str], gold: Sequence[str]) -> bool:
+    """EM: the generated topic equals the ground truth exactly."""
+    return list(predicted) == list(gold)
+
+
+def relaxed_match(predicted: Sequence[str], gold: Sequence[str]) -> bool:
+    """RM: the generated topic contains at least one gold token."""
+    return bool(set(predicted) & set(gold))
+
+
+def evaluate_generation(
+    predict: Callable[[Document], Sequence[str]],
+    documents: Sequence[Document],
+) -> GenerationMetrics:
+    """EM / RM of ``predict`` over ``documents``."""
+    em_flags: List[bool] = []
+    rm_hits = 0
+    for document in documents:
+        predicted = list(predict(document))
+        gold = list(document.topic_tokens)
+        em_flags.append(exact_match(predicted, gold))
+        rm_hits += int(relaxed_match(predicted, gold))
+    count = len(documents)
+    return GenerationMetrics(
+        exact_match=sum(em_flags) / count if count else 0.0,
+        relaxed_match=rm_hits / count if count else 0.0,
+        num_documents=count,
+        em_flags=em_flags,
+    )

@@ -1,0 +1,72 @@
+"""End-to-end webpage briefing: HTML in, :class:`Brief` out.
+
+:class:`BriefingPipeline` glues the substrate together the way a deployed WB
+system would (the paper's motivating browser use case): parse + render the
+HTML (Selenium substitute), tokenize, run the trained Joint-WB model, return
+the hierarchical brief.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..data.corpus import Document
+from ..data.preprocessing import word_tokenize
+from ..html.render import render_page
+from ..models.joint_wb import JointWBModel
+from .briefing import Brief
+
+__all__ = ["BriefingPipeline", "document_from_raw_html"]
+
+
+def document_from_raw_html(html: str, doc_id: str = "adhoc") -> Document:
+    """Build an *unlabelled* document from arbitrary HTML.
+
+    Unlike the corpus builder this assumes no supervision markers: every
+    rendered line becomes a sentence, labels are placeholders.  Used at
+    inference time on pages outside the corpus.
+    """
+    rendered = render_page(html)
+    sentences: List[List[str]] = []
+    for line in rendered.lines:
+        tokens = word_tokenize(line)
+        if tokens:
+            sentences.append(tokens)
+    if not sentences:
+        raise ValueError("page rendered to no visible text")
+    return Document(
+        doc_id=doc_id,
+        url="",
+        source="adhoc",
+        topic_id=-1,
+        family="unknown",
+        website="unknown",
+        topic_tokens=(),
+        sentences=sentences,
+        section_labels=[0] * len(sentences),
+    )
+
+
+class BriefingPipeline:
+    """HTML → hierarchical brief, powered by a trained joint model."""
+
+    def __init__(self, model: JointWBModel, beam_size: int = 4) -> None:
+        self.model = model
+        self.beam_size = beam_size
+
+    def brief_document(self, document: Document) -> Brief:
+        """Brief a corpus document."""
+        topic = self.model.predict_topic(document, beam_size=self.beam_size)
+        attributes = self.model.predict_attributes(document)
+        sections = self.model.predict_sections(document)
+        return Brief(
+            topic=topic,
+            attributes=attributes,
+            informative_sentences=[int(i) for i in np.nonzero(sections)[0]],
+        )
+
+    def brief_html(self, html: str) -> Brief:
+        """Brief raw HTML (parse → render → tokenize → model)."""
+        return self.brief_document(document_from_raw_html(html))

@@ -1,0 +1,106 @@
+"""Content-sensitivity probe (paper §IV-D).
+
+Synthetic webpages are built by concatenating the contents of two real
+webpages with different topics at controlled length proportions
+(50–50, 70–30, 30–70).  For each mixture we check whether a model's predicted
+topic follows the content that appears *first* or the content with the
+*larger portion*.  The paper's finding: Joint-WB (no distillation) follows
+first-position content; Dual/Tri-distilled students follow the larger
+portion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence, Tuple
+
+
+from ..data.corpus import Document
+
+__all__ = ["MixtureResult", "make_mixture", "topic_affinity", "content_sensitivity"]
+
+
+def make_mixture(first: Document, second: Document, first_fraction: float) -> Document:
+    """Concatenate two documents at a controlled content proportion.
+
+    ``first_fraction`` of the mixture's sentences come from the start of
+    ``first``; the rest from the start of ``second``.
+    """
+    if not 0.0 < first_fraction < 1.0:
+        raise ValueError("first_fraction must be in (0, 1)")
+    if first.topic_id == second.topic_id:
+        raise ValueError("mixture requires documents with different topics")
+    total = min(first.num_sentences + second.num_sentences, first.num_sentences * 2)
+    n_first = max(1, int(round(first_fraction * total)))
+    n_second = max(1, total - n_first)
+    sentences = [list(s) for s in first.sentences[:n_first]]
+    labels = list(first.section_labels[:n_first])
+    sentences += [list(s) for s in second.sentences[:n_second]]
+    labels += list(second.section_labels[:n_second])
+    return Document(
+        doc_id=f"mix:{first.doc_id}+{second.doc_id}@{first_fraction:.2f}",
+        url="",
+        source="synthetic-mixture",
+        topic_id=first.topic_id,
+        family=first.family,
+        website="mixture",
+        topic_tokens=first.topic_tokens,
+        sentences=sentences,
+        section_labels=labels,
+    )
+
+
+def topic_affinity(predicted: Sequence[str], topic_tokens: Sequence[str]) -> float:
+    """Token-overlap fraction between a prediction and a topic phrase."""
+    if not topic_tokens:
+        return 0.0
+    return len(set(predicted) & set(topic_tokens)) / len(set(topic_tokens))
+
+
+@dataclass
+class MixtureResult:
+    """Aggregate behaviour on one proportion setting."""
+
+    proportion: Tuple[float, float]
+    follows_first: float   # fraction of mixtures predicted from the first doc
+    follows_larger: float  # fraction predicted from the larger-portion doc
+    num_mixtures: int
+
+
+def content_sensitivity(
+    predict_topic: Callable[[Document], Sequence[str]],
+    document_pairs: Sequence[Tuple[Document, Document]],
+    proportions: Sequence[float] = (0.5, 0.7, 0.3),
+) -> List[MixtureResult]:
+    """Run the §IV-D probe over document pairs at each proportion."""
+    results: List[MixtureResult] = []
+    for fraction in proportions:
+        first_wins = larger_wins = 0
+        decided = 0
+        for first, second in document_pairs:
+            mixture = make_mixture(first, second, fraction)
+            predicted = list(predict_topic(mixture))
+            affinity_first = topic_affinity(predicted, first.topic_tokens)
+            affinity_second = topic_affinity(predicted, second.topic_tokens)
+            if affinity_first == affinity_second:
+                continue  # undecided prediction
+            decided += 1
+            predicted_first = affinity_first > affinity_second
+            if predicted_first:
+                first_wins += 1
+            larger_is_first = fraction > 0.5
+            if fraction == 0.5:
+                # At 50-50 "larger" is undefined; count first-position wins only.
+                continue
+            if predicted_first == larger_is_first:
+                larger_wins += 1
+        denominator = max(1, decided)
+        results.append(
+            MixtureResult(
+                proportion=(fraction, 1.0 - fraction),
+                follows_first=first_wins / denominator,
+                follows_larger=larger_wins / denominator,
+                num_mixtures=len(document_pairs),
+            )
+        )
+    return results

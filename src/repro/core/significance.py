@@ -1,0 +1,72 @@
+"""Pairwise significance testing between WB models (paper §IV-A4).
+
+The paper reports improvements with "McNemar's test of p < 0.05".  This
+module runs that comparison over any two topic-generation models: paired EM
+correctness flags on the same test documents feed
+:func:`repro.core.stats.mcnemar`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+from ..data.corpus import Document
+from .evaluation import evaluate_generation
+from .stats import McNemarResult, mcnemar
+
+__all__ = ["ModelComparison", "compare_generation_models"]
+
+
+@dataclass
+class ModelComparison:
+    """Outcome of one McNemar comparison."""
+
+    name_a: str
+    name_b: str
+    em_a: float
+    em_b: float
+    result: McNemarResult
+
+    @property
+    def significant(self) -> bool:
+        """p < 0.05, as in the paper."""
+        return self.result.significant(0.05)
+
+    def summary(self) -> str:
+        star = "*" if self.significant else ""
+        return (
+            f"{self.name_a} (EM {100 * self.em_a:.2f}) vs "
+            f"{self.name_b} (EM {100 * self.em_b:.2f}): "
+            f"p = {self.result.p_value:.4f}{star}"
+        )
+
+
+def compare_generation_models(
+    models: Dict[str, Callable[[Document], Sequence[str]]],
+    documents: Sequence[Document],
+) -> List[ModelComparison]:
+    """All pairwise McNemar comparisons over ``models``.
+
+    ``models`` maps a display name to a ``predict_topic``-style callable.
+    """
+    if len(models) < 2:
+        raise ValueError("need at least two models to compare")
+    metrics = {
+        name: evaluate_generation(predict, documents) for name, predict in models.items()
+    }
+    names = list(models)
+    comparisons: List[ModelComparison] = []
+    for i, name_a in enumerate(names):
+        for name_b in names[i + 1 :]:
+            result = mcnemar(metrics[name_a].em_flags, metrics[name_b].em_flags)
+            comparisons.append(
+                ModelComparison(
+                    name_a=name_a,
+                    name_b=name_b,
+                    em_a=metrics[name_a].exact_match,
+                    em_b=metrics[name_b].exact_match,
+                    result=result,
+                )
+            )
+    return comparisons

@@ -1,0 +1,98 @@
+"""Statistical tests used in the paper's evaluation.
+
+* :func:`mcnemar` — McNemar's test on paired correctness flags (the paper
+  reports significance at ``p < 0.05``); exact binomial form for small
+  discordant counts, χ² approximation with continuity correction otherwise.
+* :func:`cohen_kappa` — inter-annotator agreement for the dataset-quality
+  check (§IV-A2, κ > 0.93) and the human evaluation (§IV-E, κ > 0.83).
+"""
+
+from __future__ import annotations
+
+from math import comb
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["mcnemar", "cohen_kappa", "McNemarResult"]
+
+
+class McNemarResult(Tuple[float, float]):
+    """``(statistic, p_value)`` with named access."""
+
+    def __new__(cls, statistic: float, p_value: float) -> "McNemarResult":
+        return super().__new__(cls, (statistic, p_value))
+
+    @property
+    def statistic(self) -> float:
+        return self[0]
+
+    @property
+    def p_value(self) -> float:
+        return self[1]
+
+    def significant(self, alpha: float = 0.05) -> bool:
+        return self.p_value < alpha
+
+
+def mcnemar(
+    flags_a: Sequence[bool],
+    flags_b: Sequence[bool],
+    exact_threshold: int = 25,
+) -> McNemarResult:
+    """McNemar's test on paired per-example correctness flags.
+
+    ``flags_a[i]`` / ``flags_b[i]`` say whether systems A and B got example
+    ``i`` right.  Only the discordant pairs matter: ``b`` = A right & B wrong,
+    ``c`` = A wrong & B right.
+    """
+    if len(flags_a) != len(flags_b):
+        raise ValueError("paired flags must have equal length")
+    a = np.asarray(flags_a, dtype=bool)
+    b = np.asarray(flags_b, dtype=bool)
+    only_a = int(np.sum(a & ~b))
+    only_b = int(np.sum(~a & b))
+    n = only_a + only_b
+    if n == 0:
+        return McNemarResult(0.0, 1.0)
+    if n <= exact_threshold:
+        # Exact binomial test: two-sided P(X <= min | n, 0.5) * 2.
+        k = min(only_a, only_b)
+        tail = sum(comb(n, i) for i in range(k + 1)) / (2.0 ** n)
+        return McNemarResult(float(k), min(1.0, 2.0 * tail))
+    statistic = (abs(only_a - only_b) - 1.0) ** 2 / n
+    # χ²(1) survival via the complementary error function.
+    from math import erfc, sqrt
+
+    p_value = erfc(sqrt(statistic / 2.0))
+    return McNemarResult(statistic, p_value)
+
+
+def cohen_kappa(ratings_a: Sequence[int], ratings_b: Sequence[int]) -> float:
+    """Cohen's κ between two raters over categorical ratings."""
+    if len(ratings_a) != len(ratings_b):
+        raise ValueError("raters must score the same items")
+    if len(ratings_a) == 0:
+        raise ValueError("no ratings")
+    a = np.asarray(ratings_a)
+    b = np.asarray(ratings_b)
+    categories = np.union1d(a, b)
+    n = len(a)
+    observed = float(np.mean(a == b))
+    expected = 0.0
+    for category in categories:
+        expected += float(np.mean(a == category)) * float(np.mean(b == category))
+    if expected >= 1.0:
+        return 1.0
+    return (observed - expected) / (1.0 - expected)
+
+
+def pairwise_kappa_summary(all_ratings: Sequence[Sequence[int]]) -> Dict[str, float]:
+    """Min/mean pairwise κ over a panel of raters."""
+    kappas = []
+    for i in range(len(all_ratings)):
+        for j in range(i + 1, len(all_ratings)):
+            kappas.append(cohen_kappa(all_ratings[i], all_ratings[j]))
+    if not kappas:
+        raise ValueError("need at least two raters")
+    return {"min": float(min(kappas)), "mean": float(np.mean(kappas))}

@@ -1,0 +1,40 @@
+"""Minibatching utilities.
+
+The paper trains with batch size 16 (512-token BERT sub-documents) and batch
+size 4 (2,048-token documents) — §IV-A5.  Our models process one document
+graph at a time (numpy autograd), so a *batch* here is a list of documents
+whose losses are averaged before one optimiser step, which is numerically the
+same thing.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence, TypeVar
+
+import numpy as np
+
+__all__ = ["iterate_batches", "shuffled_epochs"]
+
+T = TypeVar("T")
+
+
+def iterate_batches(items: Sequence[T], batch_size: int) -> Iterator[List[T]]:
+    """Yield consecutive batches; the final batch may be smaller."""
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    for start in range(0, len(items), batch_size):
+        yield list(items[start : start + batch_size])
+
+
+def shuffled_epochs(
+    items: Sequence[T],
+    batch_size: int,
+    epochs: int,
+    rng: np.random.Generator,
+) -> Iterator[List[T]]:
+    """Yield shuffled batches for ``epochs`` passes over ``items``."""
+    items = list(items)
+    for _ in range(epochs):
+        order = rng.permutation(len(items))
+        shuffled = [items[i] for i in order]
+        yield from iterate_batches(shuffled, batch_size)

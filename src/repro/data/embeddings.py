@@ -1,0 +1,136 @@
+"""GloVe embedding trainer (the context-independent baseline encoder).
+
+The single-task baselines ``GloVe → Bi-LSTM`` etc. (§IV-A6) use GloVe
+vectors.  Pre-trained vectors are unavailable offline, so this module trains
+GloVe (Pennington et al., 2014) from scratch:
+
+* build the word–word co-occurrence matrix with a decaying window
+  (``1/distance`` weighting, symmetric context);
+* optimise the weighted least-squares objective
+  ``Σ f(X_ij) (w_i·w̃_j + b_i + b̃_j − log X_ij)²`` with AdaGrad,
+  ``f(x) = (x/x_max)^α`` capped at 1.
+
+The final vector for a word is ``w + w̃`` (the paper's released vectors use
+the same sum).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["build_cooccurrence", "GloveModel", "train_glove"]
+
+
+def build_cooccurrence(
+    sentences: Iterable[Sequence[str]],
+    vocabulary: Dict[str, int],
+    window: int = 5,
+) -> Dict[Tuple[int, int], float]:
+    """Symmetric, distance-weighted co-occurrence counts over ``sentences``."""
+    counts: Counter = Counter()
+    for sentence in sentences:
+        ids = [vocabulary[w] for w in sentence if w in vocabulary]
+        for center, word_id in enumerate(ids):
+            lo = max(0, center - window)
+            for context in range(lo, center):
+                distance = center - context
+                pair = (word_id, ids[context])
+                weight = 1.0 / distance
+                counts[pair] += weight
+                counts[(pair[1], pair[0])] += weight
+    return dict(counts)
+
+
+class GloveModel:
+    """Trained GloVe vectors with lookup."""
+
+    def __init__(self, vectors: np.ndarray, vocabulary: Dict[str, int]) -> None:
+        self.vectors = vectors
+        self.vocabulary = dict(vocabulary)
+        self.dim = vectors.shape[1]
+
+    def vector(self, word: str) -> np.ndarray:
+        index = self.vocabulary.get(word)
+        if index is None:
+            return np.zeros(self.dim)
+        return self.vectors[index]
+
+    def matrix_for(self, vocab_list: Sequence[str]) -> np.ndarray:
+        """Embedding matrix aligned with an external vocabulary order."""
+        return np.stack([self.vector(w) for w in vocab_list])
+
+    def most_similar(self, word: str, k: int = 5) -> List[Tuple[str, float]]:
+        """Nearest neighbours by cosine similarity (diagnostics/tests)."""
+        if word not in self.vocabulary:
+            return []
+        query = self.vector(word)
+        norms = np.linalg.norm(self.vectors, axis=1) * (np.linalg.norm(query) + 1e-12)
+        scores = self.vectors @ query / (norms + 1e-12)
+        order = np.argsort(scores)[::-1]
+        inverse = {i: w for w, i in self.vocabulary.items()}
+        results = []
+        for index in order:
+            candidate = inverse[int(index)]
+            if candidate == word:
+                continue
+            results.append((candidate, float(scores[index])))
+            if len(results) == k:
+                break
+        return results
+
+
+def train_glove(
+    sentences: Iterable[Sequence[str]],
+    vocabulary: Dict[str, int],
+    dim: int = 32,
+    epochs: int = 15,
+    learning_rate: float = 0.05,
+    x_max: float = 20.0,
+    alpha: float = 0.75,
+    window: int = 5,
+    seed: int = 0,
+) -> GloveModel:
+    """Train GloVe vectors on tokenised sentences."""
+    sentences = list(sentences)
+    cooccurrence = build_cooccurrence(sentences, vocabulary, window=window)
+    n_words = len(vocabulary)
+    rng = np.random.default_rng(seed)
+
+    w_main = rng.uniform(-0.5 / dim, 0.5 / dim, size=(n_words, dim))
+    w_context = rng.uniform(-0.5 / dim, 0.5 / dim, size=(n_words, dim))
+    b_main = np.zeros(n_words)
+    b_context = np.zeros(n_words)
+    # AdaGrad accumulators.
+    g_main = np.ones_like(w_main)
+    g_context = np.ones_like(w_context)
+    g_b_main = np.ones_like(b_main)
+    g_b_context = np.ones_like(b_context)
+
+    pairs = np.array(list(cooccurrence.keys()), dtype=np.int64)
+    values = np.array(list(cooccurrence.values()), dtype=np.float64)
+    if len(pairs) == 0:
+        return GloveModel(w_main + w_context, vocabulary)
+    log_values = np.log(values)
+    weights = np.minimum(1.0, (values / x_max) ** alpha)
+
+    for epoch in range(epochs):
+        order = rng.permutation(len(pairs))
+        for index in order:
+            i, j = pairs[index]
+            diff = w_main[i] @ w_context[j] + b_main[i] + b_context[j] - log_values[index]
+            coefficient = weights[index] * diff
+            grad_main = coefficient * w_context[j]
+            grad_context = coefficient * w_main[i]
+            w_main[i] -= learning_rate * grad_main / np.sqrt(g_main[i])
+            w_context[j] -= learning_rate * grad_context / np.sqrt(g_context[j])
+            g_main[i] += grad_main ** 2
+            g_context[j] += grad_context ** 2
+            b_main[i] -= learning_rate * coefficient / np.sqrt(g_b_main[i])
+            b_context[j] -= learning_rate * coefficient / np.sqrt(g_b_context[j])
+            g_b_main[i] += coefficient ** 2
+            g_b_context[j] += coefficient ** 2
+
+    return GloveModel(w_main + w_context, vocabulary)

@@ -1,0 +1,112 @@
+"""Corpus serialisation: JSONL import/export.
+
+The synthetic corpus substitutes for the paper's scraped dataset
+(DESIGN.md §2); this module is the bridge back to real data.  A corpus saved
+as JSONL — one document per line with sentences, section labels, topic and
+attribute spans — can be re-loaded, and real scraped/annotated webpages in
+the same schema drop straight into every model and experiment.
+
+Schema (one JSON object per line)::
+
+    {"doc_id": ..., "url": ..., "source": ..., "topic_id": int,
+     "family": ..., "website": ..., "topic_tokens": [...],
+     "sentences": [[...], ...], "section_labels": [0/1, ...],
+     "attributes": [{"sentence_index": int, "start": int, "end": int,
+                     "attribute_type": str}, ...]}
+
+plus one header line ``{"topic_phrases": {"<id>": [...]}}``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Tuple
+
+from .corpus import AttributeSpan, Corpus, Document
+
+__all__ = ["save_corpus_jsonl", "load_corpus_jsonl", "document_to_dict", "document_from_dict"]
+
+
+def document_to_dict(document: Document) -> dict:
+    """JSON-safe dict for one document."""
+    return {
+        "doc_id": document.doc_id,
+        "url": document.url,
+        "source": document.source,
+        "topic_id": document.topic_id,
+        "family": document.family,
+        "website": document.website,
+        "topic_tokens": list(document.topic_tokens),
+        "sentences": [list(s) for s in document.sentences],
+        "section_labels": list(document.section_labels),
+        "attributes": [
+            {
+                "sentence_index": span.sentence_index,
+                "start": span.start,
+                "end": span.end,
+                "attribute_type": span.attribute_type,
+            }
+            for span in document.attributes
+        ],
+    }
+
+
+def document_from_dict(payload: dict) -> Document:
+    """Inverse of :func:`document_to_dict` (validates via Document)."""
+    return Document(
+        doc_id=payload["doc_id"],
+        url=payload.get("url", ""),
+        source=payload.get("source", "external"),
+        topic_id=int(payload["topic_id"]),
+        family=payload.get("family", "unknown"),
+        website=payload.get("website", "unknown"),
+        topic_tokens=tuple(payload.get("topic_tokens", ())),
+        sentences=[list(s) for s in payload["sentences"]],
+        section_labels=[int(x) for x in payload["section_labels"]],
+        attributes=[
+            AttributeSpan(
+                sentence_index=int(a["sentence_index"]),
+                start=int(a["start"]),
+                end=int(a["end"]),
+                attribute_type=a.get("attribute_type", "unknown"),
+            )
+            for a in payload.get("attributes", [])
+        ],
+    )
+
+
+def save_corpus_jsonl(corpus: Corpus, path: str) -> None:
+    """Write the corpus (header + one document per line) to ``path``."""
+    with open(path, "w") as handle:
+        header = {
+            "topic_phrases": {str(k): list(v) for k, v in corpus.topic_phrases.items()}
+        }
+        handle.write(json.dumps(header) + "\n")
+        for document in corpus:
+            handle.write(json.dumps(document_to_dict(document)) + "\n")
+
+
+def load_corpus_jsonl(path: str) -> Corpus:
+    """Read a corpus previously written by :func:`save_corpus_jsonl` (or
+    real annotated data in the same schema)."""
+    documents: List[Document] = []
+    topic_phrases: Dict[int, Tuple[str, ...]] = {}
+    with open(path) as handle:
+        first = handle.readline()
+        if not first:
+            raise ValueError(f"{path} is empty")
+        header = json.loads(first)
+        if "topic_phrases" not in header:
+            raise ValueError("first line must be the topic_phrases header")
+        topic_phrases = {
+            int(k): tuple(v) for k, v in header["topic_phrases"].items()
+        }
+        for line_number, line in enumerate(handle, start=2):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                documents.append(document_from_dict(json.loads(line)))
+            except (KeyError, ValueError) as error:
+                raise ValueError(f"{path}:{line_number}: bad document record: {error}")
+    return Corpus(documents, topic_phrases)

@@ -1,0 +1,195 @@
+"""HTML page templates for the synthetic website generator.
+
+Each synthetic website is built from a *style* (layout variant, boilerplate
+nav/footer wording) and emits three kinds of pages, mirroring the crawl
+targets of the paper's dataset construction (§IV-A1):
+
+* **content pages** — content-rich pages whose informative sections carry the
+  topic-bearing intro and the four key attributes; these are what the corpus
+  keeps;
+* **index pages** — link farms the crawler must skip;
+* **media pages** — video/image stubs the crawler must skip.
+
+Supervision travels *inside the HTML*: informative sections carry the marker
+class ``wb-informative``, attribute values are wrapped in
+``<span class="wb-attr" data-attr-type="...">``, and the topic phrase is
+recorded in a ``data-wb-topic`` attribute on ``<body>``.  The corpus builder
+recovers all labels from the rendered page, so the parse → render path is the
+single source of truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from .taxonomy import AttributeType, Topic
+
+__all__ = ["WebsiteStyle", "PageValues", "make_style", "content_page_html", "index_page_html", "media_page_html"]
+
+_NAV_POOLS = (
+    ("home", "about", "contact", "help"),
+    ("start", "catalogue", "support", "terms"),
+    ("main", "browse", "account", "faq"),
+    ("welcome", "directory", "profile", "legal"),
+)
+
+_FOOTER_POOLS = (
+    "all rights reserved worldwide",
+    "copyright by the site operators",
+    "member of the online publishers network",
+    "site map privacy policy cookie settings",
+)
+
+_SIDEBAR_POOLS = (
+    ("popular this week", "editor picks", "newsletter signup"),
+    ("trending now", "staff favourites", "subscribe today"),
+    ("most viewed", "reader choices", "join the mailing list"),
+)
+
+_ATTRIBUTE_LABELS = {
+    # Deterministic label wording per attribute name; falls back to the name.
+    "price": ("price", "listed at", "costs"),
+    "salary": ("salary", "pays", "compensation"),
+    "rating": ("rating", "rated", "score"),
+    "date": ("date", "published on", "scheduled for"),
+}
+
+
+@dataclass(frozen=True)
+class WebsiteStyle:
+    """Per-website layout flavour: boilerplate wording + section ordering."""
+
+    style_id: int
+    nav_items: Tuple[str, ...]
+    footer_text: str
+    sidebar_items: Tuple[str, ...]
+    #: Whether boilerplate appears before ('top') or around ('split') content.
+    layout: str
+
+
+def make_style(rng: np.random.Generator) -> WebsiteStyle:
+    """Sample a deterministic website style from ``rng``."""
+    style_id = int(rng.integers(0, 10_000))
+    return WebsiteStyle(
+        style_id=style_id,
+        nav_items=_NAV_POOLS[int(rng.integers(0, len(_NAV_POOLS)))],
+        footer_text=_FOOTER_POOLS[int(rng.integers(0, len(_FOOTER_POOLS)))],
+        sidebar_items=_SIDEBAR_POOLS[int(rng.integers(0, len(_SIDEBAR_POOLS)))],
+        layout=("top", "split")[int(rng.integers(0, 2))],
+    )
+
+
+@dataclass
+class PageValues:
+    """Concrete attribute values chosen for one page."""
+
+    values: Dict[str, str]  # attribute name -> value text
+
+    def items(self):
+        return self.values.items()
+
+
+def sample_page_values(topic: Topic, rng: np.random.Generator) -> PageValues:
+    """Draw one value per attribute type of the topic's schema."""
+    values: Dict[str, str] = {}
+    for attribute in topic.attributes:
+        if attribute.numeric:
+            whole = int(rng.integers(1, 999))
+            frac = int(rng.integers(0, 99))
+            values[attribute.name] = f"{whole}.{frac:02d}"
+        else:
+            pool = attribute.value_pool
+            values[attribute.name] = pool[int(rng.integers(0, len(pool)))]
+    return PageValues(values=values)
+
+
+def _attribute_sentence(
+    attribute: AttributeType, value: str, category: str, rng: np.random.Generator
+) -> str:
+    labels = _ATTRIBUTE_LABELS.get(attribute.name, (attribute.name,))
+    label = labels[int(rng.integers(0, len(labels)))]
+    span = f'<span class="wb-attr" data-attr-type="{attribute.name}">{value}</span>'
+    # Real content pages repeat their category constantly ("...for this
+    # cameras listing"); that redundancy is the signal WB models exploit.
+    return f"the {label} is {span} for this {category} listing"
+
+
+def _filler_sentences(topic: Topic, rng: np.random.Generator, count: int) -> List[str]:
+    pool = topic.content_pool
+    picks = rng.integers(0, len(pool), size=count)
+    return [pool[int(i)] for i in picks]
+
+
+def content_page_html(
+    topic: Topic,
+    values: PageValues,
+    style: WebsiteStyle,
+    rng: np.random.Generator,
+    page_index: int,
+    noise_sentences: int = 2,
+) -> str:
+    """Render a full content page for ``topic`` with the given values.
+
+    The informative section contains a topic-bearing intro sentence plus one
+    sentence per attribute; boilerplate (nav/sidebar/footer) surrounds it
+    according to the website style.
+    """
+    intro = f"welcome to our {topic.category} pages about {' '.join(topic.phrase)}"
+    category_line = (
+        f"browse the {topic.category} catalogue and compare {topic.category} picks side by side"
+    )
+    attr_sentences = [
+        _attribute_sentence(attribute, values.values[attribute.name], topic.category, rng)
+        for attribute in topic.attributes
+    ]
+    filler = _filler_sentences(topic, rng, noise_sentences)
+
+    nav = "".join(f'<a href="/{item}.html">{item}</a> ' for item in style.nav_items)
+    sidebar = "".join(f"<li>{item}</li>" for item in style.sidebar_items)
+    informative = "".join(
+        f"<p>{sentence}</p>" for sentence in [intro, category_line] + attr_sentences
+    )
+    extra = "".join(f"<p>{sentence}</p>" for sentence in filler)
+
+    body_top = f"""
+    <header><nav>{nav}</nav></header>
+    """
+    sidebar_html = f"<aside><ul>{sidebar}</ul></aside>"
+    content = f'<section class="wb-informative">{informative}</section>'
+    noise = f"<section>{extra}</section>"
+    footer = f"<footer><p>{style.footer_text}</p></footer>"
+
+    if style.layout == "top":
+        body = body_top + sidebar_html + content + noise + footer
+    else:
+        body = body_top + content + sidebar_html + noise + footer
+
+    return f"""<!DOCTYPE html>
+<html>
+<head>
+  <title>page {page_index}</title>
+  <style>.hidden {{ display: none; }}</style>
+  <script>var tracker = "{style.style_id}";</script>
+</head>
+<body data-wb-topic="{' '.join(topic.phrase)}">
+{body}
+</body>
+</html>"""
+
+
+def index_page_html(style: WebsiteStyle, links: Sequence[str]) -> str:
+    """A link-farm index page (to be skipped by the crawler)."""
+    items = "".join(f'<li><a href="{link}">{link}</a></li>' for link in links)
+    return f"""<html><head><title>index</title></head>
+<body><nav>{''.join(f'<a href="/{i}.html">{i}</a>' for i in style.nav_items)}</nav>
+<ul>{items}</ul></body></html>"""
+
+
+def media_page_html(style: WebsiteStyle, name: str) -> str:
+    """A multimedia stub page (to be skipped by the crawler)."""
+    return f"""<html><head><title>{name}</title></head>
+<body><video src="/{name}.mp4" controls></video>
+<p>watch {name} online</p></body></html>"""

@@ -1,0 +1,145 @@
+"""WordPiece subword tokenizer (trainer + encoder).
+
+The paper tokenises with "BERT's WordPieces tokenizer where each newline
+character, ``<digit>``, and punctuation is preserved as a single token"
+(§IV-A3).  Since the pre-trained BERT vocabulary is unavailable offline, this
+module trains a WordPiece vocabulary from scratch on the corpus:
+
+* training follows the WordPiece objective — repeatedly merge the symbol pair
+  maximising ``count(ab) / (count(a) * count(b))`` (likelihood gain), the
+  criterion that distinguishes WordPiece from plain BPE;
+* encoding is greedy longest-match-first with ``##`` continuation pieces and
+  an ``[UNK]`` fallback, exactly like BERT's runtime tokenizer.
+
+Protected tokens (``<digit>``, punctuation, the special markers) always stay
+whole.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from .preprocessing import CLS_TOKEN, DIGIT_TOKEN, PAD_TOKEN
+
+__all__ = ["WordPieceTokenizer", "train_wordpiece"]
+
+_PROTECTED = {DIGIT_TOKEN, CLS_TOKEN, PAD_TOKEN, "[UNK]", "[BOS]", "[EOS]"}
+
+
+def _is_protected(word: str) -> bool:
+    return word in _PROTECTED or (len(word) == 1 and not word.isalnum())
+
+
+def train_wordpiece(
+    words: Iterable[str],
+    vocab_size: int = 2000,
+    min_pair_count: int = 2,
+) -> List[str]:
+    """Learn a WordPiece piece inventory from a stream of words.
+
+    Returns the piece list: single characters (and ``##``-prefixed
+    continuation characters) plus learned merges, capped at ``vocab_size``.
+    """
+    word_counts = Counter(w for w in words if not _is_protected(w))
+    # Each word starts as characters; continuations carry the ## prefix.
+    splits: Dict[str, List[str]] = {
+        word: [word[0]] + [f"##{c}" for c in word[1:]] for word in word_counts
+    }
+    pieces = set()
+    for parts in splits.values():
+        pieces.update(parts)
+
+    while len(pieces) < vocab_size:
+        pair_counts: Counter = Counter()
+        piece_counts: Counter = Counter()
+        for word, parts in splits.items():
+            count = word_counts[word]
+            for part in parts:
+                piece_counts[part] += count
+            for left, right in zip(parts, parts[1:]):
+                pair_counts[(left, right)] += count
+        if not pair_counts:
+            break
+        # WordPiece criterion: maximise count(ab) / (count(a)*count(b)).
+        best_pair, best_score = None, 0.0
+        for pair, count in pair_counts.items():
+            if count < min_pair_count:
+                continue
+            score = count / (piece_counts[pair[0]] * piece_counts[pair[1]])
+            if score > best_score:
+                best_pair, best_score = pair, score
+        if best_pair is None:
+            break
+        left, right = best_pair
+        merged = left + right[2:] if right.startswith("##") else left + right
+        pieces.add(merged)
+        for word, parts in splits.items():
+            new_parts: List[str] = []
+            index = 0
+            while index < len(parts):
+                if (
+                    index + 1 < len(parts)
+                    and parts[index] == left
+                    and parts[index + 1] == right
+                ):
+                    new_parts.append(merged)
+                    index += 2
+                else:
+                    new_parts.append(parts[index])
+                    index += 1
+            splits[word] = new_parts
+    return sorted(pieces)
+
+
+class WordPieceTokenizer:
+    """Greedy longest-match-first WordPiece encoder."""
+
+    def __init__(self, pieces: Sequence[str], unk_token: str = "[UNK]") -> None:
+        self.pieces = set(pieces)
+        self.unk_token = unk_token
+
+    @classmethod
+    def train(cls, words: Iterable[str], vocab_size: int = 2000) -> "WordPieceTokenizer":
+        return cls(train_wordpiece(words, vocab_size=vocab_size))
+
+    def tokenize_word(self, word: str) -> List[str]:
+        """Split one word into pieces (protected tokens pass through)."""
+        if _is_protected(word) or word in self.pieces:
+            return [word]
+        output: List[str] = []
+        start = 0
+        while start < len(word):
+            end = len(word)
+            piece = None
+            while end > start:
+                candidate = word[start:end]
+                if start > 0:
+                    candidate = "##" + candidate
+                if candidate in self.pieces:
+                    piece = candidate
+                    break
+                end -= 1
+            if piece is None:
+                return [self.unk_token]
+            output.append(piece)
+            start = end
+        return output
+
+    def tokenize(self, words: Sequence[str]) -> Tuple[List[str], List[int]]:
+        """Tokenize a word sequence.
+
+        Returns ``(pieces, word_index)`` where ``word_index[i]`` maps piece
+        ``i`` back to its source word — the alignment used to project BIO
+        labels onto pieces and predictions back onto words.
+        """
+        pieces: List[str] = []
+        alignment: List[int] = []
+        for index, word in enumerate(words):
+            for piece in self.tokenize_word(word):
+                pieces.append(piece)
+                alignment.append(index)
+        return pieces, alignment
+
+    def piece_vocabulary(self) -> List[str]:
+        return sorted(self.pieces)

@@ -1,0 +1,52 @@
+"""Identification distillation (``L_ID``, paper §III-A).
+
+Matches the teacher's and the student's attention distributions over the
+seen-topic matrix ``R``:
+
+    A_T = softmax(H_T W_AT Rᵀ)        A_S = softmax(H_S W_AS Rᵀ)
+    L_ID = Σ_i ‖A_T^i − A_S^i‖₁
+
+``H`` is the hidden *token* representation for attribute extraction and the
+hidden *sentence* representation for topic generation.  ``W_AT``/``W_AS`` are
+trainable; the teacher's hidden states are detached (the teacher is frozen),
+so the gradient reaches the student encoder and the two projections only.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from .topics import TopicPhraseBank
+
+__all__ = ["IdentificationDistiller"]
+
+
+class IdentificationDistiller(nn.Module):
+    """Computes ``L_ID`` between one teacher view and one student view."""
+
+    def __init__(
+        self,
+        teacher_dim: int,
+        student_dim: int,
+        bank: TopicPhraseBank,
+        rng: np.random.Generator,
+    ) -> None:
+        super().__init__()
+        self.bank = bank
+        self.teacher_attention = nn.BilinearAttention(teacher_dim, bank.bank_dim, rng)
+        self.student_attention = nn.BilinearAttention(student_dim, bank.bank_dim, rng)
+
+    def teacher_distribution(self, teacher_hidden: nn.Tensor) -> nn.Tensor:
+        """``A_T``: teacher attention over the seen topics (rows × r)."""
+        return self.teacher_attention(teacher_hidden.detach(), self.bank.matrix)
+
+    def student_distribution(self, student_hidden: nn.Tensor) -> nn.Tensor:
+        """``A_S``: student attention over the seen topics (rows × r)."""
+        return self.student_attention(student_hidden, self.bank.matrix)
+
+    def loss(self, teacher_hidden: nn.Tensor, student_hidden: nn.Tensor) -> nn.Tensor:
+        """``L_ID`` for one document view."""
+        a_teacher = self.teacher_distribution(teacher_hidden)
+        a_student = self.student_distribution(student_hidden)
+        return nn.l1_attention_loss(a_teacher, a_student)

@@ -1,0 +1,83 @@
+"""Pip-Distill (paper §IV-A7-i): pipelined Dual-Distills.
+
+Two Dual-Distills run in sequence: first a topic-generation student is
+distilled; its *generated* topics are then fed as prior knowledge to the
+attribute-extraction student (following the topic-aware representation
+learning of Att-Extractor), which is distilled second.  This is the strongest
+non-joint distillation baseline that Tri-Distill must beat on attribute
+extraction (Table V).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+
+from .. import nn
+from ..data.corpus import Document
+from ..models.single_task import SingleTaskExtractor, SingleTaskGenerator
+from .dual import DistillConfig, DualDistiller
+from .interfaces import with_topic
+from .topics import TopicPhraseBank
+
+__all__ = ["PipelineDistiller"]
+
+
+class PipelineDistiller:
+    """Topic student first; its outputs prime the extraction student."""
+
+    def __init__(
+        self,
+        teacher: nn.Module,
+        generation_student: SingleTaskGenerator,
+        extraction_student: SingleTaskExtractor,
+        bank: TopicPhraseBank,
+        config: Optional[DistillConfig] = None,
+        extraction_teacher: Optional[nn.Module] = None,
+    ) -> None:
+        """``teacher`` guides the generation stage; ``extraction_teacher``
+        (default: the same model) guides the extraction stage — pass a
+        separate model for single-task teacher pairs like BERT-Single."""
+        if not extraction_student.prior_topic:
+            raise ValueError(
+                "Pip-Distill's extraction student must be built with prior_topic=True "
+                "so the generated topic can be injected"
+            )
+        self.config = config or DistillConfig()
+        self.generation = DualDistiller(
+            teacher, generation_student, bank, task="generation", config=self.config
+        )
+        self.extraction = DualDistiller(
+            extraction_teacher if extraction_teacher is not None else teacher,
+            extraction_student,
+            bank,
+            task="extraction",
+            config=self.config,
+        )
+        self.generation_student = generation_student
+        self.extraction_student = extraction_student
+
+    # ------------------------------------------------------------------
+    def train(
+        self,
+        documents: Sequence[Document],
+        epochs: Optional[int] = None,
+    ) -> List[float]:
+        """Run both stages; returns the extraction-stage loss history."""
+        self.generation.train(documents, epochs=epochs)
+        primed = [self._prime(document) for document in documents]
+        return self.extraction.train(primed, epochs=epochs)
+
+    def _prime(self, document: Document) -> Document:
+        """Replace the topic prior with the generation student's prediction."""
+        predicted = self.generation_student.predict_topic(document)
+        if not predicted:
+            predicted = ["unknown"]
+        return with_topic(document, predicted)
+
+    # ------------------------------------------------------------------
+    def predict_topic(self, document: Document, beam_size: int = 4) -> List[str]:
+        return self.generation_student.predict_topic(document, beam_size=beam_size)
+
+    def predict_attributes(self, document: Document) -> List[str]:
+        return self.extraction_student.predict_attributes(self._prime(document))

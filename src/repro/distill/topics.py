@@ -1,0 +1,78 @@
+"""Seen-topic phrase matrix ``R`` (paper §III-A).
+
+``R`` is the concatenation of the representations of the ``r`` previously
+seen topic phrases: each phrase's token representations (taken from the
+pre-trained teacher) are combined and passed through a dense ``tanh`` layer:
+
+    R_i = tanh( (q_i^1 ⊕ … ⊕ q_i^{n_i}) W_R )
+
+The paper concatenates the token representations; phrases have variable
+length, so we mean-pool before the dense layer (the variable-length-safe
+equivalent — DESIGN.md §5).  The teacher's token representations are taken
+from its embedding table and detached: the bank is frozen during
+distillation, which is what lets it *preserve* seen-domain knowledge.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from .. import nn
+from ..data.vocab import Vocabulary
+
+__all__ = ["TopicPhraseBank"]
+
+
+class TopicPhraseBank(nn.Module):
+    """Builds and stores the frozen seen-topic matrix ``R`` (r × dim)."""
+
+    def __init__(
+        self,
+        embedding_dim: int,
+        bank_dim: int,
+        rng: np.random.Generator,
+    ) -> None:
+        super().__init__()
+        self.embedding_dim = embedding_dim
+        self.bank_dim = bank_dim
+        self.project = nn.Dense(embedding_dim, bank_dim, rng, activation="tanh")
+        self._matrix: nn.Tensor | None = None
+        self._phrases: List[Tuple[str, ...]] = []
+
+    # ------------------------------------------------------------------
+    def build(
+        self,
+        topic_phrases: Sequence[Sequence[str]],
+        embedding_table: np.ndarray,
+        vocabulary: Vocabulary,
+    ) -> nn.Tensor:
+        """Materialise ``R`` from teacher token embeddings; returns (r, bank_dim)."""
+        if not topic_phrases:
+            raise ValueError("topic bank requires at least one seen topic phrase")
+        rows = []
+        for phrase in topic_phrases:
+            ids = vocabulary.encode(list(phrase))
+            vectors = embedding_table[np.asarray(ids)]
+            rows.append(vectors.mean(axis=0))
+        pooled = nn.Tensor(np.stack(rows))
+        with nn.no_grad():
+            matrix = self.project(pooled)
+        self._matrix = nn.Tensor(matrix.data.copy())  # frozen
+        self._phrases = [tuple(p) for p in topic_phrases]
+        return self._matrix
+
+    @property
+    def matrix(self) -> nn.Tensor:
+        if self._matrix is None:
+            raise RuntimeError("TopicPhraseBank.build() has not been called")
+        return self._matrix
+
+    @property
+    def num_topics(self) -> int:
+        return self.matrix.shape[0]
+
+    @property
+    def phrases(self) -> List[Tuple[str, ...]]:
+        return list(self._phrases)

@@ -1,0 +1,127 @@
+"""Triple Distillation (Tri-Distill, paper §III-B).
+
+One **shared** identification distillation over the shared encoder's token
+states plus **two** understanding distillations — one per task — distill a
+jointly pre-trained teacher into a joint student:
+
+    L = L_task^E + L_task^G + λ · L_ID^shared + μ · γ² · L_UD^E + ν · γ² · L_UD^G
+
+(§IV-A5: λ=0.1, μ=1, ν=2.25, γ=2.)  The sharing of ``L_ID`` and the implicit
+regularisation between the two UDs are what lets Tri-Distill exploit the
+topic ↔ key-attribute correlation that two separate Dual-Distills lose.
+
+Teacher and student must both be joint models (anything exposing the
+:class:`~repro.models.joint_wb.JointForward` interface).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .. import nn
+from ..data.corpus import Document
+from ..models.joint_wb import JointWBModel
+from .dual import DistillConfig
+from .identification import IdentificationDistiller
+from .interfaces import encoder_dim
+from .topics import TopicPhraseBank
+from .understanding import understanding_loss
+
+__all__ = ["TriDistiller"]
+
+
+class TriDistiller:
+    """Jointly distill topic generation + attribute extraction."""
+
+    def __init__(
+        self,
+        teacher: JointWBModel,
+        student: JointWBModel,
+        bank: TopicPhraseBank,
+        config: Optional[DistillConfig] = None,
+    ) -> None:
+        if not isinstance(teacher, JointWBModel) or not isinstance(student, JointWBModel):
+            raise TypeError("Tri-Distill requires joint teacher and student models")
+        self.teacher = teacher
+        self.student = student
+        self.config = config or DistillConfig()
+        rng = np.random.default_rng(self.config.seed)
+        self.identification = IdentificationDistiller(
+            encoder_dim(teacher), encoder_dim(student), bank, rng
+        )
+        self.teacher.eval()
+
+    # ------------------------------------------------------------------
+    def losses(self, document: Document) -> Dict[str, nn.Tensor]:
+        with nn.no_grad():
+            teacher_forward = self.teacher.forward(document)
+            teacher_tokens = self.teacher.encoder.encode(document).token_states
+        student_forward = self.student.forward(document)
+        student_tokens = student_forward.encoder_output.token_states
+
+        parts: Dict[str, nn.Tensor] = {
+            "task_extraction": student_forward.loss_extraction,
+            "task_generation": student_forward.loss_generation,
+            "id": self.identification.loss(teacher_tokens, student_tokens),
+            "ud_extraction": understanding_loss(
+                teacher_forward.extraction_logits,
+                student_forward.extraction_logits,
+                self.config.gamma,
+            ),
+            "ud_generation": understanding_loss(
+                teacher_forward.generation_logits,
+                student_forward.generation_logits,
+                self.config.gamma,
+            ),
+        }
+        if student_forward.loss_section is not None:
+            parts["task_section"] = student_forward.loss_section
+        return parts
+
+    def total_loss(self, document: Document) -> nn.Tensor:
+        config = self.config
+        parts = self.losses(document)
+        total = parts["task_extraction"] + parts["task_generation"]
+        if "task_section" in parts:
+            total = total + parts["task_section"]
+        total = total + parts["id"] * config.lambda_id
+        scale = config.ud_weight * config.gamma ** 2
+        total = total + parts["ud_extraction"] * (config.mu_extraction * scale)
+        total = total + parts["ud_generation"] * (config.nu_generation * scale)
+        return total
+
+    # ------------------------------------------------------------------
+    def trainable_parameters(self) -> List[nn.Parameter]:
+        return self.student.parameters() + self.identification.parameters()
+
+    def train(
+        self,
+        documents: Sequence[Document],
+        epochs: Optional[int] = None,
+        progress: Optional[callable] = None,
+    ) -> List[float]:
+        config = self.config
+        epochs = epochs if epochs is not None else config.epochs
+        optimizer = nn.Adam(self.trainable_parameters(), lr=config.learning_rate)
+        rng = np.random.default_rng(config.seed)
+        history: List[float] = []
+        self.student.train()
+        for epoch in range(epochs):
+            order = rng.permutation(len(documents))
+            epoch_loss = 0.0
+            for index in order:
+                document = documents[int(index)]
+                optimizer.zero_grad()
+                loss = self.total_loss(document)
+                loss.backward()
+                nn.clip_grad_norm(self.trainable_parameters(), config.clip_norm)
+                optimizer.step()
+                epoch_loss += loss.item()
+            mean_loss = epoch_loss / max(1, len(documents))
+            history.append(mean_loss)
+            if progress is not None:
+                progress(epoch, mean_loss)
+        self.student.eval()
+        return history

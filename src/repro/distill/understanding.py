@@ -1,0 +1,43 @@
+"""Understanding distillation (``L_UD``, paper §III-A).
+
+Matches teacher and student *output* distributions with a softmax temperature
+γ (Hinton et al.):
+
+    P_T = softmax((H_T W_PT + b_T) / γ)     P_S = softmax((H_S W_PS + b_S) / γ)
+    L_UD = Σ P_T log(P_T / P_S)
+
+For attribute extraction the distributions are over the BIO tag classes per
+token; for topic generation over the vocabulary per (teacher-forced) decode
+step.  Our task heads already produce logits, so ``L_UD`` is the
+temperature-softened KL between logits, with the γ² gradient-scale
+compensation applied by the caller (total-loss weights).
+"""
+
+from __future__ import annotations
+
+from .. import nn
+
+__all__ = ["understanding_loss", "soften"]
+
+
+def soften(logits: nn.Tensor, temperature: float) -> nn.Tensor:
+    """Temperature-softened distribution ``softmax(logits / γ)``."""
+    if temperature <= 0:
+        raise ValueError("temperature must be positive")
+    return (logits * (1.0 / temperature)).softmax(axis=-1)
+
+
+def understanding_loss(
+    teacher_logits: nn.Tensor,
+    student_logits: nn.Tensor,
+    temperature: float = 2.0,
+) -> nn.Tensor:
+    """``L_UD`` between aligned teacher/student logits (teacher detached)."""
+    if teacher_logits.shape != student_logits.shape:
+        raise ValueError(
+            f"logit shape mismatch: teacher {teacher_logits.shape} "
+            f"vs student {student_logits.shape}"
+        )
+    teacher_probs = soften(teacher_logits.detach(), temperature)
+    student_probs = soften(student_logits, temperature)
+    return nn.kl_divergence(teacher_probs, student_probs)

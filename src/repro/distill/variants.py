@@ -1,0 +1,51 @@
+"""Distillation variants for the Table IV ablation.
+
+* **No Distill** — apply the pre-trained teacher directly to new webpages;
+* **ID only** — Dual-Distill without the understanding distillation;
+* **UD only** — Dual-Distill without the identification distillation;
+* **Dual-Distill** — both losses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional
+
+from .. import nn
+from .dual import DistillConfig, DualDistiller
+from .topics import TopicPhraseBank
+
+__all__ = ["id_only_config", "ud_only_config", "make_variant_distiller", "VARIANT_NAMES"]
+
+VARIANT_NAMES = ("No Distill", "ID only", "UD only", "Dual-Distill")
+
+
+def id_only_config(base: Optional[DistillConfig] = None) -> DistillConfig:
+    """Config with the understanding distillation removed."""
+    return replace(base or DistillConfig(), use_id=True, use_ud=False)
+
+
+def ud_only_config(base: Optional[DistillConfig] = None) -> DistillConfig:
+    """Config with the identification distillation removed."""
+    return replace(base or DistillConfig(), use_id=False, use_ud=True)
+
+
+def make_variant_distiller(
+    name: str,
+    teacher: nn.Module,
+    student: nn.Module,
+    bank: TopicPhraseBank,
+    task: str,
+    base: Optional[DistillConfig] = None,
+) -> Optional[DualDistiller]:
+    """Build the distiller for a Table IV row (``None`` for "No Distill")."""
+    base = base or DistillConfig()
+    if name == "No Distill":
+        return None
+    if name == "ID only":
+        return DualDistiller(teacher, student, bank, task, config=id_only_config(base))
+    if name == "UD only":
+        return DualDistiller(teacher, student, bank, task, config=ud_only_config(base))
+    if name == "Dual-Distill":
+        return DualDistiller(teacher, student, bank, task, config=base)
+    raise KeyError(f"unknown variant {name!r}; known: {VARIANT_NAMES}")

@@ -1,0 +1,88 @@
+"""§IV-A2 — dataset quality check (simulated annotators).
+
+Five raters score randomly selected pages 0/1/2 on three aspects: whether the
+page is content-rich, whether the topic suits the page and whether the
+attributes are correct.  The paper reports κ > 0.93 agreement, 92.6% of
+topics "perfectly suitable" and all pages content-rich with correct
+attributes by majority vote.
+
+The synthetic corpus is correct *by construction*, so the underlying
+qualities are high; the simulated panel (DESIGN.md §2) adds realistic rater
+noise calibrated to the paper's agreement level.  Swap in real ratings to run
+the check with people.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..core.human_eval import simulate_ratings
+from ..core.stats import pairwise_kappa_summary
+from .common import get_world
+from .config import ExperimentScale, small
+from .reporting import ResultTable
+
+__all__ = ["run_dataset_quality", "ASPECTS"]
+
+ASPECTS = ("content-rich", "topic suitable", "attributes correct")
+
+#: Fraction of pages whose topic is "perfectly suitable" (paper: 92.6%).
+_PERFECT_TOPIC_RATE = 0.926
+#: Near-perfect rates for the aspects that hold by construction.  A few
+#: borderline pages keep Cohen's kappa well-defined (constant ratings suffer
+#: the kappa paradox: perfect agreement scores kappa ~ 0).
+_PERFECT_CONTENT_RATE = 0.94
+_PERFECT_ATTRIBUTE_RATE = 0.95
+
+
+def run_dataset_quality(
+    scale: Optional[ExperimentScale] = None,
+    num_pages: int = 100,
+    num_raters: int = 5,
+) -> ResultTable:
+    """Run the quality check over a sample of corpus pages."""
+    scale = scale or small()
+    world = get_world(scale)
+    rng = np.random.default_rng(scale.seed + 800)
+    documents = list(world.corpus)
+    sample_size = min(num_pages, len(documents))
+    indices = rng.choice(len(documents), size=sample_size, replace=False)
+
+    table = ResultTable(
+        title="Section IV-A2 — dataset quality (simulated annotators)",
+        columns=["mean score", "majority >= 1 (%)", "perfect (%)", "kappa min"],
+        paper_reference={
+            "topic suitable": {"perfect (%)": 92.6},
+        },
+        notes=[
+            f"{sample_size} pages, {num_raters} raters; paper reports κ > 0.93",
+        ],
+    )
+    perfect_rates = {
+        "topic suitable": _PERFECT_TOPIC_RATE,
+        "content-rich": _PERFECT_CONTENT_RATE,
+        "attributes correct": _PERFECT_ATTRIBUTE_RATE,
+    }
+    for aspect in ASPECTS:
+        qualities = np.where(rng.random(sample_size) < perfect_rates[aspect], 2, 1)
+        # Trained annotators (25 minutes of calibration, paper §IV-A2)
+        # reproduce the underlying judgement almost always.
+        ratings = simulate_ratings(qualities, num_raters, rng, fidelity=0.995)
+        kappa = pairwise_kappa_summary([ratings[i] for i in range(num_raters)])
+        majority = np.median(ratings, axis=0)
+        table.add_row(
+            aspect,
+            {
+                "mean score": float(ratings.mean()),
+                "majority >= 1 (%)": 100.0 * float(np.mean(majority >= 1)),
+                "perfect (%)": 100.0 * float(np.mean(majority == 2)),
+                "kappa min": kappa["min"],
+            },
+        )
+    return table
+
+
+if __name__ == "__main__":
+    print(run_dataset_quality().format())

@@ -1,0 +1,77 @@
+"""Result tables in the shape of the paper's tables.
+
+Each experiment returns a :class:`ResultTable` — named rows of named numeric
+columns — that can be pretty-printed next to the paper's reported numbers
+(``paper_reference``) for EXPERIMENTS.md, and queried programmatically by the
+benchmark assertions ("who wins, by roughly what factor").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+__all__ = ["ResultTable"]
+
+
+@dataclass
+class ResultTable:
+    """Named rows × named numeric columns, with optional paper reference."""
+
+    title: str
+    columns: List[str]
+    rows: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: The paper's reported numbers for the same cells (for side-by-side).
+    paper_reference: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, name: str, values: Dict[str, float]) -> None:
+        unknown = set(values) - set(self.columns)
+        if unknown:
+            raise KeyError(f"unknown columns {sorted(unknown)}; table has {self.columns}")
+        self.rows[name] = dict(values)
+
+    def value(self, row: str, column: str) -> float:
+        return self.rows[row][column]
+
+    def row_names(self) -> List[str]:
+        return list(self.rows)
+
+    # ------------------------------------------------------------------
+    def best_row(self, column: str) -> str:
+        """Row name with the maximum value in ``column``."""
+        candidates = {name: vals[column] for name, vals in self.rows.items() if column in vals}
+        if not candidates:
+            raise KeyError(f"no row has column {column!r}")
+        return max(candidates, key=candidates.get)
+
+    def ordering_holds(self, column: str, better: str, worse: str, slack: float = 0.0) -> bool:
+        """``better`` ≥ ``worse`` − slack in ``column`` (shape assertions)."""
+        return self.value(better, column) >= self.value(worse, column) - slack
+
+    # ------------------------------------------------------------------
+    def format(self, precision: int = 2, show_reference: bool = True) -> str:
+        """Pretty-print, optionally interleaving the paper's numbers."""
+        width = max([len(n) for n in self.rows] + [len(self.title), 8]) + 2
+        col_width = max(max((len(c) for c in self.columns), default=8) + 2, 9)
+        lines = [self.title, "=" * len(self.title)]
+        header = "".ljust(width) + "".join(c.rjust(col_width) for c in self.columns)
+        lines.append(header)
+        for name, values in self.rows.items():
+            cells = []
+            for column in self.columns:
+                value = values.get(column)
+                cells.append(("-" if value is None else f"{value:.{precision}f}").rjust(col_width))
+            lines.append(name.ljust(width) + "".join(cells))
+            if show_reference and name in self.paper_reference:
+                ref_cells = []
+                for column in self.columns:
+                    ref = self.paper_reference[name].get(column)
+                    ref_cells.append(("" if ref is None else f"({ref:.{precision}f})").rjust(col_width))
+                lines.append("  [paper]".ljust(width) + "".join(ref_cells))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def as_dict(self) -> Dict[str, Dict[str, float]]:
+        return {name: dict(values) for name, values in self.rows.items()}

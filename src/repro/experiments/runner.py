@@ -1,0 +1,82 @@
+"""Run every experiment and print the full report (EXPERIMENTS.md source).
+
+``python -m repro.experiments.runner [--scale tiny|small]`` regenerates every
+table/figure of the paper's evaluation section in sequence, sharing trained
+models through the session cache.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, List, Optional
+
+from .ablations import run_alpha_sweep, run_gamma_sweep
+from .config import ExperimentScale, small, tiny
+from .dataset_quality import run_dataset_quality
+from .reporting import ResultTable
+from .sensitivity import run_sensitivity
+from .table4 import run_table4
+from .table5 import run_table5
+from .table6 import run_table6
+from .table7 import run_table7
+from .table89 import run_joint_tables
+from .table10 import run_table10
+
+__all__ = ["EXPERIMENTS", "run_all", "main"]
+
+
+def _run_tables_89(scale: Optional[ExperimentScale]) -> List[ResultTable]:
+    return list(run_joint_tables(scale))
+
+
+EXPERIMENTS: Dict[str, Callable[[Optional[ExperimentScale]], object]] = {
+    "dataset-quality": run_dataset_quality,
+    "table6": run_table6,
+    "table7": run_table7,
+    "tables8-9": _run_tables_89,
+    "table4": run_table4,
+    "table5": run_table5,
+    "table10": run_table10,
+    "sensitivity": run_sensitivity,
+    "ablation-alpha": run_alpha_sweep,
+    "ablation-gamma": run_gamma_sweep,
+}
+
+
+def run_all(
+    scale: Optional[ExperimentScale] = None,
+    names: Optional[List[str]] = None,
+    stream=sys.stdout,
+) -> Dict[str, List[ResultTable]]:
+    """Run the selected experiments; returns name → result tables."""
+    scale = scale or small()
+    results: Dict[str, List[ResultTable]] = {}
+    for name, runner in EXPERIMENTS.items():
+        if names is not None and name not in names:
+            continue
+        start = time.time()
+        outcome = runner(scale)
+        tables = list(outcome) if isinstance(outcome, list) else [outcome]
+        results[name] = tables
+        for table in tables:
+            print(table.format(), file=stream)
+            print(file=stream)
+        print(f"[{name} done in {time.time() - start:.1f}s]", file=stream)
+        print(file=stream)
+    return results
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", choices=("tiny", "small"), default="small")
+    parser.add_argument("--only", nargs="*", help="experiment names to run")
+    args = parser.parse_args(argv)
+    scale = tiny() if args.scale == "tiny" else small()
+    run_all(scale, names=args.only)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

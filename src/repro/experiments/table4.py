@@ -1,0 +1,95 @@
+"""Table IV — effectiveness of distillation for topic generation.
+
+Rows: No Distill / ID only / UD only / Dual-Distill.
+Columns: EM and RM on previously-unseen domains, seen domains and all.
+
+Procedure (paper §IV-B): pre-train a Joint-WB teacher on webpages from the
+seen topics; distill randomly-initialised topic-generation students on
+webpages covering seen + unseen topics; compare against applying the teacher
+directly (*No Distill*).
+
+Expected shape: all distilled variants ≈ teacher on *seen*; on *unseen*
+Dual-Distill > UD only > ID only > No Distill.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..distill.variants import VARIANT_NAMES, make_variant_distiller
+from .common import (
+    distill_config,
+    generation_metrics,
+    get_world,
+    make_joint,
+    make_single_generator,
+    make_topic_bank,
+    train_model,
+)
+from .config import ExperimentScale, small
+from .reporting import ResultTable
+
+__all__ = ["run_table4", "PAPER_TABLE4"]
+
+#: The paper's reported numbers (Table IV; blanks where the scan is unclear).
+PAPER_TABLE4: Dict[str, Dict[str, float]] = {
+    "No Distill": {"unseen EM": 86.23, "unseen RM": 91.10, "seen EM": 95.02},
+    "ID only": {"unseen EM": 94.26, "unseen RM": 95.82, "seen EM": 95.03},
+    "UD only": {"unseen EM": 94.40, "unseen RM": 95.98, "seen EM": 94.85},
+    "Dual-Distill": {"unseen EM": 94.86, "unseen RM": 96.10, "seen EM": 94.98},
+}
+
+
+def run_table4(scale: Optional[ExperimentScale] = None) -> ResultTable:
+    """Regenerate Table IV at the given scale."""
+    scale = scale or small()
+    world = get_world(scale)
+    rng = np.random.default_rng(scale.seed + 100)
+
+    teacher = make_joint(world, "Joint-WB", rng)
+    train_model(teacher, world.seen_split.train, scale)
+    bank = make_topic_bank(world, teacher.generator.embedding.weight.data, rng)
+
+    table = ResultTable(
+        title="Table IV — distillation effectiveness (topic generation)",
+        columns=["unseen EM", "unseen RM", "seen EM", "seen RM", "all EM", "all RM"],
+        paper_reference=PAPER_TABLE4,
+        notes=[
+            f"scale: {scale.num_seen_topics} seen / {scale.num_unseen_topics} unseen topics, "
+            f"{scale.pages_per_site} pages/site",
+            "values are percentages",
+        ],
+    )
+
+    def evaluate(model) -> Dict[str, float]:
+        unseen = generation_metrics(model, world.unseen_split.test, scale.beam_size)
+        seen = generation_metrics(model, world.seen_split.test, scale.beam_size)
+        both = generation_metrics(model, world.all_test, scale.beam_size)
+        return {
+            "unseen EM": 100 * unseen.exact_match,
+            "unseen RM": 100 * unseen.relaxed_match,
+            "seen EM": 100 * seen.exact_match,
+            "seen RM": 100 * seen.relaxed_match,
+            "all EM": 100 * both.exact_match,
+            "all RM": 100 * both.relaxed_match,
+        }
+
+    for index, name in enumerate(VARIANT_NAMES):
+        if name == "No Distill":
+            table.add_row(name, evaluate(teacher))
+            continue
+        student_rng = np.random.default_rng(scale.seed + 200 + index)
+        student = make_single_generator(world, "bertsum", student_rng)
+        config = distill_config(scale, seed=scale.seed + index)
+        distiller = make_variant_distiller(
+            name, teacher, student, bank, task="generation", base=config
+        )
+        distiller.train(world.mixture_train)
+        table.add_row(name, evaluate(student))
+    return table
+
+
+if __name__ == "__main__":
+    print(run_table4().format())

@@ -1,0 +1,36 @@
+"""``repro.html`` — webpage substrate: DOM, parser, renderer, crawler.
+
+Replaces the paper's Selenium rendering + structure-driven crawler stack with
+deterministic, offline equivalents (see DESIGN.md §2).
+"""
+
+from .crawler import (
+    CrawledPage,
+    CrawlResult,
+    StructureDrivenCrawler,
+    WebsiteHost,
+    structure_signature,
+)
+from .dom import BLOCK_ELEMENTS, ElementNode, INVISIBLE_ELEMENTS, Node, TextNode, VOID_ELEMENTS
+from .parser import HtmlParseError, parse_html
+from .render import RenderedPage, RenderedSegment, render_page, render_visible_text
+
+__all__ = [
+    "Node",
+    "ElementNode",
+    "TextNode",
+    "VOID_ELEMENTS",
+    "INVISIBLE_ELEMENTS",
+    "BLOCK_ELEMENTS",
+    "parse_html",
+    "HtmlParseError",
+    "RenderedPage",
+    "RenderedSegment",
+    "render_page",
+    "render_visible_text",
+    "WebsiteHost",
+    "CrawledPage",
+    "CrawlResult",
+    "StructureDrivenCrawler",
+    "structure_signature",
+]

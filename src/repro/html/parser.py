@@ -1,0 +1,141 @@
+"""A small, forgiving HTML parser.
+
+Parses the HTML produced by the synthetic website generator (and reasonable
+real-world markup) into the :mod:`repro.html.dom` tree.  It is intentionally
+lenient — unclosed tags are auto-closed, unknown entities pass through — in
+the spirit of browser parsers, because the crawler substrate must never crash
+on a page.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List
+
+from .dom import ElementNode, TextNode, VOID_ELEMENTS
+
+__all__ = ["parse_html", "HtmlParseError"]
+
+_TAG_OPEN = re.compile(r"<\s*([a-zA-Z][a-zA-Z0-9-]*)((?:\s+[^<>]*?)?)\s*(/?)\s*>")
+_TAG_CLOSE = re.compile(r"<\s*/\s*([a-zA-Z][a-zA-Z0-9-]*)\s*>")
+_COMMENT = re.compile(r"<!--.*?-->", re.DOTALL)
+_DOCTYPE = re.compile(r"<!DOCTYPE[^>]*>", re.IGNORECASE)
+_ATTRIBUTE = re.compile(
+    r"""([a-zA-Z_:][a-zA-Z0-9_:.-]*)\s*(?:=\s*("[^"]*"|'[^']*'|[^\s"'>]+))?"""
+)
+
+_ENTITIES = {
+    "&amp;": "&",
+    "&lt;": "<",
+    "&gt;": ">",
+    "&quot;": '"',
+    "&#39;": "'",
+    "&apos;": "'",
+    "&nbsp;": " ",
+    "&copy;": "(c)",
+    "&mdash;": "—",
+    "&ndash;": "–",
+}
+
+
+class HtmlParseError(ValueError):
+    """Raised for input that cannot be interpreted as HTML at all."""
+
+
+def _decode_entities(text: str) -> str:
+    for entity, char in _ENTITIES.items():
+        if entity in text:
+            text = text.replace(entity, char)
+    return text
+
+
+def _parse_attributes(raw: str) -> Dict[str, str]:
+    attributes: Dict[str, str] = {}
+    for match in _ATTRIBUTE.finditer(raw):
+        name = match.group(1).lower()
+        value = match.group(2)
+        if value is None:
+            attributes[name] = ""
+        else:
+            if value[0] in "\"'" and value[-1] == value[0]:
+                value = value[1:-1]
+            attributes[name] = _decode_entities(value)
+    return attributes
+
+
+def parse_html(html: str) -> ElementNode:
+    """Parse an HTML string into a DOM tree.
+
+    Returns the root element (``<html>`` if present, otherwise a synthetic
+    ``<document>`` wrapper).
+    """
+    if not isinstance(html, str):
+        raise HtmlParseError("expected a string of HTML")
+    html = _COMMENT.sub("", html)
+    html = _DOCTYPE.sub("", html)
+
+    root = ElementNode("document")
+    stack: List[ElementNode] = [root]
+    position = 0
+    length = len(html)
+
+    # Raw-text elements: consume until the matching close tag without parsing.
+    raw_text_tags = ("script", "style")
+
+    while position < length:
+        lt = html.find("<", position)
+        if lt == -1:
+            _append_text(stack[-1], html[position:])
+            break
+        if lt > position:
+            _append_text(stack[-1], html[position:lt])
+
+        close = _TAG_CLOSE.match(html, lt)
+        if close:
+            tag = close.group(1).lower()
+            _close_tag(stack, tag)
+            position = close.end()
+            continue
+
+        open_match = _TAG_OPEN.match(html, lt)
+        if open_match:
+            tag = open_match.group(1).lower()
+            attributes = _parse_attributes(open_match.group(2) or "")
+            self_closing = open_match.group(3) == "/" or tag in VOID_ELEMENTS
+            element = ElementNode(tag, attributes)
+            stack[-1].append(element)
+            position = open_match.end()
+            if self_closing:
+                continue
+            if tag in raw_text_tags:
+                end = re.search(rf"<\s*/\s*{tag}\s*>", html[position:], re.IGNORECASE)
+                if end:
+                    element.append(TextNode(html[position : position + end.start()]))
+                    position += end.end()
+                else:
+                    element.append(TextNode(html[position:]))
+                    position = length
+                continue
+            stack.append(element)
+            continue
+
+        # A stray '<' that is not a tag: treat as text.
+        _append_text(stack[-1], html[lt])
+        position = lt + 1
+
+    html_node = root.find("html")
+    return html_node if html_node is not None else root
+
+
+def _append_text(parent: ElementNode, raw: str) -> None:
+    if raw:
+        parent.append(TextNode(_decode_entities(raw)))
+
+
+def _close_tag(stack: List[ElementNode], tag: str) -> None:
+    """Pop the stack to the nearest matching open tag (browser-style recovery)."""
+    for index in range(len(stack) - 1, 0, -1):
+        if stack[index].tag == tag:
+            del stack[index:]
+            return
+    # No matching open tag: ignore the stray close tag.

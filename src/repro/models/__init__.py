@@ -1,0 +1,65 @@
+"""``repro.models`` — WB models: encoders, task heads, Joint-WB and baselines."""
+
+from .attribute_names import (
+    AttributeNameClassifier,
+    collect_type_inventory,
+    span_representations,
+)
+from .encoders import (
+    BertEncoder,
+    BertSumEncoder,
+    DocumentEncoder,
+    EncoderOutput,
+    GloveEncoder,
+    truncate_document,
+)
+from .extractor import TAG_B, TAG_I, TAG_O, AttributeExtractor, decode_spans, tags_to_ids
+from .generator import TopicGenerator
+from .joint_baselines import (
+    JOINT_BASELINE_CONFIGS,
+    att_extractor,
+    att_extractor_att_generator,
+    ave_extractor,
+    con_extractor,
+    joint_wb,
+    make_joint_model,
+    naive_join,
+    pip_extractor_pip_generator,
+)
+from .joint_wb import ExchangeConfig, JointForward, JointWBModel
+from .section import SectionPredictor
+from .single_task import SingleTaskExtractor, SingleTaskGenerator
+
+__all__ = [
+    "AttributeNameClassifier",
+    "collect_type_inventory",
+    "span_representations",
+    "DocumentEncoder",
+    "EncoderOutput",
+    "GloveEncoder",
+    "BertEncoder",
+    "BertSumEncoder",
+    "truncate_document",
+    "AttributeExtractor",
+    "decode_spans",
+    "tags_to_ids",
+    "TAG_O",
+    "TAG_B",
+    "TAG_I",
+    "TopicGenerator",
+    "SectionPredictor",
+    "ExchangeConfig",
+    "JointForward",
+    "JointWBModel",
+    "SingleTaskExtractor",
+    "SingleTaskGenerator",
+    "JOINT_BASELINE_CONFIGS",
+    "make_joint_model",
+    "naive_join",
+    "con_extractor",
+    "ave_extractor",
+    "att_extractor",
+    "att_extractor_att_generator",
+    "pip_extractor_pip_generator",
+    "joint_wb",
+]

@@ -1,0 +1,109 @@
+"""Attribute-name prediction — the paper's stated future work (§V).
+
+    "We also plan to predict attribute names for key attributes (e.g., in
+     Fig. 1, the attribute name for the key attribute '$40.13' is 'Price')."
+
+This module implements that extension: a classifier over extracted span
+representations that assigns each key attribute its *name* (type).  The
+synthetic corpus carries gold attribute types (price, brand, salary, …), so
+the classifier is fully supervisable.
+
+The classifier mean-pools the encoder/extractor hidden states of a span and
+applies a dense softmax over the type inventory.  Combined with an
+:class:`~repro.models.extractor.AttributeExtractor` it yields *named*
+attributes, which :mod:`repro.core.hierarchy` uses to build briefs with more
+than two levels.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .. import nn
+from ..data.corpus import AttributeSpan, Document
+
+__all__ = ["AttributeNameClassifier", "span_representations", "collect_type_inventory"]
+
+
+def collect_type_inventory(documents: Sequence[Document]) -> List[str]:
+    """Sorted list of attribute type names appearing in ``documents``."""
+    names = {span.attribute_type for doc in documents for span in doc.attributes}
+    if not names:
+        raise ValueError("no attribute types found in the given documents")
+    return sorted(names)
+
+
+def span_representations(
+    hidden: nn.Tensor, document: Document, spans: Sequence[AttributeSpan]
+) -> nn.Tensor:
+    """Mean-pooled hidden representation per span, shape ``(n_spans, d)``.
+
+    ``hidden`` is aligned with the document's flat tokens (the encoder /
+    extractor contract); span offsets are per-sentence, so they are shifted by
+    the sentence offsets first.
+    """
+    offsets = document.sentence_offsets()
+    rows = []
+    for span in spans:
+        base = offsets[span.sentence_index]
+        rows.append(hidden[base + span.start : base + span.end].mean(axis=0))
+    return nn.stack(rows, axis=0)
+
+
+class AttributeNameClassifier(nn.Module):
+    """Dense softmax classifier over span representations."""
+
+    def __init__(
+        self,
+        input_dim: int,
+        type_names: Sequence[str],
+        rng: np.random.Generator,
+        hidden_dim: Optional[int] = None,
+    ) -> None:
+        super().__init__()
+        if not type_names:
+            raise ValueError("need at least one attribute type")
+        self.type_names = list(type_names)
+        self._type_to_id = {name: i for i, name in enumerate(self.type_names)}
+        hidden_dim = hidden_dim or input_dim
+        self.hidden = nn.Dense(input_dim, hidden_dim, rng, activation="tanh")
+        self.output = nn.Dense(hidden_dim, len(self.type_names), rng)
+
+    @property
+    def num_types(self) -> int:
+        return len(self.type_names)
+
+    # ------------------------------------------------------------------
+    def logits(self, span_reps: nn.Tensor) -> nn.Tensor:
+        return self.output(self.hidden(span_reps))
+
+    def loss(self, hidden: nn.Tensor, document: Document) -> nn.Tensor:
+        """Cross-entropy on the document's gold spans (zero if it has none)."""
+        if not document.attributes:
+            return nn.Tensor(0.0)
+        reps = span_representations(hidden, document, document.attributes)
+        targets = np.asarray(
+            [self._type_to_id.get(s.attribute_type, 0) for s in document.attributes]
+        )
+        return nn.cross_entropy(self.logits(reps), targets)
+
+    def predict(
+        self, hidden: nn.Tensor, document: Document, spans: Sequence[AttributeSpan]
+    ) -> List[str]:
+        """Predicted type name for each span."""
+        if not spans:
+            return []
+        with nn.no_grad():
+            reps = span_representations(hidden, document, spans)
+            ids = self.logits(reps).data.argmax(axis=-1)
+        return [self.type_names[int(i)] for i in ids]
+
+    def predict_named(
+        self, hidden: nn.Tensor, document: Document, spans: Sequence[AttributeSpan]
+    ) -> List[Tuple[str, str]]:
+        """``(name, value)`` pairs for the given spans."""
+        names = self.predict(hidden, document, spans)
+        values = [" ".join(span.tokens(document)) for span in spans]
+        return list(zip(names, values))

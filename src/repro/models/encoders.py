@@ -1,0 +1,201 @@
+"""Document encoders: GloVe (context-independent), MiniBert and BertSum.
+
+Every encoder maps a :class:`~repro.data.corpus.Document` to an
+:class:`EncoderOutput` with two aligned views:
+
+* ``token_states`` — one row per word token of the document (flat reading
+  order, aligned 1:1 with ``document.flat_tokens()`` / BIO tags);
+* ``sentence_states`` — one row per sentence (the ``C^0`` view of the paper;
+  for BertSum these are the hidden states at the per-sentence [CLS]
+  positions, for the others a mean over the sentence's token states).
+
+This is the interface every extractor/generator/section-predictor consumes,
+so swapping ``GloVe→*`` / ``BERT→*`` / ``BERTSUM→*`` baselines (§IV-A6) is a
+one-line change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from .. import nn
+from ..data.corpus import Document
+from ..data.preprocessing import CLS_TOKEN
+from ..data.vocab import Vocabulary
+
+__all__ = ["EncoderOutput", "DocumentEncoder", "GloveEncoder", "BertEncoder", "BertSumEncoder", "truncate_document"]
+
+
+@dataclass
+class EncoderOutput:
+    """Contextual views of one document."""
+
+    token_states: nn.Tensor     # (num_word_tokens, dim)
+    sentence_states: nn.Tensor  # (num_sentences, dim)
+    #: sentence index of each word token (for injecting sentence-level signals
+    #: such as the section distribution into token-level layers).
+    token_sentence_index: np.ndarray
+
+
+def truncate_document(document: Document, max_tokens: int) -> Document:
+    """Clip a document to at most ``max_tokens`` word tokens (whole sentences).
+
+    Mirrors the paper's fixed input budget (2,048 tokens) at configurable
+    scale.  Attribute spans in dropped sentences are dropped with them.
+    """
+    if document.num_tokens <= max_tokens:
+        return document
+    kept: List[List[str]] = []
+    labels: List[int] = []
+    total = 0
+    for sentence, label in zip(document.sentences, document.section_labels):
+        if total + len(sentence) > max_tokens:
+            break
+        kept.append(sentence)
+        labels.append(label)
+        total += len(sentence)
+    if not kept:  # first sentence alone exceeds the budget: hard clip
+        kept = [document.sentences[0][:max_tokens]]
+        labels = [document.section_labels[0]]
+    attributes = [
+        span
+        for span in document.attributes
+        if span.sentence_index < len(kept) and span.end <= len(kept[span.sentence_index])
+    ]
+    return Document(
+        doc_id=document.doc_id,
+        url=document.url,
+        source=document.source,
+        topic_id=document.topic_id,
+        family=document.family,
+        website=document.website,
+        topic_tokens=document.topic_tokens,
+        sentences=kept,
+        section_labels=labels,
+        attributes=attributes,
+    )
+
+
+class DocumentEncoder(nn.Module):
+    """Base class defining the encoding contract."""
+
+    dim: int
+
+    def encode(self, document: Document) -> EncoderOutput:
+        raise NotImplementedError
+
+    def forward(self, document: Document) -> EncoderOutput:
+        return self.encode(document)
+
+    # Helper shared by subclasses -------------------------------------
+    @staticmethod
+    def _sentence_index(document: Document) -> np.ndarray:
+        index = np.empty(document.num_tokens, dtype=np.int64)
+        position = 0
+        for sentence_id, sentence in enumerate(document.sentences):
+            index[position : position + len(sentence)] = sentence_id
+            position += len(sentence)
+        return index
+
+    @staticmethod
+    def _mean_sentence_states(token_states: nn.Tensor, document: Document) -> nn.Tensor:
+        """Average token states per sentence (differentiable)."""
+        rows = []
+        position = 0
+        for sentence in document.sentences:
+            rows.append(token_states[position : position + len(sentence)].mean(axis=0))
+            position += len(sentence)
+        return nn.stack(rows, axis=0)
+
+
+class GloveEncoder(DocumentEncoder):
+    """Context-independent embeddings (the ``GloVe→*`` baselines).
+
+    Wraps an embedding table that can be initialised from a trained
+    :class:`~repro.data.embeddings.GloveModel`; vectors may optionally remain
+    trainable (fine-tuning), default frozen as in the paper's GloVe baseline.
+    """
+
+    def __init__(
+        self,
+        vocabulary: Vocabulary,
+        dim: int,
+        rng: np.random.Generator,
+        pretrained: Optional[np.ndarray] = None,
+        trainable: bool = False,
+    ) -> None:
+        super().__init__()
+        self.vocabulary = vocabulary
+        self.dim = dim
+        self.embedding = nn.Embedding(len(vocabulary), dim, rng, padding_idx=vocabulary.pad_id)
+        if pretrained is not None:
+            self.embedding.load_pretrained(pretrained, freeze=not trainable)
+        elif not trainable:
+            self.embedding.weight.requires_grad = False
+
+    def encode(self, document: Document) -> EncoderOutput:
+        ids = self.vocabulary.encode(document.flat_tokens())
+        token_states = self.embedding(np.asarray(ids))
+        return EncoderOutput(
+            token_states=token_states,
+            sentence_states=self._mean_sentence_states(token_states, document),
+            token_sentence_index=self._sentence_index(document),
+        )
+
+
+class BertEncoder(DocumentEncoder):
+    """Contextual encoder (the ``BERT→*`` baselines).
+
+    Runs MiniBert over the flat token sequence (no per-sentence [CLS]);
+    sentence states are per-sentence means of contextual token states.
+    """
+
+    def __init__(self, vocabulary: Vocabulary, bert: nn.MiniBert) -> None:
+        super().__init__()
+        self.vocabulary = vocabulary
+        self.bert = bert
+        self.dim = bert.dim
+
+    def encode(self, document: Document) -> EncoderOutput:
+        ids = self.vocabulary.encode(document.flat_tokens())
+        token_states = self.bert(ids)
+        return EncoderOutput(
+            token_states=token_states,
+            sentence_states=self._mean_sentence_states(token_states, document),
+            token_sentence_index=self._sentence_index(document),
+        )
+
+
+class BertSumEncoder(DocumentEncoder):
+    """BERTSUM-style encoder (the ``BERTSUM→*`` baselines and Joint-WB).
+
+    Inserts a [CLS] token before every sentence; token states are the hidden
+    vectors at word positions, sentence states the hidden vectors at the
+    [CLS] positions — the paper's ``C`` and ``C^0`` (§III-C).
+    """
+
+    def __init__(self, vocabulary: Vocabulary, bert: nn.MiniBert) -> None:
+        super().__init__()
+        self.vocabulary = vocabulary
+        self.bert = bert
+        self.dim = bert.dim
+
+    def encode(self, document: Document) -> EncoderOutput:
+        tokens: List[str] = []
+        cls_positions: List[int] = []
+        for sentence in document.sentences:
+            cls_positions.append(len(tokens))
+            tokens.append(CLS_TOKEN)
+            tokens.extend(sentence)
+        ids = self.vocabulary.encode(tokens)
+        states = self.bert(ids)
+        cls = np.asarray(cls_positions, dtype=np.int64)
+        word_positions = np.setdiff1d(np.arange(len(tokens)), cls)
+        return EncoderOutput(
+            token_states=states[word_positions],
+            sentence_states=states[cls],
+            token_sentence_index=self._sentence_index(document),
+        )

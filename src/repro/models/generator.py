@@ -1,0 +1,149 @@
+"""Topic generator ``G``: attention encoder-decoder over sentence states.
+
+Paper §III-C: the generator converts sentence representations ``C^0`` to
+hidden sentence representations ``C_G`` with a Bi-LSTM and decodes a fluent
+topic phrase with an LSTM.  We add standard bilinear attention from the
+decoder state over ``C_G`` (the paper's joint variants are attention-based,
+and the decoder needs a differentiable view of the document).
+
+The module exposes:
+
+* :meth:`encode` — ``C_G`` (hook point for the dual-aware update);
+* :meth:`teacher_forcing` — per-step logits + decoder hidden states ``Q``
+  (``Q`` feeds Joint-WB's integrated topic representation and the
+  distillation losses);
+* :meth:`generate` — beam-search inference (§IV-A5 uses beam search with
+  depth 4).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .. import nn
+from ..data.vocab import Vocabulary
+
+__all__ = ["TopicGenerator"]
+
+
+class TopicGenerator(nn.Module):
+    """Bi-LSTM encoder + attentive LSTM decoder producing a topic phrase."""
+
+    def __init__(
+        self,
+        input_dim: int,
+        hidden_dim: int,
+        vocabulary: Vocabulary,
+        rng: np.random.Generator,
+        embed_dim: Optional[int] = None,
+        extra_dim: int = 0,
+        dropout: float = 0.0,
+    ) -> None:
+        super().__init__()
+        embed_dim = embed_dim or hidden_dim
+        self.vocabulary = vocabulary
+        self.input_dim = input_dim
+        self.hidden_dim = hidden_dim
+        self.extra_dim = extra_dim
+        self.encoder = nn.BiLSTM(input_dim + extra_dim, hidden_dim, rng)
+        self.dropout = nn.Dropout(dropout, rng)
+        self.embedding = nn.Embedding(len(vocabulary), embed_dim, rng, padding_idx=vocabulary.pad_id)
+        self.state_init = nn.Dense(2 * hidden_dim, hidden_dim, rng, activation="tanh")
+        self.cell = nn.LSTMCell(embed_dim + 2 * hidden_dim, hidden_dim, rng)
+        self.attention = nn.BilinearAttention(hidden_dim, 2 * hidden_dim, rng)
+        self.output = nn.Dense(3 * hidden_dim, len(vocabulary), rng)
+
+    # ------------------------------------------------------------------
+    # Encoding
+    # ------------------------------------------------------------------
+    def encode(self, sentence_states: nn.Tensor, extra: Optional[nn.Tensor] = None) -> nn.Tensor:
+        """Hidden sentence representations ``C_G`` of shape ``(m, 2h)``."""
+        inputs = nn.as_tensor(sentence_states)
+        if self.extra_dim:
+            if extra is None:
+                raise ValueError("generator built with extra_dim but no extra features given")
+            inputs = nn.concatenate([inputs, nn.as_tensor(extra)], axis=-1)
+        return self.dropout(self.encoder(inputs))
+
+    def _initial_state(self, memory: nn.Tensor) -> Tuple[nn.Tensor, nn.Tensor]:
+        summary = memory.mean(axis=0)
+        h = self.state_init(summary.reshape(1, -1))
+        c = nn.Tensor(np.zeros_like(h.data))
+        return h, c
+
+    def _step(
+        self,
+        token_id: int,
+        state: Tuple[nn.Tensor, nn.Tensor],
+        memory: nn.Tensor,
+    ) -> Tuple[nn.Tensor, Tuple[nn.Tensor, nn.Tensor], nn.Tensor]:
+        """One decode step → (logits (1, V), new_state, hidden (1, h))."""
+        h_prev, _ = state
+        weights = self.attention(h_prev, memory)       # (1, m)
+        context = weights @ memory                     # (1, 2h)
+        embedded = self.embedding(np.asarray([token_id]))
+        cell_in = nn.concatenate([embedded, context], axis=-1)
+        h, new_state = self.cell(cell_in, state)
+        logits = self.output(nn.concatenate([h, context], axis=-1))
+        return logits, new_state, h
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+    def target_ids(self, topic_tokens: Sequence[str]) -> List[int]:
+        """Gold decode sequence: topic token ids followed by [EOS]."""
+        return self.vocabulary.encode(list(topic_tokens)) + [self.vocabulary.eos_id]
+
+    def teacher_forcing(
+        self, memory: nn.Tensor, topic_tokens: Sequence[str]
+    ) -> Tuple[nn.Tensor, nn.Tensor, nn.Tensor]:
+        """Teacher-forced decode.
+
+        Returns ``(loss, step_logits (n, V), hidden_states Q (n, h))`` where
+        ``n = len(topic) + 1`` (the +1 is the [EOS] step).
+        """
+        targets = self.target_ids(topic_tokens)
+        state = self._initial_state(memory)
+        previous = self.vocabulary.bos_id
+        logits_rows: List[nn.Tensor] = []
+        hidden_rows: List[nn.Tensor] = []
+        for target in targets:
+            logits, state, hidden = self._step(previous, state, memory)
+            logits_rows.append(logits[0])
+            hidden_rows.append(hidden[0])
+            previous = target
+        step_logits = nn.stack(logits_rows, axis=0)
+        hidden_states = nn.stack(hidden_rows, axis=0)
+        loss = nn.cross_entropy(step_logits, np.asarray(targets))
+        return loss, step_logits, hidden_states
+
+    # ------------------------------------------------------------------
+    # Inference
+    # ------------------------------------------------------------------
+    def generate(
+        self,
+        memory: nn.Tensor,
+        beam_size: int = 4,
+        max_depth: int = 8,
+    ) -> List[str]:
+        """Beam-search a topic phrase; returns decoded tokens."""
+        with nn.no_grad():
+            def step_fn(token_id: int, state):
+                logits, new_state, _ = self._step(token_id, state, memory)
+                log_probs = logits.log_softmax(axis=-1).data[0]
+                return log_probs, new_state
+
+            hypotheses = nn.beam_search(
+                step_fn,
+                self._initial_state(memory),
+                start_id=self.vocabulary.bos_id,
+                end_id=self.vocabulary.eos_id,
+                beam_size=beam_size,
+                max_depth=max_depth,
+            )
+        best = hypotheses[0].tokens[1:]
+        if best and best[-1] == self.vocabulary.eos_id:
+            best = best[:-1]
+        return self.vocabulary.decode(best, skip_special=True)

@@ -1,0 +1,106 @@
+"""Factories for the joint baselines of §IV-A6-ii.
+
+Every baseline is a :class:`~repro.models.joint_wb.JointWBModel` with the
+signal-exchange mechanisms dialled down through
+:class:`~repro.models.joint_wb.ExchangeConfig`:
+
+================================  =====================================================
+Baseline                          Configuration
+================================  =====================================================
+Naive-Join                        no exchange, no section
+Con-Extractor                     topic → extractor by concatenation
+Ave-Extractor                     topic → extractor by averaged representation
+Att-Extractor                     topic → extractor by attention (no section)
+Att-Extractor + Att-Generator     attention both ways (no section)
+Pip-Extractor + Pip-Generator     attention both ways + section, pipelined
+Joint-WB                          dual-aware attention both ways + section
+================================  =====================================================
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+from ..data.vocab import Vocabulary
+from .encoders import DocumentEncoder
+from .joint_wb import ExchangeConfig, JointWBModel
+
+__all__ = [
+    "JOINT_BASELINE_CONFIGS",
+    "make_joint_model",
+    "naive_join",
+    "con_extractor",
+    "ave_extractor",
+    "att_extractor",
+    "att_extractor_att_generator",
+    "pip_extractor_pip_generator",
+    "joint_wb",
+]
+
+JOINT_BASELINE_CONFIGS: Dict[str, ExchangeConfig] = {
+    "Naive-Join": ExchangeConfig(
+        topic_to_extractor="none", attr_to_generator="none", section_aware=False
+    ),
+    "Con-Extractor": ExchangeConfig(
+        topic_to_extractor="concat", attr_to_generator="none", section_aware=False
+    ),
+    "Ave-Extractor": ExchangeConfig(
+        topic_to_extractor="average", attr_to_generator="none", section_aware=False
+    ),
+    "Att-Extractor": ExchangeConfig(
+        topic_to_extractor="attention", attr_to_generator="none", section_aware=False
+    ),
+    "Att-Extractor+Att-Generator": ExchangeConfig(
+        topic_to_extractor="attention", attr_to_generator="attention", section_aware=False
+    ),
+    "Pip-Extractor+Pip-Generator": ExchangeConfig(
+        topic_to_extractor="attention",
+        attr_to_generator="attention",
+        section_aware=True,
+        pipeline=True,
+    ),
+    "Joint-WB": ExchangeConfig(
+        topic_to_extractor="attention", attr_to_generator="attention", section_aware=True
+    ),
+}
+
+
+def make_joint_model(
+    name: str,
+    encoder: DocumentEncoder,
+    vocabulary: Vocabulary,
+    hidden_dim: int,
+    rng: np.random.Generator,
+    dropout: float = 0.0,
+) -> JointWBModel:
+    """Build a named joint baseline (keys of :data:`JOINT_BASELINE_CONFIGS`)."""
+    if name not in JOINT_BASELINE_CONFIGS:
+        raise KeyError(f"unknown joint baseline {name!r}; known: {sorted(JOINT_BASELINE_CONFIGS)}")
+    return JointWBModel(
+        encoder,
+        vocabulary,
+        hidden_dim,
+        rng,
+        config=JOINT_BASELINE_CONFIGS[name],
+        dropout=dropout,
+    )
+
+
+def _factory(name: str) -> Callable[..., JointWBModel]:
+    def build(encoder, vocabulary, hidden_dim, rng, dropout: float = 0.0) -> JointWBModel:
+        return make_joint_model(name, encoder, vocabulary, hidden_dim, rng, dropout=dropout)
+
+    build.__name__ = name.lower().replace("-", "_").replace("+", "_")
+    build.__doc__ = f"Build the {name} model (see module docstring)."
+    return build
+
+
+naive_join = _factory("Naive-Join")
+con_extractor = _factory("Con-Extractor")
+ave_extractor = _factory("Ave-Extractor")
+att_extractor = _factory("Att-Extractor")
+att_extractor_att_generator = _factory("Att-Extractor+Att-Generator")
+pip_extractor_pip_generator = _factory("Pip-Extractor+Pip-Generator")
+joint_wb = _factory("Joint-WB")

@@ -1,0 +1,101 @@
+"""Attention mechanisms.
+
+Two families are needed by the paper:
+
+* :class:`BilinearAttention` — ``softmax(H W R^T)`` — used by the
+  identification distillation (attention of webpage representations over the
+  seen-topic matrix ``R``, paper Eq. for ``A_T``/``A_S``) and by the
+  dual-aware signal-exchange mechanisms of Joint-WB.
+* :class:`MultiHeadSelfAttention` — standard scaled dot-product self
+  attention, the building block of the MiniBert/BertSum encoders.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from . import init
+from .module import Module, Parameter
+from .tensor import Tensor, as_tensor, concatenate
+
+__all__ = ["BilinearAttention", "MultiHeadSelfAttention", "attend"]
+
+
+class BilinearAttention(Module):
+    """Bilinear attention ``A = softmax(H W K^T)``.
+
+    Parameters
+    ----------
+    query_dim:
+        Dimensionality of the query rows ``H``.
+    key_dim:
+        Dimensionality of the key rows ``K``.
+    """
+
+    def __init__(self, query_dim: int, key_dim: int, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.query_dim = query_dim
+        self.key_dim = key_dim
+        self.weight = Parameter(init.xavier_uniform(rng, (query_dim, key_dim)))
+
+    def scores(self, queries: Tensor, keys: Tensor) -> Tensor:
+        """Raw (pre-softmax) bilinear scores ``H W K^T``."""
+        queries = as_tensor(queries)
+        keys = as_tensor(keys)
+        return (queries @ self.weight) @ keys.transpose()
+
+    def forward(self, queries: Tensor, keys: Tensor) -> Tensor:
+        """Attention distribution of each query row over the key rows."""
+        return self.scores(queries, keys).softmax(axis=-1)
+
+
+def attend(weights: Tensor, values: Tensor) -> Tensor:
+    """Weighted combination of ``values`` rows by attention ``weights``."""
+    return as_tensor(weights) @ as_tensor(values)
+
+
+class MultiHeadSelfAttention(Module):
+    """Multi-head scaled dot-product self-attention over ``(T, d)`` input."""
+
+    def __init__(self, dim: int, num_heads: int, rng: np.random.Generator) -> None:
+        super().__init__()
+        if dim % num_heads != 0:
+            raise ValueError(f"dim={dim} not divisible by num_heads={num_heads}")
+        self.dim = dim
+        self.num_heads = num_heads
+        self.head_dim = dim // num_heads
+        self.w_q = Parameter(init.xavier_uniform(rng, (dim, dim)))
+        self.w_k = Parameter(init.xavier_uniform(rng, (dim, dim)))
+        self.w_v = Parameter(init.xavier_uniform(rng, (dim, dim)))
+        self.w_o = Parameter(init.xavier_uniform(rng, (dim, dim)))
+
+    def forward(self, x: Tensor, mask: Optional[np.ndarray] = None) -> Tensor:
+        """Apply self-attention.
+
+        Parameters
+        ----------
+        x:
+            Input of shape ``(T, dim)``.
+        mask:
+            Optional boolean array of shape ``(T,)``; ``False`` positions are
+            excluded from attention (padding).
+        """
+        x = as_tensor(x)
+        seq_len = x.shape[0]
+        q = x @ self.w_q
+        k = x @ self.w_k
+        v = x @ self.w_v
+        head_outputs = []
+        scale = 1.0 / np.sqrt(self.head_dim)
+        for h in range(self.num_heads):
+            sl = slice(h * self.head_dim, (h + 1) * self.head_dim)
+            q_h, k_h, v_h = q[:, sl], k[:, sl], v[:, sl]
+            scores = (q_h @ k_h.transpose()) * scale
+            if mask is not None:
+                bias = np.where(np.asarray(mask, dtype=bool), 0.0, -1e9)
+                scores = scores + Tensor(np.broadcast_to(bias, (seq_len, seq_len)).copy())
+            attn = scores.softmax(axis=-1)
+            head_outputs.append(attn @ v_h)
+        return concatenate(head_outputs, axis=-1) @ self.w_o

@@ -1,0 +1,110 @@
+"""Beam-search decoding for the topic generator.
+
+The paper uses beam search at inference (beam size 200, depth 4 — §IV-A5).
+This module implements a model-agnostic beam search over a step function so it
+can be reused by every generator variant (single-task, joint baselines,
+Joint-WB, distilled students).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Tuple
+
+import numpy as np
+
+__all__ = ["BeamHypothesis", "beam_search", "greedy_decode"]
+
+# A step function maps (token_id, decoder_state) -> (log_probs, new_state).
+StepFn = Callable[[int, object], Tuple[np.ndarray, object]]
+
+
+@dataclass(order=True)
+class BeamHypothesis:
+    """A partial decode: accumulated log-probability plus the token prefix."""
+
+    score: float
+    tokens: List[int] = field(compare=False)
+    state: object = field(compare=False, default=None)
+    finished: bool = field(compare=False, default=False)
+
+    def normalized_score(self, length_penalty: float = 0.0) -> float:
+        """Score divided by ``len^length_penalty`` (0 disables normalisation)."""
+        length = max(1, len(self.tokens))
+        return self.score / (length ** length_penalty) if length_penalty else self.score
+
+
+def beam_search(
+    step_fn: StepFn,
+    initial_state: object,
+    start_id: int,
+    end_id: int,
+    beam_size: int = 8,
+    max_depth: int = 4,
+    length_penalty: float = 0.0,
+) -> List[BeamHypothesis]:
+    """Run beam search and return finished hypotheses sorted best-first.
+
+    Parameters
+    ----------
+    step_fn:
+        Maps ``(previous_token, state)`` to ``(log_probs over vocab, state)``.
+    initial_state:
+        Decoder state before the first step (e.g. encoder summary).
+    start_id, end_id:
+        Begin/end-of-sequence token ids.
+    beam_size:
+        Number of hypotheses kept per step.
+    max_depth:
+        Maximum number of generated tokens (the paper uses 4 — topic phrases
+        average three tokens).
+    """
+    if beam_size < 1:
+        raise ValueError("beam_size must be >= 1")
+    beams = [BeamHypothesis(score=0.0, tokens=[start_id], state=initial_state)]
+    finished: List[BeamHypothesis] = []
+
+    for _ in range(max_depth):
+        candidates: List[BeamHypothesis] = []
+        for beam in beams:
+            if beam.finished:
+                candidates.append(beam)
+                continue
+            log_probs, new_state = step_fn(beam.tokens[-1], beam.state)
+            log_probs = np.asarray(log_probs, dtype=np.float64).reshape(-1)
+            top = np.argsort(log_probs)[::-1][:beam_size]
+            for token_id in top:
+                token_id = int(token_id)
+                hyp = BeamHypothesis(
+                    score=beam.score + float(log_probs[token_id]),
+                    tokens=beam.tokens + [token_id],
+                    state=new_state,
+                    finished=token_id == end_id,
+                )
+                candidates.append(hyp)
+        candidates.sort(key=lambda h: h.normalized_score(length_penalty), reverse=True)
+        beams = candidates[:beam_size]
+        newly_finished = [b for b in beams if b.finished]
+        finished.extend(newly_finished)
+        beams = [b for b in beams if not b.finished]
+        if not beams:
+            break
+
+    finished.extend(beams)  # unfinished hypotheses still count at max depth
+    finished.sort(key=lambda h: h.normalized_score(length_penalty), reverse=True)
+    return finished
+
+
+def greedy_decode(
+    step_fn: StepFn,
+    initial_state: object,
+    start_id: int,
+    end_id: int,
+    max_depth: int = 4,
+) -> List[int]:
+    """Greedy (beam size 1) decode; returns generated tokens without markers."""
+    hyps = beam_search(step_fn, initial_state, start_id, end_id, beam_size=1, max_depth=max_depth)
+    tokens = hyps[0].tokens[1:]  # drop start marker
+    if tokens and tokens[-1] == end_id:
+        tokens = tokens[:-1]
+    return tokens

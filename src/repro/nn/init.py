@@ -1,0 +1,56 @@
+"""Deterministic weight initialisers.
+
+Every initialiser takes an explicit ``numpy.random.Generator`` so model
+construction is reproducible end to end — no global random state is touched
+anywhere in the library.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["xavier_uniform", "uniform", "normal", "zeros", "orthogonal"]
+
+
+def xavier_uniform(rng: np.random.Generator, shape: Tuple[int, ...], gain: float = 1.0) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation.
+
+    The fan-in and fan-out are taken from the last two axes, which matches how
+    our dense and recurrent weights are laid out.
+    """
+    if len(shape) < 2:
+        fan_in = fan_out = shape[0]
+    else:
+        fan_in, fan_out = shape[-2], shape[-1]
+    bound = gain * np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def uniform(rng: np.random.Generator, shape: Tuple[int, ...], bound: float = 0.1) -> np.ndarray:
+    """Uniform initialisation in ``[-bound, bound]``."""
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def normal(rng: np.random.Generator, shape: Tuple[int, ...], std: float = 0.02) -> np.ndarray:
+    """Gaussian initialisation, BERT-style ``std=0.02`` default."""
+    return rng.normal(0.0, std, size=shape)
+
+
+def zeros(shape: Tuple[int, ...]) -> np.ndarray:
+    """All-zeros initialisation (biases)."""
+    return np.zeros(shape)
+
+
+def orthogonal(rng: np.random.Generator, shape: Tuple[int, ...], gain: float = 1.0) -> np.ndarray:
+    """Orthogonal initialisation (used for recurrent weight matrices)."""
+    if len(shape) != 2:
+        raise ValueError("orthogonal init requires a 2-D shape")
+    rows, cols = shape
+    flat = rng.normal(0.0, 1.0, size=(max(rows, cols), min(rows, cols)))
+    q, r = np.linalg.qr(flat)
+    q = q * np.sign(np.diag(r))
+    if rows < cols:
+        q = q.T
+    return gain * q[:rows, :cols]

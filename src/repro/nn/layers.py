@@ -1,0 +1,178 @@
+"""Core feed-forward layers: Dense, Embedding, Dropout, LayerNorm, Sequential.
+
+Every layer takes an explicit ``numpy.random.Generator`` for weight
+initialisation (and, for Dropout, for mask sampling), keeping the whole
+substrate deterministic under a fixed seed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from . import init
+from .module import Module, Parameter
+from .tensor import Tensor, as_tensor
+
+__all__ = ["Dense", "Embedding", "Dropout", "LayerNorm", "Sequential", "Activation"]
+
+
+class Dense(Module):
+    """Affine transform ``y = x W + b`` with optional activation.
+
+    Parameters
+    ----------
+    in_features, out_features:
+        Input/output dimensionality of the last axis.
+    activation:
+        Optional name in ``{"tanh", "sigmoid", "relu"}`` applied after the
+        affine map (matching the paper's ``tanh`` dense layers).
+    use_bias:
+        Whether to add the bias term.
+    """
+
+    _ACTIVATIONS: dict = {
+        None: lambda x: x,
+        "tanh": lambda x: x.tanh(),
+        "sigmoid": lambda x: x.sigmoid(),
+        "relu": lambda x: x.relu(),
+    }
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: np.random.Generator,
+        activation: Optional[str] = None,
+        use_bias: bool = True,
+    ) -> None:
+        super().__init__()
+        if activation not in self._ACTIVATIONS:
+            raise ValueError(f"unknown activation {activation!r}")
+        self.in_features = in_features
+        self.out_features = out_features
+        self.activation = activation
+        self.weight = Parameter(init.xavier_uniform(rng, (in_features, out_features)))
+        self.bias = Parameter(init.zeros((out_features,))) if use_bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = as_tensor(x)
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return self._ACTIVATIONS[self.activation](out)
+
+
+class Embedding(Module):
+    """Token-id → dense vector lookup table."""
+
+    def __init__(
+        self,
+        num_embeddings: int,
+        embedding_dim: int,
+        rng: np.random.Generator,
+        padding_idx: Optional[int] = None,
+    ) -> None:
+        super().__init__()
+        self.num_embeddings = num_embeddings
+        self.embedding_dim = embedding_dim
+        self.padding_idx = padding_idx
+        weight = init.normal(rng, (num_embeddings, embedding_dim))
+        if padding_idx is not None:
+            weight[padding_idx] = 0.0
+        self.weight = Parameter(weight)
+
+    def forward(self, token_ids) -> Tensor:
+        token_ids = np.asarray(token_ids, dtype=np.int64)
+        if token_ids.min(initial=0) < 0 or (
+            token_ids.size and token_ids.max() >= self.num_embeddings
+        ):
+            raise IndexError(
+                f"token id out of range [0, {self.num_embeddings}): "
+                f"min={token_ids.min()}, max={token_ids.max()}"
+            )
+        return self.weight[token_ids]
+
+    def load_pretrained(self, vectors: np.ndarray, freeze: bool = False) -> None:
+        """Overwrite the table with externally trained vectors (e.g. GloVe)."""
+        vectors = np.asarray(vectors, dtype=np.float64)
+        if vectors.shape != self.weight.data.shape:
+            raise ValueError(
+                f"pretrained shape {vectors.shape} != table shape {self.weight.data.shape}"
+            )
+        self.weight.data = vectors.copy()
+        if freeze:
+            self.weight.requires_grad = False
+
+
+class Dropout(Module):
+    """Inverted dropout; identity when in eval mode or when ``rate == 0``."""
+
+    def __init__(self, rate: float, rng: np.random.Generator) -> None:
+        super().__init__()
+        if not 0.0 <= rate < 1.0:
+            raise ValueError("dropout rate must be in [0, 1)")
+        self.rate = rate
+        self._rng = rng
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = as_tensor(x)
+        if not self.training or self.rate == 0.0:
+            return x
+        keep = 1.0 - self.rate
+        mask = (self._rng.random(x.shape) < keep).astype(np.float64) / keep
+        return x * Tensor(mask)
+
+
+class LayerNorm(Module):
+    """Layer normalisation over the last axis."""
+
+    def __init__(self, dim: int, eps: float = 1e-5) -> None:
+        super().__init__()
+        self.dim = dim
+        self.eps = eps
+        self.gamma = Parameter(np.ones(dim))
+        self.beta = Parameter(np.zeros(dim))
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = as_tensor(x)
+        mean = x.mean(axis=-1, keepdims=True)
+        centered = x - mean
+        var = (centered * centered).mean(axis=-1, keepdims=True)
+        normalised = centered / ((var + self.eps) ** 0.5)
+        return normalised * self.gamma + self.beta
+
+
+class Activation(Module):
+    """Standalone activation wrapper for use inside :class:`Sequential`."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__()
+        if name not in ("tanh", "sigmoid", "relu"):
+            raise ValueError(f"unknown activation {name!r}")
+        self.name = name
+
+    def forward(self, x: Tensor) -> Tensor:
+        return getattr(as_tensor(x), self.name)()
+
+
+class Sequential(Module):
+    """Run child modules in order."""
+
+    def __init__(self, *modules: Module) -> None:
+        super().__init__()
+        self._items = list(modules)
+        for index, module in enumerate(self._items):
+            self._modules[str(index)] = module
+
+    def forward(self, x: Tensor) -> Tensor:
+        for module in self._items:
+            x = module(x)
+        return x
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._items[index]

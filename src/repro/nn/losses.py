@@ -1,0 +1,117 @@
+"""Loss functions used across the reproduction.
+
+Includes the standard supervised losses (cross-entropy, binary cross-entropy)
+and the distillation losses from the paper:
+
+* :func:`kl_divergence` — understanding distillation ``L_UD = Σ P_T log(P_T/P_S)``
+  between temperature-softened teacher/student output distributions.
+* :func:`l1_attention_loss` — identification distillation ``L_ID``: elementwise
+  L1 difference between normalised teacher and student attention distributions
+  over the seen-topic matrix.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from .tensor import Tensor, as_tensor
+
+__all__ = [
+    "cross_entropy",
+    "binary_cross_entropy",
+    "kl_divergence",
+    "l1_attention_loss",
+    "nll_loss",
+]
+
+_EPS = 1e-12
+
+
+def cross_entropy(
+    logits: Tensor,
+    targets: Union[Sequence[int], np.ndarray],
+    ignore_index: Optional[int] = None,
+) -> Tensor:
+    """Mean token-level cross entropy from raw logits.
+
+    Parameters
+    ----------
+    logits:
+        Shape ``(N, C)`` — unnormalised scores.
+    targets:
+        Integer class ids of shape ``(N,)``.
+    ignore_index:
+        Optional target value whose positions contribute zero loss
+        (used for padding).
+    """
+    logits = as_tensor(logits)
+    targets = np.asarray(targets, dtype=np.int64)
+    if logits.ndim != 2 or targets.ndim != 1 or logits.shape[0] != targets.shape[0]:
+        raise ValueError(
+            f"cross_entropy expects (N, C) logits and (N,) targets, got "
+            f"{logits.shape} and {targets.shape}"
+        )
+    log_probs = logits.log_softmax(axis=-1)
+    if ignore_index is not None:
+        keep = targets != ignore_index
+        if not keep.any():
+            return Tensor(0.0)
+        rows = np.nonzero(keep)[0]
+        picked = log_probs[rows, targets[keep]]
+        return -picked.mean()
+    picked = log_probs[np.arange(len(targets)), targets]
+    return -picked.mean()
+
+
+def nll_loss(log_probs: Tensor, targets: Union[Sequence[int], np.ndarray]) -> Tensor:
+    """Mean negative log-likelihood from already-log-normalised rows."""
+    log_probs = as_tensor(log_probs)
+    targets = np.asarray(targets, dtype=np.int64)
+    picked = log_probs[np.arange(len(targets)), targets]
+    return -picked.mean()
+
+
+def binary_cross_entropy(probabilities: Tensor, targets: Union[Sequence[float], np.ndarray]) -> Tensor:
+    """Mean BCE on probabilities in ``(0, 1)`` (section-predictor loss)."""
+    probabilities = as_tensor(probabilities)
+    targets = Tensor(np.asarray(targets, dtype=np.float64))
+    clipped = probabilities.clip(_EPS, 1.0 - _EPS)
+    loss = -(targets * clipped.log() + (1.0 - targets) * (1.0 - clipped).log())
+    return loss.mean()
+
+
+def kl_divergence(teacher_probs: Tensor, student_probs: Tensor) -> Tensor:
+    """Understanding distillation loss ``Σ P_T log(P_T / P_S)``.
+
+    The teacher distribution is treated as a constant (detached); the gradient
+    flows only into the student, matching Hinton-style distillation.
+    Distributions are along the last axis; the sum over classes is averaged
+    over the remaining positions.
+    """
+    teacher = as_tensor(teacher_probs).detach()
+    student = as_tensor(student_probs)
+    teacher_data = np.clip(teacher.data, _EPS, 1.0)
+    student = student.clip(_EPS, 1.0)
+    ratio_log = Tensor(np.log(teacher_data)) - student.log()
+    per_position = (Tensor(teacher_data) * ratio_log).sum(axis=-1)
+    return per_position.mean()
+
+
+def l1_attention_loss(teacher_attention: Tensor, student_attention: Tensor) -> Tensor:
+    """Identification distillation loss.
+
+    Sum of element-wise L1 differences between the teacher's and the student's
+    normalised attention distributions over the ``r`` seen-topic phrases,
+    averaged over query positions:  ``L_ID = Σ_i | A_T^i - A_S^i |``.
+    The teacher attention is detached (teacher is frozen during distillation).
+    """
+    teacher = as_tensor(teacher_attention).detach()
+    student = as_tensor(student_attention)
+    if teacher.shape != student.shape:
+        raise ValueError(
+            f"attention shape mismatch: teacher {teacher.shape} vs student {student.shape}"
+        )
+    diff = (student - teacher).abs().sum(axis=-1)
+    return diff.mean()

@@ -1,0 +1,169 @@
+"""Optimisers, gradient clipping and the paper's learning-rate schedule.
+
+The paper optimises with Adam (β1=0.9, β2=0.999), gradient clipping, an
+initial learning rate with decay, and a linear warm-up (§IV-A5).  All of those
+pieces are implemented here:
+
+* :class:`Adam`, :class:`SGD` — parameter-update rules.
+* :func:`clip_grad_norm` — global-norm gradient clipping.
+* :class:`LinearWarmupSchedule` — linear warm-up to the base rate followed by
+  multiplicative decay.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from .module import Parameter
+
+__all__ = ["SGD", "Adam", "clip_grad_norm", "clip_grad_value", "LinearWarmupSchedule"]
+
+
+def clip_grad_norm(parameters: Sequence[Parameter], max_norm: float) -> float:
+    """Scale all gradients so their global L2 norm is at most ``max_norm``.
+
+    Returns the pre-clipping norm (useful for logging / tests).
+    """
+    grads = [p.grad for p in parameters if p.grad is not None]
+    if not grads:
+        return 0.0
+    total = float(np.sqrt(sum(float((g * g).sum()) for g in grads)))
+    if total > max_norm and total > 0.0:
+        scale = max_norm / total
+        for p in parameters:
+            if p.grad is not None:
+                p.grad = p.grad * scale
+    return total
+
+
+def clip_grad_value(parameters: Sequence[Parameter], max_value: float) -> None:
+    """Clip each gradient element into ``[-max_value, max_value]``."""
+    for p in parameters:
+        if p.grad is not None:
+            np.clip(p.grad, -max_value, max_value, out=p.grad)
+
+
+class LinearWarmupSchedule:
+    """Linear warm-up followed by step decay.
+
+    ``lr(t) = base * min(1, t / warmup_steps) * decay ** n_decays(t)`` where a
+    decay is applied every ``decay_every`` steps after warm-up (if set).
+    """
+
+    def __init__(
+        self,
+        base_lr: float,
+        warmup_steps: int = 0,
+        decay_rate: float = 1.0,
+        decay_every: Optional[int] = None,
+    ) -> None:
+        if base_lr <= 0:
+            raise ValueError("base_lr must be positive")
+        self.base_lr = base_lr
+        self.warmup_steps = max(0, int(warmup_steps))
+        self.decay_rate = decay_rate
+        self.decay_every = decay_every
+
+    def learning_rate(self, step: int) -> float:
+        lr = self.base_lr
+        if self.warmup_steps > 0 and step < self.warmup_steps:
+            lr *= (step + 1) / self.warmup_steps
+        elif self.decay_every:
+            decays = (step - self.warmup_steps) // self.decay_every
+            lr *= self.decay_rate ** max(0, decays)
+        return lr
+
+
+class _Optimizer:
+    """Shared bookkeeping for optimisers."""
+
+    def __init__(self, parameters: Iterable[Parameter], lr: float) -> None:
+        self.parameters: List[Parameter] = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer received no parameters")
+        self.lr = lr
+        self.step_count = 0
+        self.schedule: Optional[LinearWarmupSchedule] = None
+
+    def set_schedule(self, schedule: LinearWarmupSchedule) -> None:
+        self.schedule = schedule
+
+    def current_lr(self) -> float:
+        if self.schedule is not None:
+            return self.schedule.learning_rate(self.step_count)
+        return self.lr
+
+    def zero_grad(self) -> None:
+        for p in self.parameters:
+            p.grad = None
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+
+class SGD(_Optimizer):
+    """Plain stochastic gradient descent with optional momentum."""
+
+    def __init__(self, parameters: Iterable[Parameter], lr: float = 0.01, momentum: float = 0.0) -> None:
+        super().__init__(parameters, lr)
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        lr = self.current_lr()
+        for p, v in zip(self.parameters, self._velocity):
+            if p.grad is None:
+                continue
+            if self.momentum:
+                v *= self.momentum
+                v += p.grad
+                p.data = p.data - lr * v
+            else:
+                p.data = p.data - lr * p.grad
+        self.step_count += 1
+
+
+class Adam(_Optimizer):
+    """Adam optimiser (Kingma & Ba) with bias correction.
+
+    Defaults match the paper: ``beta1=0.9, beta2=0.999``.
+    """
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        lr: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(parameters, lr)
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m = [np.zeros_like(p.data) for p in self.parameters]
+        self._v = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        lr = self.current_lr()
+        self.step_count += 1
+        t = self.step_count
+        bias1 = 1.0 - self.beta1 ** t
+        bias2 = 1.0 - self.beta2 ** t
+        for p, m, v in zip(self.parameters, self._m, self._v):
+            if p.grad is None:
+                continue
+            grad = p.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * p.data
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad * grad
+            m_hat = m / bias1
+            v_hat = v / bias2
+            p.data = p.data - lr * m_hat / (np.sqrt(v_hat) + self.eps)

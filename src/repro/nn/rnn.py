@@ -1,0 +1,114 @@
+"""Recurrent layers: LSTMCell, LSTM and BiLSTM.
+
+The paper's extractor, generator and single-task baselines are all built on
+(Bi-)LSTM encoders (Hochreiter & Schmidhuber, 1997).  Gates are computed with
+one fused matrix multiply per timestep for speed; the input is a sequence of
+shape ``(T, d)`` or a batch ``(B, T, d)``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from . import init
+from .module import Module, Parameter
+from .tensor import Tensor, as_tensor, concatenate, stack
+
+__all__ = ["LSTMCell", "LSTM", "BiLSTM"]
+
+
+class LSTMCell(Module):
+    """A single LSTM step.
+
+    Gate layout in the fused weight matrices is ``[input, forget, cell, output]``.
+    The forget-gate bias is initialised to 1.0 (standard trick that helps
+    gradient flow early in training).
+    """
+
+    def __init__(self, input_dim: int, hidden_dim: int, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.input_dim = input_dim
+        self.hidden_dim = hidden_dim
+        self.w_x = Parameter(init.xavier_uniform(rng, (input_dim, 4 * hidden_dim)))
+        self.w_h = Parameter(
+            np.concatenate(
+                [init.orthogonal(rng, (hidden_dim, hidden_dim)) for _ in range(4)], axis=1
+            )
+        )
+        bias = np.zeros(4 * hidden_dim)
+        bias[hidden_dim : 2 * hidden_dim] = 1.0  # forget gate bias
+        self.bias = Parameter(bias)
+
+    def forward(
+        self, x: Tensor, state: Tuple[Tensor, Tensor]
+    ) -> Tuple[Tensor, Tuple[Tensor, Tensor]]:
+        h_prev, c_prev = state
+        gates = x @ self.w_x + h_prev @ self.w_h + self.bias
+        h = self.hidden_dim
+        i_gate = gates[..., 0:h].sigmoid()
+        f_gate = gates[..., h : 2 * h].sigmoid()
+        g_gate = gates[..., 2 * h : 3 * h].tanh()
+        o_gate = gates[..., 3 * h : 4 * h].sigmoid()
+        c = f_gate * c_prev + i_gate * g_gate
+        h_new = o_gate * c.tanh()
+        return h_new, (h_new, c)
+
+    def initial_state(self, batch_shape: Tuple[int, ...] = ()) -> Tuple[Tensor, Tensor]:
+        shape = tuple(batch_shape) + (self.hidden_dim,)
+        return Tensor(np.zeros(shape)), Tensor(np.zeros(shape))
+
+
+class LSTM(Module):
+    """Unidirectional LSTM over a sequence.
+
+    Input of shape ``(T, d)`` (or ``(B, T, d)``) produces hidden states of
+    shape ``(T, h)`` (or ``(B, T, h)``).
+    """
+
+    def __init__(self, input_dim: int, hidden_dim: int, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.input_dim = input_dim
+        self.hidden_dim = hidden_dim
+        self.cell = LSTMCell(input_dim, hidden_dim, rng)
+
+    def forward(
+        self,
+        x: Tensor,
+        initial_state: Optional[Tuple[Tensor, Tensor]] = None,
+        reverse: bool = False,
+    ) -> Tuple[Tensor, Tuple[Tensor, Tensor]]:
+        x = as_tensor(x)
+        if x.ndim < 2:
+            raise ValueError("LSTM expects input of shape (T, d) or (B, T, d)")
+        seq_len = x.shape[-2]
+        batch_shape = x.shape[:-2]
+        state = initial_state or self.cell.initial_state(batch_shape)
+        indices = range(seq_len - 1, -1, -1) if reverse else range(seq_len)
+        outputs = [None] * seq_len
+        for t in indices:
+            step = x[..., t, :]
+            h, state = self.cell(step, state)
+            outputs[t] = h
+        return stack(outputs, axis=-2), state
+
+
+class BiLSTM(Module):
+    """Bidirectional LSTM; concatenates forward and backward hidden states.
+
+    Output dimensionality is ``2 * hidden_dim``.
+    """
+
+    def __init__(self, input_dim: int, hidden_dim: int, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.input_dim = input_dim
+        self.hidden_dim = hidden_dim
+        self.output_dim = 2 * hidden_dim
+        self.forward_lstm = LSTM(input_dim, hidden_dim, rng)
+        self.backward_lstm = LSTM(input_dim, hidden_dim, rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        fwd, _ = self.forward_lstm(x)
+        bwd, _ = self.backward_lstm(x, reverse=True)
+        return concatenate([fwd, bwd], axis=-1)

@@ -1,0 +1,165 @@
+"""Transformer encoders: MiniBert and BertSum.
+
+The paper fine-tunes BERT_base and BERTSUM (Liu & Lapata, 2019) as contextual
+encoders.  We reproduce both architectures at laptop scale:
+
+* :class:`MiniBert` — token + position embeddings followed by ``N``
+  pre-norm transformer encoder layers.  Produces contextual token
+  representations; position 0 of each input acts as a [CLS] summary.
+* :class:`BertSum` — the document variant: a ``[CLS]`` token is inserted at
+  the start of every *sentence* (done by the preprocessing pipeline), and the
+  encoder additionally exposes the hidden states at those [CLS] positions as
+  *sentence* representations, exactly the interface Joint-WB consumes.
+
+The scale-down (2 layers, small hidden dim) is the documented substitution
+for the paper's GPU-trained BERT_base; see DESIGN.md §2.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from . import init
+from .attention import MultiHeadSelfAttention
+from .layers import Dense, Dropout, LayerNorm
+from .module import Module, ModuleList, Parameter
+from .tensor import Tensor, concatenate
+
+__all__ = ["TransformerEncoderLayer", "MiniBert", "BertSum"]
+
+
+class TransformerEncoderLayer(Module):
+    """Pre-norm transformer block: LN → MHSA → residual → LN → FFN → residual."""
+
+    def __init__(
+        self,
+        dim: int,
+        num_heads: int,
+        ffn_dim: int,
+        rng: np.random.Generator,
+        dropout: float = 0.0,
+    ) -> None:
+        super().__init__()
+        self.norm1 = LayerNorm(dim)
+        self.attention = MultiHeadSelfAttention(dim, num_heads, rng)
+        self.norm2 = LayerNorm(dim)
+        self.ffn_in = Dense(dim, ffn_dim, rng, activation="relu")
+        self.ffn_out = Dense(ffn_dim, dim, rng)
+        self.dropout = Dropout(dropout, rng)
+
+    def forward(self, x: Tensor, mask: Optional[np.ndarray] = None) -> Tensor:
+        x = x + self.dropout(self.attention(self.norm1(x), mask=mask))
+        x = x + self.dropout(self.ffn_out(self.ffn_in(self.norm2(x))))
+        return x
+
+
+class MiniBert(Module):
+    """A small BERT-style contextual encoder.
+
+    Parameters
+    ----------
+    vocab_size:
+        Size of the WordPiece vocabulary.
+    dim:
+        Hidden dimensionality.
+    num_layers, num_heads, ffn_dim:
+        Transformer stack hyperparameters.
+    max_len:
+        Maximum supported sequence length (positional table size).
+    """
+
+    def __init__(
+        self,
+        vocab_size: int,
+        dim: int = 32,
+        num_layers: int = 2,
+        num_heads: int = 2,
+        ffn_dim: Optional[int] = None,
+        max_len: int = 512,
+        rng: Optional[np.random.Generator] = None,
+        dropout: float = 0.0,
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        ffn_dim = ffn_dim or 2 * dim
+        self.vocab_size = vocab_size
+        self.dim = dim
+        self.max_len = max_len
+        self.token_embedding = Parameter(init.normal(rng, (vocab_size, dim)))
+        self.position_embedding = Parameter(init.normal(rng, (max_len, dim)))
+        self.layers = ModuleList(
+            TransformerEncoderLayer(dim, num_heads, ffn_dim, rng, dropout=dropout)
+            for _ in range(num_layers)
+        )
+        self.final_norm = LayerNorm(dim)
+
+    def forward(self, token_ids: Sequence[int], mask: Optional[np.ndarray] = None) -> Tensor:
+        """Encode a token-id sequence to contextual vectors ``(T, dim)``."""
+        ids = np.asarray(token_ids, dtype=np.int64)
+        if ids.ndim != 1:
+            raise ValueError("MiniBert encodes one sequence at a time: shape (T,)")
+        if len(ids) > self.max_len:
+            raise ValueError(f"sequence length {len(ids)} exceeds max_len {self.max_len}")
+        x = self.token_embedding[ids] + self.position_embedding[np.arange(len(ids))]
+        for layer in self.layers:
+            x = layer(x, mask=mask)
+        return self.final_norm(x)
+
+    def encode_subdocuments(
+        self, subdocuments: Sequence[Sequence[int]], masks: Optional[Sequence[np.ndarray]] = None
+    ) -> Tensor:
+        """Encode each sub-document independently and concatenate.
+
+        Mirrors the paper's preprocessing: long pages are split into 512-token
+        sub-documents because of BERT's input length limit; the contextual
+        embeddings are then concatenated back into the full document.
+        """
+        pieces: List[Tensor] = []
+        for index, sub in enumerate(subdocuments):
+            mask = None if masks is None else masks[index]
+            pieces.append(self.forward(sub, mask=mask))
+        return concatenate(pieces, axis=0)
+
+
+class BertSum(Module):
+    """BERTSUM-style document encoder.
+
+    Wraps :class:`MiniBert` and, given the positions of per-sentence [CLS]
+    markers, returns both token-level representations ``C`` and sentence-level
+    representations ``C^0`` (the hidden states at the [CLS] positions), the
+    two views consumed by the Joint-WB extractor/generator/section-predictor.
+    """
+
+    def __init__(self, bert: MiniBert) -> None:
+        super().__init__()
+        self.bert = bert
+
+    @property
+    def dim(self) -> int:
+        return self.bert.dim
+
+    def forward(
+        self, token_ids: Sequence[int], cls_positions: Sequence[int]
+    ) -> Tuple[Tensor, Tensor]:
+        """Return ``(token_states, sentence_states)``.
+
+        ``token_states`` has shape ``(T, dim)``; ``sentence_states`` has shape
+        ``(num_sentences, dim)`` — one row per [CLS] position.
+        """
+        states = self.bert(token_ids)
+        cls = np.asarray(cls_positions, dtype=np.int64)
+        if cls.size == 0:
+            raise ValueError("BertSum requires at least one [CLS] position")
+        return states, states[cls]
+
+    def encode_document(
+        self,
+        subdocuments: Sequence[Sequence[int]],
+        cls_positions: Sequence[int],
+    ) -> Tuple[Tensor, Tensor]:
+        """Encode a multi-sub-document page; cls positions index the full page."""
+        states = self.bert.encode_subdocuments(subdocuments)
+        cls = np.asarray(cls_positions, dtype=np.int64)
+        return states, states[cls]

@@ -1,0 +1,22 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.data import Vocabulary, build_jasmine_corpus
+
+
+@pytest.fixture(scope="session")
+def small_corpus():
+    """A tiny but fully-formed corpus (3 topics, crawled + rendered)."""
+    return build_jasmine_corpus(num_topics=3, pages_per_site=4, seed=13)
+
+
+@pytest.fixture(scope="session")
+def small_vocab(small_corpus):
+    return Vocabulary.from_corpus(small_corpus)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(0)

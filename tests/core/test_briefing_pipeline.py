@@ -1,0 +1,57 @@
+"""Brief type and end-to-end briefing pipeline tests."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core import Brief, BriefingPipeline, document_from_raw_html
+from repro.data import Vocabulary
+from repro.models import BertSumEncoder, make_joint_model
+
+
+def test_brief_render_and_levels():
+    brief = Brief(topic=["online", "shopping"], attributes=["acme", "42.00"])
+    text = brief.render()
+    assert "Topic: online shopping" in text
+    assert "  - acme" in text
+    assert brief.levels[0] == ["online shopping"]
+    assert brief.levels[1] == ["acme", "42.00"]
+    assert brief.word_count() == 4
+
+
+def test_brief_extra_levels():
+    brief = Brief(topic=["t"], attributes=["a"], extra_levels={2: ["deep"]})
+    assert len(brief.levels) == 3
+    assert "deep" in brief.render()
+
+
+def test_document_from_raw_html():
+    html = "<html><body><p>First sentence here</p><p>Second one</p></body></html>"
+    doc = document_from_raw_html(html)
+    assert doc.num_sentences == 2
+    assert doc.sentences[0] == ["first", "sentence", "here"]
+    assert doc.topic_tokens == ()
+
+
+def test_document_from_raw_html_empty_page():
+    with pytest.raises(ValueError):
+        document_from_raw_html("<html><body><script>x</script></body></html>")
+
+
+def test_pipeline_briefs_html(small_corpus, small_vocab, rng):
+    bert = nn.MiniBert(
+        vocab_size=len(small_vocab), dim=12, num_layers=1, num_heads=2, rng=rng, max_len=256
+    )
+    model = make_joint_model(
+        "Joint-WB", BertSumEncoder(small_vocab, bert), small_vocab, 6, rng
+    )
+    pipeline = BriefingPipeline(model, beam_size=2)
+
+    brief = pipeline.brief_document(small_corpus[0])
+    assert isinstance(brief, Brief)
+
+    html = "<html><body><p>welcome to our books pages</p><p>the price is 42</p></body></html>"
+    brief = pipeline.brief_html(html)
+    assert isinstance(brief.topic, list)
+    assert isinstance(brief.attributes, list)
+    assert all(isinstance(i, int) for i in brief.informative_sentences)

@@ -1,0 +1,74 @@
+"""Evaluation metric tests: P/R/F1, EM, RM."""
+
+import pytest
+
+from repro.core import evaluate_extraction, evaluate_generation, exact_match, match_counts, relaxed_match
+from repro.data import AttributeSpan, Document
+
+
+def make_doc(attr_texts, topic=("online", "shopping")):
+    tokens = []
+    attributes = []
+    for text in attr_texts:
+        words = text.split()
+        attributes.append(AttributeSpan(0, len(tokens), len(tokens) + len(words), "x"))
+        tokens.extend(words)
+    tokens.append("filler")
+    return Document(
+        doc_id="d", url="", source="s", topic_id=0, family="f", website="w",
+        topic_tokens=tuple(topic), sentences=[tokens], section_labels=[1],
+        attributes=attributes,
+    )
+
+
+def test_match_counts_multiset():
+    assert match_counts(["a", "a", "b"], ["a", "b", "b"]) == 2
+    assert match_counts([], ["a"]) == 0
+
+
+def test_exact_and_relaxed_match():
+    assert exact_match(["a", "b"], ["a", "b"])
+    assert not exact_match(["a"], ["a", "b"])
+    assert relaxed_match(["a", "z"], ["a", "b"])
+    assert not relaxed_match(["z"], ["a", "b"])
+    assert not relaxed_match([], ["a"])
+
+
+def test_extraction_perfect_predictor():
+    docs = [make_doc(["alpha beta", "gamma"]), make_doc(["delta"])]
+    metrics = evaluate_extraction(lambda d: d.attribute_texts(), docs)
+    assert metrics.precision == metrics.recall == metrics.f1 == 1.0
+    assert metrics.gold == 3
+
+
+def test_extraction_partial_predictor():
+    docs = [make_doc(["alpha beta", "gamma"])]
+    metrics = evaluate_extraction(lambda d: ["alpha beta", "wrong", "also wrong"], docs)
+    assert metrics.precision == pytest.approx(1 / 3)
+    assert metrics.recall == pytest.approx(1 / 2)
+    assert metrics.f1 == pytest.approx(0.4)
+
+
+def test_extraction_empty_predictions():
+    docs = [make_doc(["alpha"])]
+    metrics = evaluate_extraction(lambda d: [], docs)
+    assert metrics.precision == 0.0 and metrics.recall == 0.0 and metrics.f1 == 0.0
+
+
+def test_generation_metrics_and_flags():
+    docs = [make_doc([], topic=("a", "b")), make_doc([], topic=("c", "d"))]
+
+    def predict(d):
+        return ["a", "b"] if d.topic_tokens == ("a", "b") else ["c", "x"]
+
+    metrics = evaluate_generation(predict, docs)
+    assert metrics.exact_match == 0.5
+    assert metrics.relaxed_match == 1.0
+    assert metrics.em_flags == [True, False]
+    assert metrics.num_documents == 2
+
+
+def test_generation_empty_document_list():
+    metrics = evaluate_generation(lambda d: [], [])
+    assert metrics.exact_match == 0.0
+    assert metrics.num_documents == 0

@@ -1,0 +1,60 @@
+"""Multi-level briefing tests (hierarchy extension)."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core import HierarchicalBrief, HierarchicalBriefer, TrainConfig, Trainer, train_name_classifier
+from repro.models import BertSumEncoder, make_joint_model
+
+
+def test_hierarchical_brief_groups_by_name():
+    brief = HierarchicalBrief(
+        topic=["online", "shopping"],
+        named_attributes=[("price", "<digit>"), ("brand", "acme"), ("price", "<digit>")],
+    )
+    assert set(brief.groups) == {"price", "brand"}
+    assert len(brief.groups["price"]) == 2
+    text = brief.render()
+    assert "[price]" in text and "- acme" in text
+    assert brief.attributes == ["<digit>", "acme", "<digit>"]
+
+
+@pytest.fixture(scope="module")
+def trained_setup(small_corpus, small_vocab):
+    rng = np.random.default_rng(0)
+    bert = nn.MiniBert(
+        vocab_size=len(small_vocab), dim=16, num_layers=1, num_heads=2, rng=rng, max_len=256
+    )
+    model = make_joint_model(
+        "Joint-WB", BertSumEncoder(small_vocab, bert), small_vocab, 8, rng
+    )
+    docs = list(small_corpus)[:10]
+    Trainer(model, TrainConfig(epochs=3, learning_rate=5e-3, batch_size=2)).train(docs)
+    classifier = train_name_classifier(model, docs, np.random.default_rng(1), epochs=3)
+    return model, classifier, docs
+
+
+def test_train_name_classifier_freezes_model(trained_setup, small_corpus):
+    model, classifier, docs = trained_setup
+    assert classifier.num_types >= 3
+    # Classifier predicts from the model's hidden states without crashing.
+    doc = docs[0]
+    with nn.no_grad():
+        enc = model.encoder.encode(doc)
+        hidden = model.extractor.hidden(enc.token_states)
+    names = classifier.predict(hidden, doc, doc.attributes)
+    assert len(names) == len(doc.attributes)
+
+
+def test_hierarchical_briefer_end_to_end(trained_setup):
+    model, classifier, docs = trained_setup
+    briefer = HierarchicalBriefer(model, classifier, beam_size=2)
+    brief = briefer.brief(docs[0])
+    assert isinstance(brief, HierarchicalBrief)
+    assert isinstance(brief.topic, list)
+    for name, value in brief.named_attributes:
+        assert name in classifier.type_names
+        assert isinstance(value, str)
+    # Three levels: topic, names, values.
+    assert len(brief.levels) >= 2

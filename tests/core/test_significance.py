@@ -1,0 +1,56 @@
+"""Model-comparison (McNemar) helper tests."""
+
+import pytest
+
+from repro.core.significance import compare_generation_models
+from repro.data import Document
+
+
+def make_doc(i):
+    return Document(
+        doc_id=f"d{i}", url="", source="s", topic_id=i, family="f", website="w",
+        topic_tokens=(f"t{i}",), sentences=[["x"]], section_labels=[0],
+    )
+
+
+DOCS = [make_doc(i) for i in range(60)]
+
+
+def perfect(d):
+    return list(d.topic_tokens)
+
+
+def always_wrong(d):
+    return ["nope"]
+
+
+def test_requires_two_models():
+    with pytest.raises(ValueError):
+        compare_generation_models({"only": perfect}, DOCS)
+
+
+def test_clear_difference_is_significant():
+    comparisons = compare_generation_models(
+        {"good": perfect, "bad": always_wrong}, DOCS
+    )
+    assert len(comparisons) == 1
+    comparison = comparisons[0]
+    assert comparison.em_a == 1.0 and comparison.em_b == 0.0
+    assert comparison.significant
+    assert "*" in comparison.summary()
+
+
+def test_identical_models_not_significant():
+    comparisons = compare_generation_models(
+        {"a": perfect, "b": perfect}, DOCS
+    )
+    assert not comparisons[0].significant
+    assert comparisons[0].result.p_value == 1.0
+
+
+def test_all_pairs_compared():
+    comparisons = compare_generation_models(
+        {"a": perfect, "b": perfect, "c": always_wrong}, DOCS
+    )
+    pairs = {(c.name_a, c.name_b) for c in comparisons}
+    assert pairs == {("a", "b"), ("a", "c"), ("b", "c")}

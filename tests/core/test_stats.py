@@ -1,0 +1,72 @@
+"""McNemar / Cohen's kappa tests against known values."""
+
+import numpy as np
+import pytest
+
+from repro.core import cohen_kappa, mcnemar, pairwise_kappa_summary
+
+
+def test_mcnemar_no_discordance():
+    result = mcnemar([True, False, True], [True, False, True])
+    assert result.p_value == 1.0
+    assert not result.significant()
+
+
+def test_mcnemar_exact_small_sample():
+    # 5 discordant pairs all favouring system B: p = 2 * C(5,0)/2^5 = 0.0625.
+    a = [False] * 5 + [True] * 10
+    b = [True] * 5 + [True] * 10
+    result = mcnemar(a, b)
+    assert result.p_value == pytest.approx(0.0625)
+
+
+def test_mcnemar_chi2_large_sample():
+    # 40 vs 10 discordant pairs — clearly significant.
+    a = [True] * 40 + [False] * 10 + [True] * 50
+    b = [False] * 40 + [True] * 10 + [True] * 50
+    result = mcnemar(a, b)
+    assert result.significant()
+    expected = (abs(40 - 10) - 1) ** 2 / 50
+    assert result.statistic == pytest.approx(expected)
+
+
+def test_mcnemar_validates_lengths():
+    with pytest.raises(ValueError):
+        mcnemar([True], [True, False])
+
+
+def test_kappa_perfect_agreement():
+    assert cohen_kappa([0, 1, 2, 1], [0, 1, 2, 1]) == 1.0
+
+
+def test_kappa_chance_agreement_near_zero():
+    rng = np.random.default_rng(0)
+    a = rng.integers(0, 2, size=4000)
+    b = rng.integers(0, 2, size=4000)
+    assert abs(cohen_kappa(a, b)) < 0.05
+
+
+def test_kappa_known_value():
+    # Classic 2x2 example: observed .7, expected .5 -> kappa .4
+    a = [1] * 35 + [1] * 15 + [0] * 15 + [0] * 35
+    b = [1] * 35 + [0] * 15 + [1] * 15 + [0] * 35
+    assert cohen_kappa(a, b) == pytest.approx(0.4)
+
+
+def test_kappa_validation():
+    with pytest.raises(ValueError):
+        cohen_kappa([1], [1, 2])
+    with pytest.raises(ValueError):
+        cohen_kappa([], [])
+
+
+def test_kappa_constant_identical_raters():
+    assert cohen_kappa([1, 1, 1], [1, 1, 1]) == 1.0
+
+
+def test_pairwise_kappa_summary():
+    ratings = [[0, 1, 2, 0], [0, 1, 2, 0], [0, 1, 2, 1]]
+    summary = pairwise_kappa_summary(ratings)
+    assert summary["min"] <= summary["mean"] <= 1.0
+    with pytest.raises(ValueError):
+        pairwise_kappa_summary([[1, 2]])

@@ -1,0 +1,69 @@
+"""Corpus analysis tests."""
+
+import pytest
+
+from repro.data import AttributeSpan, Corpus, Document
+from repro.data.analysis import (
+    analyze_corpus,
+    informative_ratio,
+    token_frequencies,
+    topic_coverage,
+)
+
+
+def make_doc():
+    return Document(
+        doc_id="d", url="", source="s", topic_id=0, family="f", website="w",
+        topic_tokens=("alpha", "beta"),
+        sentences=[["alpha", "x", "x"], ["y", "y", "y"]],
+        section_labels=[1, 0],
+        attributes=[AttributeSpan(0, 1, 2, "price")],
+    )
+
+
+def test_token_frequencies():
+    counts = token_frequencies([make_doc()])
+    assert counts["x"] == 2
+    assert counts["y"] == 3
+    assert counts["alpha"] == 1
+
+
+def test_informative_ratio():
+    assert informative_ratio(make_doc()) == pytest.approx(3 / 6)
+
+
+def test_informative_ratio_empty():
+    doc = make_doc()
+    doc.sentences = []
+    doc.section_labels = []
+    assert informative_ratio(doc) == 0.0
+
+
+def test_topic_coverage_partial():
+    # "alpha" appears in the body, "beta" does not.
+    assert topic_coverage(make_doc()) == pytest.approx(0.5)
+
+
+def test_topic_coverage_no_topic():
+    doc = make_doc()
+    doc.topic_tokens = ()
+    assert topic_coverage(doc) == 0.0
+
+
+def test_analyze_corpus_shape():
+    corpus = Corpus([make_doc()], {0: ("alpha", "beta")})
+    analysis = analyze_corpus(corpus, top_k=2)
+    assert analysis.num_documents == 1
+    assert analysis.num_tokens == 6
+    assert analysis.num_types == 3
+    assert analysis.attribute_type_counts == {"price": 1}
+    assert len(analysis.top_tokens) == 2
+    text = analysis.format()
+    assert "documents" in text and "price(1)" in text
+
+
+def test_analyze_real_corpus(small_corpus):
+    analysis = analyze_corpus(small_corpus)
+    assert analysis.mean_topic_coverage == 1.0  # topics literally on-page
+    assert 0.2 < analysis.mean_informative_ratio < 0.9
+    assert analysis.type_token_ratio < 0.5

@@ -1,0 +1,70 @@
+"""GloVe trainer tests."""
+
+import numpy as np
+
+from repro.data import build_cooccurrence, train_glove
+
+
+SENTENCES = (
+    [["cat", "sat", "mat"]] * 20
+    + [["dog", "sat", "mat"]] * 20
+    + [["stock", "price", "rose"]] * 20
+    + [["share", "price", "rose"]] * 20
+)
+VOCAB = {w: i for i, w in enumerate(sorted({w for s in SENTENCES for w in s}))}
+
+
+def test_cooccurrence_symmetry_and_weighting():
+    counts = build_cooccurrence([["a", "b", "c"]], {"a": 0, "b": 1, "c": 2}, window=2)
+    assert counts[(0, 1)] == counts[(1, 0)] == 1.0
+    assert counts[(0, 2)] == counts[(2, 0)] == 0.5  # distance 2
+    assert (0, 0) not in counts
+
+
+def test_cooccurrence_ignores_oov():
+    counts = build_cooccurrence([["a", "zzz", "b"]], {"a": 0, "b": 1}, window=2)
+    assert (0, 1) in counts
+
+
+def test_glove_trains_and_groups_similar_words():
+    model = train_glove(SENTENCES, VOCAB, dim=12, epochs=30, seed=0)
+    assert model.vectors.shape == (len(VOCAB), 12)
+
+    def cos(a, b):
+        va, vb = model.vector(a), model.vector(b)
+        return va @ vb / (np.linalg.norm(va) * np.linalg.norm(vb) + 1e-12)
+
+    # cat/dog share contexts; cat/price do not.
+    assert cos("cat", "dog") > cos("cat", "price")
+
+
+def test_vector_for_unknown_word_is_zero():
+    model = train_glove(SENTENCES, VOCAB, dim=8, epochs=2, seed=0)
+    assert np.allclose(model.vector("unknown-token"), 0.0)
+
+
+def test_matrix_for_external_vocab_order():
+    model = train_glove(SENTENCES, VOCAB, dim=8, epochs=2, seed=0)
+    matrix = model.matrix_for(["cat", "unknown", "dog"])
+    assert matrix.shape == (3, 8)
+    assert np.allclose(matrix[1], 0.0)
+    assert np.allclose(matrix[0], model.vector("cat"))
+
+
+def test_most_similar_excludes_query():
+    model = train_glove(SENTENCES, VOCAB, dim=8, epochs=10, seed=0)
+    neighbours = model.most_similar("cat", k=3)
+    assert len(neighbours) == 3
+    assert all(w != "cat" for w, _ in neighbours)
+    assert model.most_similar("zzz") == []
+
+
+def test_empty_cooccurrence_handled():
+    model = train_glove([], {"a": 0}, dim=4, epochs=1)
+    assert model.vectors.shape == (1, 4)
+
+
+def test_determinism():
+    a = train_glove(SENTENCES, VOCAB, dim=6, epochs=3, seed=9)
+    b = train_glove(SENTENCES, VOCAB, dim=6, epochs=3, seed=9)
+    assert np.allclose(a.vectors, b.vectors)

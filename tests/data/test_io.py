@@ -1,0 +1,73 @@
+"""Corpus JSONL import/export tests."""
+
+import json
+
+import pytest
+
+from repro.data import (
+    Corpus,
+    document_from_dict,
+    document_to_dict,
+    load_corpus_jsonl,
+    save_corpus_jsonl,
+)
+
+
+def test_document_dict_roundtrip(small_corpus):
+    doc = small_corpus[0]
+    rebuilt = document_from_dict(document_to_dict(doc))
+    assert rebuilt.doc_id == doc.doc_id
+    assert rebuilt.sentences == doc.sentences
+    assert rebuilt.section_labels == doc.section_labels
+    assert rebuilt.topic_tokens == doc.topic_tokens
+    assert rebuilt.attribute_texts() == doc.attribute_texts()
+    assert rebuilt.bio_tags() == doc.bio_tags()
+
+
+def test_corpus_jsonl_roundtrip(small_corpus, tmp_path):
+    path = tmp_path / "corpus.jsonl"
+    save_corpus_jsonl(small_corpus, str(path))
+    loaded = load_corpus_jsonl(str(path))
+    assert len(loaded) == len(small_corpus)
+    assert loaded.topic_phrases == small_corpus.topic_phrases
+    assert [d.doc_id for d in loaded] == [d.doc_id for d in small_corpus]
+    assert loaded.statistics() == small_corpus.statistics()
+
+
+def test_load_rejects_missing_header(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text('{"doc_id": "x"}\n')
+    with pytest.raises(ValueError):
+        load_corpus_jsonl(str(path))
+
+
+def test_load_rejects_empty_file(tmp_path):
+    path = tmp_path / "empty.jsonl"
+    path.write_text("")
+    with pytest.raises(ValueError):
+        load_corpus_jsonl(str(path))
+
+
+def test_load_reports_bad_record_line(small_corpus, tmp_path):
+    path = tmp_path / "corrupt.jsonl"
+    save_corpus_jsonl(small_corpus, str(path))
+    lines = path.read_text().splitlines()
+    record = json.loads(lines[1])
+    del record["sentences"]
+    lines[1] = json.dumps(record)
+    path.write_text("\n".join(lines) + "\n")
+    with pytest.raises(ValueError, match=":2:"):
+        load_corpus_jsonl(str(path))
+
+
+def test_external_schema_minimal_fields():
+    payload = {
+        "doc_id": "real-page",
+        "topic_id": 0,
+        "sentences": [["real", "tokens"]],
+        "section_labels": [1],
+        "topic_tokens": ["a", "topic"],
+    }
+    doc = document_from_dict(payload)
+    assert doc.source == "external"
+    assert doc.attributes == []

@@ -1,0 +1,128 @@
+"""Dataset construction tests: taxonomy, templates, websites, corpus shape."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    DatasetConfig,
+    SyntheticWebsite,
+    build_corpus,
+    build_swde_corpus,
+    build_taxonomy,
+    document_from_html,
+)
+from repro.data.taxonomy import CATEGORY_POOL, FAMILY_SPECS, family_categories, topic_id_for
+from repro.data.templates import content_page_html, make_style, sample_page_values
+
+
+def test_taxonomy_size_and_uniqueness():
+    topics = build_taxonomy()
+    assert len(topics) == len(FAMILY_SPECS) * 8
+    assert len({t.topic_id for t in topics}) == len(topics)
+    assert len({(t.family, t.category) for t in topics}) == len(topics)
+
+
+def test_every_topic_has_four_attributes():
+    for topic in build_taxonomy():
+        assert len(topic.attributes) == 4  # paper §IV-A1
+
+
+def test_topic_phrases_are_short():
+    for topic in build_taxonomy():
+        assert 3 <= len(topic.phrase) <= 4
+
+
+def test_categories_shared_across_families():
+    a = set(family_categories(0))
+    b = set(family_categories(1))
+    assert len(a & b) == 7  # stride-1 overlap
+
+
+def test_topic_id_for_roundtrip():
+    topics = build_taxonomy()
+    t = topics[17]
+    family_index = [f.name for f in FAMILY_SPECS].index(t.family)
+    assert topic_id_for(family_index, t.category) == t.topic_id
+    with pytest.raises(KeyError):
+        topic_id_for(0, "nonexistent")
+
+
+def test_content_page_contains_markers(rng):
+    topic = build_taxonomy()[0]
+    style = make_style(rng)
+    values = sample_page_values(topic, rng)
+    html = content_page_html(topic, values, style, rng, page_index=0)
+    assert "wb-informative" in html
+    assert html.count("wb-attr") == 4
+    assert f'data-wb-topic="{" ".join(topic.phrase)}"' in html
+
+
+def test_numeric_attribute_values_look_like_prices(rng):
+    topic = build_taxonomy()[0]  # shopping has a numeric price
+    values = sample_page_values(topic, rng)
+    price = values.values["price"]
+    assert "." in price and price.replace(".", "").isdigit()
+
+
+def test_website_serves_root_content_media(rng):
+    topic = build_taxonomy()[0]
+    site = SyntheticWebsite("x.example", topic, num_pages=3, rng=rng)
+    assert site.fetch(site.root_url) is not None
+    assert site.fetch("https://x.example/page-0.html") is not None
+    assert site.fetch("https://x.example/clip-0.html") is not None
+    assert site.fetch("https://x.example/nope.html") is None
+    assert len(site.urls) == 3 + 2 + 1
+
+
+def test_document_recovery_from_html(rng):
+    topic = build_taxonomy()[0]
+    style = make_style(rng)
+    values = sample_page_values(topic, rng)
+    html = content_page_html(topic, values, style, rng, page_index=0)
+    doc = document_from_html(html, "t", "u", "jasmine", topic, "site")
+    assert doc.num_sentences > 5
+    assert sum(doc.section_labels) == 6  # intro + category line + 4 attributes
+    assert len(doc.attributes) == 4
+    types = {a.attribute_type for a in doc.attributes}
+    assert types == {a.name for a in topic.attributes}
+    # Attribute spans decode to the planted values (post-tokenisation).
+    for span in doc.attributes:
+        assert span.tokens(doc)
+
+
+def test_attribute_spans_inside_informative_sections(small_corpus):
+    for doc in small_corpus:
+        for span in doc.attributes:
+            assert doc.section_labels[span.sentence_index] == 1
+
+
+def test_corpus_determinism():
+    config = DatasetConfig(num_topics=2, pages_per_site=3, seed=5)
+    a = build_corpus(config)
+    b = build_corpus(config)
+    assert [d.doc_id for d in a] == [d.doc_id for d in b]
+    assert a[0].sentences == b[0].sentences
+
+
+def test_corpus_respects_explicit_topic_ids():
+    config = DatasetConfig(num_topics=2, pages_per_site=3, seed=5, topic_ids=(10, 20))
+    corpus = build_corpus(config)
+    assert sorted(corpus.topic_ids) == [10, 20]
+
+
+def test_corpus_rejects_bad_topic_ids():
+    with pytest.raises(ValueError):
+        build_corpus(DatasetConfig(topic_ids=(9999,)))
+    with pytest.raises(ValueError):
+        build_corpus(DatasetConfig(num_topics=10_000))
+
+
+def test_swde_corpus_disjoint_topics(small_corpus):
+    swde = build_swde_corpus(num_topics=2, pages_per_site=3)
+    assert set(swde.topic_ids).isdisjoint(small_corpus.topic_ids)
+    assert all(d.source == "swde" for d in swde)
+
+
+def test_pages_per_site_honoured():
+    corpus = build_corpus(DatasetConfig(num_topics=1, pages_per_site=5, sites_per_topic=2))
+    assert len(corpus) == 10

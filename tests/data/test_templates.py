@@ -1,0 +1,81 @@
+"""Page template tests: styles, index/media pages, attribute sentences."""
+
+import numpy as np
+import pytest
+
+from repro.data.taxonomy import build_taxonomy
+from repro.data.templates import (
+    WebsiteStyle,
+    content_page_html,
+    index_page_html,
+    make_style,
+    media_page_html,
+    sample_page_values,
+)
+from repro.html import parse_html, render_visible_text
+
+
+@pytest.fixture()
+def topic():
+    return build_taxonomy()[0]
+
+
+def test_make_style_deterministic():
+    a = make_style(np.random.default_rng(5))
+    b = make_style(np.random.default_rng(5))
+    assert a == b
+    c = make_style(np.random.default_rng(6))
+    assert a != c
+
+
+def test_styles_vary_layout():
+    layouts = {make_style(np.random.default_rng(i)).layout for i in range(20)}
+    assert layouts == {"top", "split"}
+
+
+def test_sample_page_values_covers_schema(topic):
+    values = sample_page_values(topic, np.random.default_rng(0))
+    assert set(values.values) == {a.name for a in topic.attributes}
+    assert all(isinstance(v, str) and v for _, v in values.items())
+
+
+def test_content_page_is_parseable_and_category_rich(topic):
+    rng = np.random.default_rng(1)
+    html = content_page_html(topic, sample_page_values(topic, rng), make_style(rng), rng, 0)
+    text = render_visible_text(html)
+    # Category word repeated across informative sentences (the readout signal).
+    assert text.count(topic.category) >= 5
+    assert " ".join(topic.phrase) in text
+
+
+def test_content_page_scripts_invisible(topic):
+    rng = np.random.default_rng(1)
+    html = content_page_html(topic, sample_page_values(topic, rng), make_style(rng), rng, 0)
+    assert "tracker" in html
+    assert "tracker" not in render_visible_text(html)
+
+
+def test_index_page_lists_links():
+    style = make_style(np.random.default_rng(2))
+    html = index_page_html(style, ["http://a/x.html", "http://a/y.html"])
+    root = parse_html(html)
+    hrefs = [a.get("href") for a in root.find_all("a")]
+    assert "http://a/x.html" in hrefs and "http://a/y.html" in hrefs
+
+
+def test_media_page_has_video():
+    style = make_style(np.random.default_rng(3))
+    root = parse_html(media_page_html(style, "clip-0"))
+    assert root.find("video") is not None
+
+
+def test_noise_sentences_parameter(topic):
+    rng = np.random.default_rng(4)
+    few = content_page_html(
+        topic, sample_page_values(topic, rng), make_style(rng), rng, 0, noise_sentences=1
+    )
+    rng = np.random.default_rng(4)
+    many = content_page_html(
+        topic, sample_page_values(topic, rng), make_style(rng), rng, 0, noise_sentences=6
+    )
+    assert len(render_visible_text(many).split("\n")) > len(render_visible_text(few).split("\n"))

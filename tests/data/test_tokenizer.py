@@ -1,0 +1,65 @@
+"""WordPiece trainer/encoder tests."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import WordPieceTokenizer, train_wordpiece
+from repro.data.preprocessing import DIGIT_TOKEN
+
+CORPUS = (
+    ["shopping"] * 20 + ["shopper"] * 10 + ["shop"] * 30 + ["stopping"] * 5
+    + ["listing"] * 20 + ["listings"] * 15 + ["list"] * 10
+)
+
+
+def test_training_learns_merges():
+    pieces = train_wordpiece(CORPUS, vocab_size=200)
+    assert "shop" in pieces or any(p.startswith("sh") for p in pieces)
+    # single characters always present
+    assert "s" in pieces
+    assert any(p.startswith("##") for p in pieces)
+
+
+def test_roundtrip_known_words():
+    tok = WordPieceTokenizer.train(CORPUS, vocab_size=300)
+    pieces = tok.tokenize_word("shopping")
+    rebuilt = pieces[0] + "".join(p[2:] for p in pieces[1:])
+    assert rebuilt == "shopping"
+
+
+def test_protected_tokens_pass_through():
+    tok = WordPieceTokenizer.train(CORPUS, vocab_size=100)
+    assert tok.tokenize_word(DIGIT_TOKEN) == [DIGIT_TOKEN]
+    assert tok.tokenize_word(",") == [","]
+    assert tok.tokenize_word("[CLS]") == ["[CLS]"]
+
+
+def test_unknown_characters_map_to_unk():
+    tok = WordPieceTokenizer.train(["abc"], vocab_size=10)
+    assert tok.tokenize_word("xyz") == ["[UNK]"]
+
+
+def test_alignment_maps_pieces_to_words():
+    tok = WordPieceTokenizer.train(CORPUS, vocab_size=60)
+    pieces, alignment = tok.tokenize(["shop", "listing"])
+    assert len(pieces) == len(alignment)
+    assert alignment[0] == 0
+    assert alignment[-1] == 1
+    assert sorted(set(alignment)) == [0, 1]
+
+
+def test_longest_match_first():
+    tok = WordPieceTokenizer(["a", "ab", "abc", "##d", "##cd"])
+    assert tok.tokenize_word("abcd") == ["abc", "##d"]
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.text(alphabet="abcde", min_size=1, max_size=8), min_size=1, max_size=30))
+def test_tokenize_never_crashes_and_reconstructs(words):
+    tok = WordPieceTokenizer.train(words + ["abcde"], vocab_size=50)
+    for word in words:
+        pieces = tok.tokenize_word(word)
+        assert pieces
+        if pieces != ["[UNK]"]:
+            rebuilt = pieces[0] + "".join(p[2:] for p in pieces[1:])
+            assert rebuilt == word

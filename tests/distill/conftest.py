@@ -1,0 +1,49 @@
+"""Distillation-test fixtures: a tiny world with teacher/students."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.data import Vocabulary, build_jasmine_corpus
+from repro.distill import TopicPhraseBank
+from repro.models import BertSumEncoder, SingleTaskExtractor, SingleTaskGenerator, make_joint_model
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return build_jasmine_corpus(num_topics=2, pages_per_site=3, seed=21)
+
+
+@pytest.fixture(scope="module")
+def vocab(corpus):
+    return Vocabulary.from_corpus(corpus)
+
+
+def _encoder(vocab, seed):
+    rng = np.random.default_rng(seed)
+    bert = nn.MiniBert(vocab_size=len(vocab), dim=12, num_layers=1, num_heads=2, rng=rng, max_len=256)
+    return BertSumEncoder(vocab, bert)
+
+
+@pytest.fixture()
+def joint_teacher(corpus, vocab):
+    rng = np.random.default_rng(1)
+    return make_joint_model("Joint-WB", _encoder(vocab, 1), vocab, 6, rng)
+
+
+@pytest.fixture()
+def gen_student(vocab):
+    return SingleTaskGenerator(_encoder(vocab, 2), vocab, 6, np.random.default_rng(2))
+
+
+@pytest.fixture()
+def ext_student(vocab):
+    return SingleTaskExtractor(_encoder(vocab, 3), vocab, 6, np.random.default_rng(3))
+
+
+@pytest.fixture()
+def bank(corpus, vocab, joint_teacher):
+    bank = TopicPhraseBank(embedding_dim=6, bank_dim=5, rng=np.random.default_rng(4))
+    phrases = list(corpus.topic_phrases.values())
+    bank.build(phrases, joint_teacher.generator.embedding.weight.data, vocab)
+    return bank

@@ -1,0 +1,85 @@
+"""Unit tests for the distillation building blocks: R bank, ID loss, UD loss."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.distill import (
+    IdentificationDistiller,
+    TopicPhraseBank,
+    soften,
+    understanding_loss,
+)
+
+
+def test_bank_requires_build(rng):
+    bank = TopicPhraseBank(4, 3, rng)
+    with pytest.raises(RuntimeError):
+        _ = bank.matrix
+
+
+def test_bank_build_shape(bank, corpus):
+    assert bank.matrix.shape == (len(corpus.topic_phrases), 5)
+    assert bank.num_topics == len(corpus.topic_phrases)
+    assert len(bank.phrases) == bank.num_topics
+
+
+def test_bank_is_frozen(bank):
+    assert not bank.matrix.requires_grad
+
+
+def test_bank_rejects_empty(rng):
+    from repro.data import Vocabulary
+
+    bank = TopicPhraseBank(4, 3, rng)
+    with pytest.raises(ValueError):
+        bank.build([], np.zeros((5, 4)), Vocabulary([]))
+
+
+def test_soften_flattens_distribution(rng):
+    logits = nn.Tensor(rng.normal(size=(3, 5)) * 5)
+    sharp = soften(logits, 1.0).data
+    flat = soften(logits, 4.0).data
+    assert flat.max() < sharp.max()
+    assert np.allclose(flat.sum(axis=-1), 1.0)
+    with pytest.raises(ValueError):
+        soften(logits, 0.0)
+
+
+def test_understanding_loss_zero_when_equal(rng):
+    logits = nn.Tensor(rng.normal(size=(4, 6)))
+    assert understanding_loss(logits, logits).item() < 1e-10
+
+
+def test_understanding_loss_gradient_flows_to_student_only(rng):
+    teacher = nn.Tensor(rng.normal(size=(4, 6)), requires_grad=True)
+    student = nn.Tensor(rng.normal(size=(4, 6)), requires_grad=True)
+    understanding_loss(teacher, student, temperature=2.0).backward()
+    assert teacher.grad is None
+    assert student.grad is not None
+
+
+def test_understanding_loss_shape_mismatch(rng):
+    with pytest.raises(ValueError):
+        understanding_loss(nn.Tensor(np.ones((2, 3))), nn.Tensor(np.ones((3, 3))))
+
+
+def test_identification_distiller_loss(bank, rng):
+    ident = IdentificationDistiller(teacher_dim=7, student_dim=9, bank=bank, rng=rng)
+    teacher_hidden = nn.Tensor(rng.normal(size=(10, 7)))
+    student_hidden = nn.Tensor(rng.normal(size=(10, 9)), requires_grad=True)
+    loss = ident.loss(teacher_hidden, student_hidden)
+    assert loss.item() >= 0
+    loss.backward()
+    assert student_hidden.grad is not None
+    assert ident.student_attention.weight.grad is not None
+
+
+def test_identification_distributions_normalised(bank, rng):
+    ident = IdentificationDistiller(teacher_dim=7, student_dim=7, bank=bank, rng=rng)
+    hidden = nn.Tensor(rng.normal(size=(6, 7)))
+    a_t = ident.teacher_distribution(hidden)
+    a_s = ident.student_distribution(hidden)
+    assert a_t.shape == (6, bank.num_topics)
+    assert np.allclose(a_t.data.sum(axis=-1), 1.0)
+    assert np.allclose(a_s.data.sum(axis=-1), 1.0)

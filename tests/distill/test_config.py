@@ -1,0 +1,58 @@
+"""DistillConfig / distill_config helper tests."""
+
+import numpy as np
+import pytest
+
+from repro.distill import DistillConfig, DualDistiller
+from repro.experiments.common import distill_config
+from repro.experiments.config import small
+
+
+def test_defaults_match_paper():
+    config = DistillConfig()
+    assert config.alpha == 0.1
+    assert config.gamma == 2.0
+    assert config.ud_weight == 1.0  # the paper's recipe
+    assert config.lambda_id == 0.1
+    assert config.mu_extraction == 1.0
+    assert config.nu_generation == 2.25
+
+
+def test_distill_config_uses_scale_calibration():
+    scale = small()
+    config = distill_config(scale)
+    assert config.learning_rate == scale.distill_learning_rate
+    assert config.epochs == scale.distill_epochs
+    assert config.ud_weight == scale.distill_ud_weight
+
+
+def test_distill_config_overrides():
+    config = distill_config(small(), alpha=0.7, seed=99)
+    assert config.alpha == 0.7
+    assert config.seed == 99
+
+
+def test_ud_weight_scales_total_loss(joint_teacher, gen_student, bank, corpus):
+    doc = corpus[0]
+    low = DualDistiller(
+        joint_teacher, gen_student, bank, "generation",
+        DistillConfig(ud_weight=0.0, use_id=False),
+    ).total_loss(doc).item()
+    high = DualDistiller(
+        joint_teacher, gen_student, bank, "generation",
+        DistillConfig(ud_weight=1.0, use_id=False),
+    ).total_loss(doc).item()
+    assert high > low  # the UD term contributes
+
+
+def test_alpha_scales_total_loss(joint_teacher, gen_student, bank, corpus):
+    doc = corpus[0]
+    base = DualDistiller(
+        joint_teacher, gen_student, bank, "generation",
+        DistillConfig(alpha=0.0, use_ud=False),
+    ).total_loss(doc).item()
+    with_id = DualDistiller(
+        joint_teacher, gen_student, bank, "generation",
+        DistillConfig(alpha=5.0, use_ud=False),
+    ).total_loss(doc).item()
+    assert with_id > base

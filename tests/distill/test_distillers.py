@@ -1,0 +1,131 @@
+"""Dual/Tri/Pipeline distiller integration tests (tiny scale)."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.distill import (
+    DistillConfig,
+    DualDistiller,
+    PipelineDistiller,
+    TriDistiller,
+    extraction_view,
+    generation_view,
+    make_variant_distiller,
+    with_topic,
+)
+from repro.models import SingleTaskExtractor, SingleTaskGenerator, make_joint_model
+
+
+CFG = DistillConfig(epochs=1, learning_rate=5e-3, seed=0)
+
+
+def test_dual_distiller_validates_task(joint_teacher, gen_student, bank):
+    with pytest.raises(ValueError):
+        DualDistiller(joint_teacher, gen_student, bank, task="translation")
+
+
+def test_dual_losses_components_generation(joint_teacher, gen_student, bank, corpus):
+    distiller = DualDistiller(joint_teacher, gen_student, bank, "generation", CFG)
+    parts = distiller.losses(corpus[0])
+    assert set(parts) == {"task", "id", "ud"}
+    assert all(np.isfinite(v.item()) for v in parts.values())
+    total = distiller.total_loss(corpus[0])
+    assert total.item() > 0
+
+
+def test_dual_losses_components_extraction(joint_teacher, ext_student, bank, corpus):
+    distiller = DualDistiller(joint_teacher, ext_student, bank, "extraction", CFG)
+    parts = distiller.losses(corpus[0])
+    assert set(parts) == {"task", "id", "ud"}
+
+
+def test_variant_flags(joint_teacher, gen_student, bank, corpus):
+    id_only = make_variant_distiller("ID only", joint_teacher, gen_student, bank, "generation", CFG)
+    parts = id_only.losses(corpus[0])
+    assert "ud" not in parts and "id" in parts
+    ud_only = make_variant_distiller("UD only", joint_teacher, gen_student, bank, "generation", CFG)
+    parts = ud_only.losses(corpus[0])
+    assert "id" not in parts and "ud" in parts
+    assert make_variant_distiller("No Distill", joint_teacher, gen_student, bank, "generation") is None
+    with pytest.raises(KeyError):
+        make_variant_distiller("Quad", joint_teacher, gen_student, bank, "generation")
+
+
+def test_teacher_parameters_frozen_during_distillation(joint_teacher, gen_student, bank, corpus):
+    distiller = DualDistiller(joint_teacher, gen_student, bank, "generation", CFG)
+    teacher_before = {k: v.copy() for k, v in joint_teacher.state_dict().items()}
+    distiller.train(list(corpus)[:4], epochs=1)
+    teacher_after = joint_teacher.state_dict()
+    for key in teacher_before:
+        assert np.allclose(teacher_before[key], teacher_after[key]), key
+
+
+def test_distillation_reduces_loss(joint_teacher, gen_student, bank, corpus):
+    config = DistillConfig(epochs=3, learning_rate=5e-3, seed=0)
+    distiller = DualDistiller(joint_teacher, gen_student, bank, "generation", config)
+    history = distiller.train(list(corpus)[:6])
+    assert len(history) == 3
+    assert history[-1] < history[0]
+
+
+def test_tri_distiller_requires_joint_models(joint_teacher, gen_student, bank):
+    with pytest.raises(TypeError):
+        TriDistiller(joint_teacher, gen_student, bank)
+
+
+def test_tri_losses_and_training(joint_teacher, vocab, bank, corpus):
+    student = make_joint_model(
+        "Naive-Join",
+        joint_teacher.encoder.__class__(
+            vocab,
+            nn.MiniBert(vocab_size=len(vocab), dim=12, num_layers=1, num_heads=2,
+                        rng=np.random.default_rng(8), max_len=256),
+        ),
+        vocab,
+        6,
+        np.random.default_rng(8),
+    )
+    distiller = TriDistiller(joint_teacher, student, bank, CFG)
+    parts = distiller.losses(corpus[0])
+    assert {"task_extraction", "task_generation", "id", "ud_extraction", "ud_generation"} <= set(parts)
+    history = distiller.train(list(corpus)[:4], epochs=1)
+    assert len(history) == 1 and np.isfinite(history[0])
+
+
+def test_pipeline_requires_prior_topic_student(joint_teacher, gen_student, ext_student, bank):
+    with pytest.raises(ValueError):
+        PipelineDistiller(joint_teacher, gen_student, ext_student, bank, CFG)
+
+
+def test_pipeline_trains_and_predicts(joint_teacher, gen_student, vocab, bank, corpus):
+    ext_student = SingleTaskExtractor(
+        gen_student.encoder, vocab, 6, np.random.default_rng(5), prior_topic=True
+    )
+    pipeline = PipelineDistiller(joint_teacher, gen_student, ext_student, bank, CFG)
+    pipeline.train(list(corpus)[:4], epochs=1)
+    attrs = pipeline.predict_attributes(corpus[0])
+    topic = pipeline.predict_topic(corpus[0])
+    assert isinstance(attrs, list) and isinstance(topic, list)
+
+
+def test_views_dispatch(joint_teacher, gen_student, ext_student, corpus):
+    doc = corpus[0]
+    ext_view = extraction_view(joint_teacher, doc)
+    assert ext_view.logits.shape == (doc.num_tokens, 3)
+    gen_view = generation_view(gen_student, doc)
+    assert gen_view.step_logits.shape[0] == len(doc.topic_tokens) + 1
+    ext_view2 = extraction_view(ext_student, doc)
+    assert ext_view2.hidden.shape[0] == doc.num_tokens
+    with pytest.raises(TypeError):
+        extraction_view(gen_student, doc)
+    with pytest.raises(TypeError):
+        generation_view(ext_student, doc)
+
+
+def test_with_topic_substitution(corpus):
+    doc = corpus[0]
+    new = with_topic(doc, ["fresh", "topic"])
+    assert new.topic_tokens == ("fresh", "topic")
+    assert doc.topic_tokens != new.topic_tokens
+    assert new.sentences is doc.sentences

@@ -1,0 +1,56 @@
+"""Experiment config and ResultTable tests."""
+
+import pytest
+
+from repro.experiments import ExperimentScale, ResultTable, paper_shape, small, tiny
+
+
+def test_presets_are_frozen_and_hashable():
+    assert hash(small()) == hash(small())
+    assert tiny() != small()
+    with pytest.raises(Exception):
+        small().seed = 99  # frozen dataclass
+
+
+def test_with_seed():
+    assert small().with_seed(5).seed == 5
+    assert small().with_seed(5) != small()
+
+
+def test_paper_shape_proportions():
+    shape = paper_shape()
+    assert shape.num_seen_topics == 140
+    assert shape.num_unseen_topics == 20
+    assert shape.max_tokens == 2048
+
+
+def test_result_table_add_and_query():
+    table = ResultTable(title="T", columns=["A", "B"])
+    table.add_row("x", {"A": 1.0, "B": 2.0})
+    table.add_row("y", {"A": 3.0})
+    assert table.value("x", "B") == 2.0
+    assert table.best_row("A") == "y"
+    assert table.ordering_holds("A", better="y", worse="x")
+    assert table.ordering_holds("A", better="x", worse="y", slack=5.0)
+    assert not table.ordering_holds("A", better="x", worse="y")
+    with pytest.raises(KeyError):
+        table.add_row("z", {"C": 1.0})
+    with pytest.raises(KeyError):
+        table.best_row("C")
+
+
+def test_result_table_format_includes_reference_and_missing_cells():
+    table = ResultTable(
+        title="Demo",
+        columns=["A", "B"],
+        paper_reference={"x": {"A": 9.0}},
+        notes=["a note"],
+    )
+    table.add_row("x", {"A": 1.234})
+    text = table.format()
+    assert "Demo" in text
+    assert "1.23" in text
+    assert "(9.00)" in text
+    assert "note: a note" in text
+    assert "-" in text  # missing B cell
+    assert table.as_dict() == {"x": {"A": 1.234}}

@@ -1,0 +1,103 @@
+"""End-to-end experiment runner plumbing at micro scale.
+
+These tests verify the table runners execute and produce well-formed tables;
+the *shape* assertions (who wins) live in benchmarks/ at the calibrated
+scale, where models are actually trained to convergence.
+"""
+
+import pytest
+
+from repro.experiments import (
+    ExperimentScale,
+    clear_world_cache,
+    run_dataset_quality,
+    run_joint_tables,
+    run_sensitivity,
+    run_table4,
+    run_table5,
+    run_table6,
+    run_table7,
+    run_table10,
+)
+
+MICRO = ExperimentScale(
+    num_seen_topics=3,
+    num_unseen_topics=1,
+    pages_per_site=3,
+    epochs=1,
+    distill_epochs=1,
+    bert_dim=12,
+    bert_layers=1,
+    hidden_dim=6,
+    glove_dim=8,
+    beam_size=2,
+)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def fresh_cache():
+    clear_world_cache()
+    yield
+    clear_world_cache()
+
+
+pytestmark = pytest.mark.slow
+
+
+def _assert_full(table, expect_rows):
+    assert set(expect_rows) <= set(table.row_names())
+    for row in table.row_names():
+        for column, value in table.rows[row].items():
+            assert value == value  # not NaN
+
+
+def test_table4_micro():
+    table = run_table4(MICRO)
+    _assert_full(table, ["No Distill", "ID only", "UD only", "Dual-Distill"])
+    assert table.columns[0] == "unseen EM"
+
+
+def test_table5_micro():
+    table = run_table5(MICRO)
+    _assert_full(table, ["No Distill", "Dual-Distill", "Pip-Distill", "Tri-Distill"])
+    assert "BERT-Single EM" not in table.rows["Tri-Distill"]
+    assert "Joint-WB EM" in table.rows["Tri-Distill"]
+
+
+def test_table6_and_7_micro():
+    t6 = run_table6(MICRO)
+    _assert_full(t6, ["GloVe->Bi-LSTM", "Joint-WB"])
+    t7 = run_table7(MICRO)
+    _assert_full(t7, ["GloVe->[Bi-LSTM, LSTM]", "Joint-WB"])
+
+
+def test_tables_8_9_micro():
+    t8, t9 = run_joint_tables(MICRO)
+    _assert_full(t8, ["Naive-Join", "Joint-WB"])
+    _assert_full(t9, ["Naive-Join", "Joint-WB"])
+    assert len(t8.row_names()) == 7
+
+
+def test_table10_micro():
+    table = run_table10(MICRO, num_raters=3)
+    _assert_full(table, ["Tri-Distill", "Naive joint"])
+    assert len(table.row_names()) == 8
+
+
+def test_sensitivity_micro():
+    table = run_sensitivity(MICRO, num_pairs=4)
+    _assert_full(table, ["Joint-WB (no distill)", "Dual-Distill", "Tri-Distill"])
+
+
+def test_dataset_quality_micro():
+    table = run_dataset_quality(MICRO, num_pages=10, num_raters=3)
+    _assert_full(table, ["content-rich", "topic suitable", "attributes correct"])
+
+
+def test_ablation_sweeps_micro():
+    from repro.experiments import run_alpha_sweep, run_gamma_sweep
+
+    alpha_table = run_alpha_sweep(MICRO, alphas=(0.0, 0.1))
+    _assert_full(alpha_table, ["alpha=0.0", "alpha=0.1"])
+    gamma_table = run_gamma_sweep(MICRO, gammas=(2.0,))
+    _assert_full(gamma_table, ["gamma=2.0"])

@@ -1,0 +1,74 @@
+"""Structure-driven crawler tests against synthetic websites."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthesizer import SyntheticWebsite
+from repro.data.taxonomy import build_taxonomy
+from repro.html import StructureDrivenCrawler, parse_html, structure_signature
+
+
+@pytest.fixture()
+def website():
+    topic = build_taxonomy()[0]
+    return SyntheticWebsite("site.example", topic, num_pages=6, rng=np.random.default_rng(3))
+
+
+def test_crawl_harvests_content_pages_only(website):
+    result = StructureDrivenCrawler().crawl(website)
+    assert len(result.pages) == 6
+    assert result.skipped_media == 2
+    assert result.skipped_index >= 1
+    assert all("page-" in p.url for p in result.pages)
+
+
+def test_content_pages_share_template_signature(website):
+    result = StructureDrivenCrawler().crawl(website)
+    signatures = {p.signature for p in result.pages}
+    assert len(signatures) == 1
+
+
+def test_max_pages_respected(website):
+    result = StructureDrivenCrawler(max_pages=3).crawl(website)
+    assert len(result.pages) <= 3
+
+
+def test_crawl_visits_are_bounded(website):
+    result = StructureDrivenCrawler(max_visits=2).crawl(website)
+    assert result.visited <= 2
+
+
+def test_structure_signature_distinguishes_templates():
+    a = parse_html("<html><body><div><p>x</p></div></body></html>")
+    b = parse_html("<html><body><ul><li>x</li></ul></body></html>")
+    c = parse_html("<html><body><div><p>completely different words</p></div></body></html>")
+    assert structure_signature(a) != structure_signature(b)
+    assert structure_signature(a) == structure_signature(c)  # same template
+
+
+def test_404_urls_are_skipped(website):
+    class Host:
+        root_url = website.root_url
+
+        def fetch(self, url):
+            if url == website.root_url:
+                return '<html><body><a href="/missing.html">m</a>' + website.fetch(url) + "</body></html>"
+            return website.fetch(url)
+
+    result = StructureDrivenCrawler().crawl(Host())
+    assert all(p.html is not None for p in result.pages)
+
+
+def test_media_classification_by_extension():
+    crawler = StructureDrivenCrawler()
+    root = parse_html("<html><body><p>some long enough textual content here for sure, " + "x " * 50 + "</p></body></html>")
+    assert crawler._classify("http://a/video.mp4", root, "text " * 60) == "media"
+    assert crawler._classify("http://a/page.html", root, "text " * 60) == "content"
+
+
+def test_index_classification_by_link_density():
+    crawler = StructureDrivenCrawler()
+    links = "".join(f'<a href="/p{i}">l</a>' for i in range(30))
+    root = parse_html(f"<html><body>{links}</body></html>")
+    text = "l " * 50  # enough text length, but one link per word
+    assert crawler._classify("http://a/", root, text) == "index"

@@ -1,0 +1,71 @@
+"""Visible-text renderer tests — the Selenium-substitute contract."""
+
+import numpy as np
+
+from repro.html import render_page, render_visible_text
+
+
+def test_script_style_head_invisible():
+    html = """<html><head><title>T</title><style>p{}</style></head>
+    <body><script>var x=1;</script><p>visible</p></body></html>"""
+    text = render_visible_text(html)
+    assert "visible" in text
+    assert "var x" not in text and "T" not in text and "p{}" not in text
+
+
+def test_display_none_and_hidden_attribute():
+    html = """<div><p style="display:none">secret</p>
+    <p hidden>also secret</p><p style="visibility: hidden">too</p>
+    <p>shown</p></div>"""
+    text = render_visible_text(html)
+    assert text == "shown"
+
+
+def test_block_elements_create_lines():
+    html = "<div><p>one</p><p>two</p><span>same</span><span>line</span></div>"
+    page = render_page(html)
+    assert page.lines[0] == "one"
+    assert page.lines[1] == "two"
+    assert page.lines[2] == "same line"
+
+
+def test_whitespace_collapsed():
+    text = render_visible_text("<p>a   lot\n\n of    space</p>")
+    assert text == "a lot of space"
+
+
+def test_segments_carry_markers_and_line_indices():
+    html = """<section class="wb-informative"><p>intro here</p>
+    <p>the price is <span class="wb-attr" data-attr-type="price">42</span> now</p></section>
+    <footer><p>boilerplate</p></footer>"""
+    page = render_page(html)
+    by_line = page.segments_by_line()
+    assert len(by_line) == len(page.lines)
+    intro_segments = by_line[0]
+    assert all("wb-informative" in s.marker_classes for s in intro_segments)
+    attr_segments = [s for line in by_line for s in line if "wb-attr" in s.marker_classes]
+    assert len(attr_segments) == 1
+    assert attr_segments[0].text == "42"
+    assert attr_segments[0].data_attributes == {"data-attr-type": "price"}
+    footer_segments = by_line[-1]
+    assert all("wb-informative" not in s.marker_classes for s in footer_segments)
+
+
+def test_inline_span_stays_on_parent_line():
+    page = render_page("<p>before <span>inside</span> after</p>")
+    assert page.lines == ["before inside after"]
+    assert {s.line_index for s in page.segments} == {0}
+
+
+def test_lines_match_segment_grouping_exactly():
+    html = "<div><p>a</p>plain<p>b</p></div>"
+    page = render_page(html)
+    grouped = page.segments_by_line()
+    rebuilt = [" ".join(s.text for s in group) for group in grouped]
+    assert rebuilt == page.lines
+
+
+def test_empty_page_renders_empty():
+    page = render_page("<html><head></head><body></body></html>")
+    assert page.text == ""
+    assert page.segments == []

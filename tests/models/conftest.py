@@ -1,0 +1,25 @@
+"""Model-test fixtures: a tiny encoder and corpus documents."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.models import BertSumEncoder, GloveEncoder
+
+
+@pytest.fixture(scope="module")
+def doc(small_corpus):
+    return small_corpus[0]
+
+
+@pytest.fixture()
+def bertsum_encoder(small_vocab, rng):
+    bert = nn.MiniBert(
+        vocab_size=len(small_vocab), dim=16, num_layers=1, num_heads=2, rng=rng, max_len=256
+    )
+    return BertSumEncoder(small_vocab, bert)
+
+
+@pytest.fixture()
+def glove_encoder(small_vocab, rng):
+    return GloveEncoder(small_vocab, dim=16, rng=rng, trainable=True)

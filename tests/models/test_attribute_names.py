@@ -1,0 +1,107 @@
+"""Attribute-name classifier tests (the paper's future-work extension)."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.models import (
+    AttributeNameClassifier,
+    collect_type_inventory,
+    span_representations,
+)
+
+
+def test_collect_type_inventory(small_corpus):
+    inventory = collect_type_inventory(list(small_corpus))
+    assert len(inventory) >= 3
+    assert inventory == sorted(inventory)
+
+
+def test_collect_type_inventory_empty():
+    with pytest.raises(ValueError):
+        collect_type_inventory([])
+
+
+def test_span_representations_shapes(small_corpus, rng):
+    doc = small_corpus[0]
+    hidden = nn.Tensor(rng.normal(size=(doc.num_tokens, 10)))
+    reps = span_representations(hidden, doc, doc.attributes)
+    assert reps.shape == (len(doc.attributes), 10)
+
+
+def test_span_representation_is_span_mean(small_corpus, rng):
+    doc = small_corpus[0]
+    hidden_data = rng.normal(size=(doc.num_tokens, 6))
+    reps = span_representations(nn.Tensor(hidden_data), doc, doc.attributes[:1])
+    span = doc.attributes[0]
+    base = doc.sentence_offsets()[span.sentence_index]
+    manual = hidden_data[base + span.start : base + span.end].mean(axis=0)
+    assert np.allclose(reps.data[0], manual)
+
+
+def test_classifier_validation(rng):
+    with pytest.raises(ValueError):
+        AttributeNameClassifier(8, [], rng)
+
+
+def test_classifier_loss_and_predict(small_corpus, rng):
+    docs = list(small_corpus)
+    inventory = collect_type_inventory(docs)
+    classifier = AttributeNameClassifier(10, inventory, rng)
+    doc = docs[0]
+    hidden = nn.Tensor(rng.normal(size=(doc.num_tokens, 10)))
+    loss = classifier.loss(hidden, doc)
+    assert np.isfinite(loss.item())
+    loss.backward()
+    assert classifier.output.weight.grad is not None
+    names = classifier.predict(hidden, doc, doc.attributes)
+    assert len(names) == len(doc.attributes)
+    assert all(n in inventory for n in names)
+    assert classifier.predict(hidden, doc, []) == []
+
+
+def test_classifier_learns_separable_types(rng):
+    """Types carried in the hidden features must become classifiable."""
+    from repro.data import AttributeSpan, Document
+
+    inventory = ["brand", "price"]
+    classifier = AttributeNameClassifier(4, inventory, rng)
+    opt = nn.Adam(classifier.parameters(), lr=0.05)
+    gen = np.random.default_rng(5)
+
+    def sample_doc():
+        tokens = ["w"] * 8
+        doc = Document(
+            doc_id="x", url="", source="s", topic_id=0, family="f", website="w",
+            topic_tokens=("t",), sentences=[tokens], section_labels=[1],
+            attributes=[
+                AttributeSpan(0, 0, 2, "brand"),
+                AttributeSpan(0, 4, 6, "price"),
+            ],
+        )
+        hidden = gen.normal(size=(8, 4)) * 0.1
+        hidden[0:2, 0] += 2.0   # brand feature
+        hidden[4:6, 1] += 2.0   # price feature
+        return doc, nn.Tensor(hidden)
+
+    for _ in range(60):
+        doc, hidden = sample_doc()
+        opt.zero_grad()
+        loss = classifier.loss(hidden, doc)
+        loss.backward()
+        opt.step()
+    doc, hidden = sample_doc()
+    assert classifier.predict(hidden, doc, doc.attributes) == ["brand", "price"]
+    named = classifier.predict_named(hidden, doc, doc.attributes)
+    assert named[0][0] == "brand" and named[0][1] == "w w"
+
+
+def test_loss_zero_without_spans(rng):
+    from repro.data import Document
+
+    classifier = AttributeNameClassifier(4, ["a"], rng)
+    doc = Document(
+        doc_id="x", url="", source="s", topic_id=0, family="f", website="w",
+        topic_tokens=(), sentences=[["w"]], section_labels=[0],
+    )
+    assert classifier.loss(nn.Tensor(np.zeros((1, 4))), doc).item() == 0.0

@@ -1,0 +1,80 @@
+"""Attribute extractor (BIO tagger) tests."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.models import AttributeExtractor, decode_spans, tags_to_ids
+from repro.models.extractor import TAG_B, TAG_I, TAG_O
+
+
+def test_tags_to_ids():
+    assert list(tags_to_ids(["O", "B", "I"])) == [TAG_O, TAG_B, TAG_I]
+
+
+@pytest.mark.parametrize(
+    "tags,expected",
+    [
+        ([TAG_O, TAG_B, TAG_I, TAG_O], [(1, 3)]),
+        ([TAG_B, TAG_B], [(0, 1), (1, 2)]),
+        ([TAG_B, TAG_I, TAG_I], [(0, 3)]),
+        ([TAG_O, TAG_I, TAG_I, TAG_O], [(1, 3)]),  # lenient: I opens a span
+        ([TAG_O, TAG_O], []),
+        ([], []),
+        ([TAG_B], [(0, 1)]),
+    ],
+)
+def test_decode_spans(tags, expected):
+    assert decode_spans(tags) == expected
+
+
+def test_extractor_logits_shape(rng):
+    ext = AttributeExtractor(8, 6, rng)
+    logits = ext(nn.Tensor(rng.normal(size=(10, 8))))
+    assert logits.shape == (10, 3)
+
+
+def test_extractor_with_extra_features(rng):
+    ext = AttributeExtractor(8, 6, rng, extra_dim=2)
+    logits = ext(nn.Tensor(rng.normal(size=(10, 8))), extra=nn.Tensor(rng.normal(size=(10, 2))))
+    assert logits.shape == (10, 3)
+    with pytest.raises(ValueError):
+        ext(nn.Tensor(rng.normal(size=(10, 8))))
+
+
+def test_extractor_loss_and_prediction(rng, doc, glove_encoder):
+    ext = AttributeExtractor(16, 8, rng)
+    out = glove_encoder.encode(doc)
+    logits = ext(out.token_states)
+    loss = ext.loss_from_logits(logits, doc)
+    assert loss.item() > 0
+    loss.backward()
+    assert ext.output.weight.grad is not None
+    attrs = ext.predict_attributes(logits, doc)
+    assert isinstance(attrs, list)
+
+
+def test_extractor_learns_trivial_pattern(rng):
+    """An extractor must fit a deterministic token→tag mapping."""
+    from repro.data import Document
+
+    tokens = ["a", "price", "x", "price", "b"]
+    doc = Document(
+        doc_id="t", url="", source="s", topic_id=0, family="f", website="w",
+        topic_tokens=("t",), sentences=[tokens], section_labels=[1],
+        attributes=[],
+    )
+    # Features: one-hot of "price" positions.
+    features = np.zeros((5, 4))
+    features[[1, 3], 0] = 1.0
+    ext = AttributeExtractor(4, 6, rng)
+    targets = np.array([0, 1, 0, 1, 0])
+    opt = nn.Adam(ext.parameters(), lr=0.05)
+    for _ in range(60):
+        opt.zero_grad()
+        logits = ext(nn.Tensor(features))
+        loss = nn.cross_entropy(logits, targets)
+        loss.backward()
+        opt.step()
+    final = ext(nn.Tensor(features)).data.argmax(axis=1)
+    assert list(final) == list(targets)

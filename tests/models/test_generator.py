@@ -1,0 +1,67 @@
+"""Topic generator (encoder-decoder) tests."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.models import TopicGenerator
+
+
+def test_encode_shapes(rng, small_vocab):
+    gen = TopicGenerator(16, 8, small_vocab, rng)
+    memory = gen.encode(nn.Tensor(rng.normal(size=(5, 16))))
+    assert memory.shape == (5, 16)
+
+
+def test_teacher_forcing_outputs(rng, small_vocab):
+    gen = TopicGenerator(16, 8, small_vocab, rng)
+    memory = gen.encode(nn.Tensor(rng.normal(size=(5, 16))))
+    loss, logits, hidden = gen.teacher_forcing(memory, ["online", "shopping"])
+    assert logits.shape == (3, len(small_vocab))  # 2 tokens + EOS
+    assert hidden.shape == (3, 8)
+    assert loss.item() > 0
+    loss.backward()
+    assert gen.embedding.weight.grad is not None
+    assert gen.cell.w_x.grad is not None
+
+
+def test_target_ids_appends_eos(rng, small_vocab):
+    gen = TopicGenerator(16, 8, small_vocab, rng)
+    ids = gen.target_ids(["online"])
+    assert ids[-1] == small_vocab.eos_id
+    assert len(ids) == 2
+
+
+def test_generate_returns_token_list(rng, small_vocab):
+    gen = TopicGenerator(16, 8, small_vocab, rng)
+    memory = gen.encode(nn.Tensor(rng.normal(size=(5, 16))))
+    tokens = gen.generate(memory, beam_size=2, max_depth=5)
+    assert isinstance(tokens, list)
+    assert all(isinstance(t, str) for t in tokens)
+    assert len(tokens) <= 5
+
+
+def test_extra_dim_validation(rng, small_vocab):
+    gen = TopicGenerator(16, 8, small_vocab, rng, extra_dim=1)
+    with pytest.raises(ValueError):
+        gen.encode(nn.Tensor(rng.normal(size=(5, 16))))
+    memory = gen.encode(
+        nn.Tensor(rng.normal(size=(5, 16))), extra=nn.Tensor(np.ones((5, 1)))
+    )
+    assert memory.shape == (5, 16)
+
+
+def test_generator_overfits_single_phrase(rng, small_vocab):
+    """The decoder must memorise one phrase given a fixed memory."""
+    gen = TopicGenerator(8, 12, small_vocab, rng)
+    memory_input = nn.Tensor(np.random.default_rng(1).normal(size=(3, 8)))
+    phrase = ["online", "shopping", "for", "books"]
+    opt = nn.Adam(gen.parameters(), lr=0.01)
+    for _ in range(80):
+        opt.zero_grad()
+        memory = gen.encode(memory_input)
+        loss, _, _ = gen.teacher_forcing(memory, phrase)
+        loss.backward()
+        opt.step()
+    memory = gen.encode(memory_input)
+    assert gen.generate(memory, beam_size=2, max_depth=6) == phrase

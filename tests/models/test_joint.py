@@ -1,0 +1,111 @@
+"""Joint-WB and joint-baseline tests: exchange mechanics, forward, inference."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.models import (
+    JOINT_BASELINE_CONFIGS,
+    ExchangeConfig,
+    JointWBModel,
+    make_joint_model,
+)
+
+
+@pytest.fixture()
+def joint(bertsum_encoder, small_vocab, rng):
+    return make_joint_model("Joint-WB", bertsum_encoder, small_vocab, 8, rng)
+
+
+def test_exchange_config_validation():
+    with pytest.raises(ValueError):
+        ExchangeConfig(topic_to_extractor="bogus")
+    with pytest.raises(ValueError):
+        ExchangeConfig(attr_to_generator="concat")
+
+
+def test_unknown_baseline_name(bertsum_encoder, small_vocab, rng):
+    with pytest.raises(KeyError):
+        make_joint_model("No-Such-Model", bertsum_encoder, small_vocab, 8, rng)
+
+
+def test_forward_produces_all_pieces(joint, doc):
+    fwd = joint.forward(doc)
+    L, m = doc.num_tokens, doc.num_sentences
+    assert fwd.extraction_logits.shape == (L, 3)
+    assert fwd.generation_logits.shape[0] == len(doc.topic_tokens) + 1
+    assert fwd.section_probs.shape == (m,)
+    assert fwd.extractor_dual.shape == fwd.extractor_hidden.shape
+    assert fwd.generator_dual.shape == fwd.generator_hidden.shape
+    assert fwd.loss_section is not None
+    total = fwd.total_loss()
+    assert total.item() > 0
+
+
+def test_backward_reaches_all_parts(joint, doc):
+    fwd = joint.forward(doc)
+    fwd.total_loss().backward()
+    assert joint.extractor.output.weight.grad is not None
+    assert joint.generator.cell.w_x.grad is not None
+    assert joint.section.w_prev.grad is not None
+    assert joint.encoder.bert.token_embedding.grad is not None
+    # Exchange parameters train too.
+    assert joint.attend_tokens.weight.grad is not None
+
+
+def test_naive_join_has_no_exchange(bertsum_encoder, small_vocab, rng, doc):
+    model = make_joint_model("Naive-Join", bertsum_encoder, small_vocab, 8, rng)
+    fwd = model.forward(doc)
+    assert fwd.section_probs is None
+    assert fwd.loss_section is None
+    # Without exchange the dual representations are the plain ones.
+    assert np.allclose(fwd.extractor_dual.data, fwd.extractor_hidden.data)
+    assert np.allclose(fwd.generator_dual.data, fwd.generator_hidden.data)
+
+
+@pytest.mark.parametrize("name", list(JOINT_BASELINE_CONFIGS))
+def test_every_baseline_runs_forward_and_inference(
+    name, bertsum_encoder, small_vocab, rng, doc
+):
+    model = make_joint_model(name, bertsum_encoder, small_vocab, 8, rng)
+    fwd = model.forward(doc)
+    assert np.isfinite(fwd.total_loss().item())
+    topic = model.predict_topic(doc, beam_size=2)
+    attrs = model.predict_attributes(doc)
+    sections = model.predict_sections(doc)
+    assert isinstance(topic, list) and isinstance(attrs, list)
+    assert sections.shape == (doc.num_sentences,)
+
+
+def test_dual_aware_attention_changes_representations(joint, doc):
+    fwd = joint.forward(doc)
+    assert not np.allclose(fwd.extractor_dual.data, fwd.extractor_hidden.data)
+    assert not np.allclose(fwd.generator_dual.data, fwd.generator_hidden.data)
+
+
+def test_mean_one_gating_preserves_scale(joint, doc):
+    fwd = joint.forward(doc)
+    ratio = np.abs(fwd.generator_dual.data).mean() / np.abs(fwd.generator_hidden.data).mean()
+    assert 0.05 < ratio < 20  # re-weighting, not collapse
+
+
+def test_brief_api(joint, doc):
+    topic, attrs = joint.brief(doc, beam_size=2)
+    assert isinstance(topic, list)
+    assert isinstance(attrs, list)
+
+
+def test_predict_sections_without_section_module(bertsum_encoder, small_vocab, rng, doc):
+    model = make_joint_model("Naive-Join", bertsum_encoder, small_vocab, 8, rng)
+    sections = model.predict_sections(doc)
+    assert sections.sum() == doc.num_sentences  # degenerate all-informative
+
+
+def test_state_dict_roundtrip(joint, doc):
+    state = joint.state_dict()
+    before = joint.forward(doc).total_loss().item()
+    for param in joint.parameters():
+        param.data = param.data + 1.0
+    joint.load_state_dict(state)
+    after = joint.forward(doc).total_loss().item()
+    assert np.isclose(before, after)

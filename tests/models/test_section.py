@@ -1,0 +1,91 @@
+"""Informative-section predictor (Markov dependency) tests."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.models import SectionPredictor
+
+
+def test_probabilities_shape_and_range(rng):
+    pred = SectionPredictor(8, rng)
+    probs = pred(nn.Tensor(rng.normal(size=(6, 8))))
+    assert probs.shape == (6,)
+    assert ((probs.data > 0) & (probs.data < 1)).all()
+
+
+def test_single_sentence_document(rng):
+    pred = SectionPredictor(8, rng)
+    probs = pred(nn.Tensor(rng.normal(size=(1, 8))))
+    assert probs.shape == (1,)
+
+
+def test_predict_thresholds_at_half(rng):
+    pred = SectionPredictor(8, rng)
+    states = nn.Tensor(rng.normal(size=(5, 8)))
+    hard = pred.predict(states)
+    soft = pred(states).data
+    assert np.array_equal(hard, (soft >= 0.5).astype(np.int64))
+
+
+def test_markov_dependency_uses_neighbours(rng):
+    """Changing sentence j+1 must change p_j (the Markov mechanism)."""
+    pred = SectionPredictor(6, rng)
+    states = rng.normal(size=(4, 6))
+    base = pred(nn.Tensor(states)).data
+    perturbed = states.copy()
+    perturbed[2] += 10.0
+    changed = pred(nn.Tensor(perturbed)).data
+    assert not np.isclose(base[1], changed[1])  # p_1 depends on sentence 2
+    assert not np.isclose(base[3], changed[3])  # p_3 depends on sentence 2
+
+
+def test_loss_decreases_with_training(rng):
+    pred = SectionPredictor(6, rng)
+    gen = np.random.default_rng(7)
+    # Informative sentences live in one half-space.
+    states = gen.normal(size=(12, 6))
+    labels = (states[:, 0] > 0).astype(float)
+    opt = nn.Adam(pred.parameters(), lr=0.05)
+    first = None
+    for step in range(60):
+        opt.zero_grad()
+        loss = pred.loss(nn.Tensor(states), labels)
+        if first is None:
+            first = loss.item()
+        loss.backward()
+        opt.step()
+    assert loss.item() < first
+
+
+def test_non_markov_ablation_ignores_neighbours(rng):
+    """With markov=False, p_j depends only on sentence j."""
+    pred = SectionPredictor(6, rng, markov=False)
+    states = np.random.default_rng(3).normal(size=(4, 6))
+    base = pred(nn.Tensor(states)).data
+    perturbed = states.copy()
+    perturbed[2] += 10.0
+    changed = pred(nn.Tensor(perturbed)).data
+    assert np.isclose(base[1], changed[1])
+    assert np.isclose(base[3], changed[3])
+    assert not np.isclose(base[2], changed[2])
+
+
+def test_markov_flag_does_not_shift_init_stream():
+    """Adding the ablation head must not change downstream rng draws."""
+    rng_a = np.random.default_rng(9)
+    SectionPredictor(5, rng_a)
+    follow_a = rng_a.normal(size=4)
+    rng_b = np.random.default_rng(9)
+    rng_b.normal(0, 0.05, size=(5, 5))
+    rng_b.normal(0, 0.05, size=(5, 5))
+    follow_b = rng_b.normal(size=4)
+    assert np.allclose(follow_a, follow_b)
+
+
+def test_gradients_reach_both_weights(rng):
+    pred = SectionPredictor(6, rng)
+    loss = pred.loss(nn.Tensor(rng.normal(size=(5, 6))), [1, 0, 1, 0, 1])
+    loss.backward()
+    assert pred.w_prev.grad is not None
+    assert pred.w_next.grad is not None

@@ -1,0 +1,73 @@
+"""Single-task baseline tests (+prior section / +prior topic variants)."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.models import SingleTaskExtractor, SingleTaskGenerator
+
+
+def test_extractor_loss_and_predict(glove_encoder, small_vocab, rng, doc):
+    model = SingleTaskExtractor(glove_encoder, small_vocab, 8, rng)
+    loss = model.loss(doc)
+    assert loss.item() > 0
+    loss.backward()
+    attrs = model.predict_attributes(doc)
+    assert isinstance(attrs, list)
+
+
+def test_extractor_prior_section_uses_labels(glove_encoder, small_vocab, rng, doc):
+    model = SingleTaskExtractor(glove_encoder, small_vocab, 8, rng, prior_section=True)
+    assert model.extractor.extra_dim == 1
+    assert np.isfinite(model.loss(doc).item())
+
+
+def test_extractor_prior_topic_embeds_topic(glove_encoder, small_vocab, rng, doc):
+    model = SingleTaskExtractor(
+        glove_encoder, small_vocab, 8, rng, prior_topic=True, topic_embed_dim=6
+    )
+    assert model.extractor.extra_dim == 6
+    assert model.topic_embedding is not None
+    assert np.isfinite(model.loss(doc).item())
+
+
+def test_extractor_both_priors(glove_encoder, small_vocab, rng, doc):
+    model = SingleTaskExtractor(
+        glove_encoder, small_vocab, 8, rng, prior_section=True, prior_topic=True,
+        topic_embed_dim=4,
+    )
+    assert model.extractor.extra_dim == 5
+    assert np.isfinite(model.loss(doc).item())
+
+
+def test_generator_loss_and_predict(glove_encoder, small_vocab, rng, doc):
+    model = SingleTaskGenerator(glove_encoder, small_vocab, 8, rng)
+    loss = model.loss(doc)
+    assert loss.item() > 0
+    loss.backward()
+    topic = model.predict_topic(doc, beam_size=2)
+    assert isinstance(topic, list)
+
+
+def test_generator_prior_section(glove_encoder, small_vocab, rng, doc):
+    model = SingleTaskGenerator(glove_encoder, small_vocab, 8, rng, prior_section=True)
+    assert np.isfinite(model.loss(doc).item())
+
+
+def test_training_reduces_loss(glove_encoder, small_vocab, rng, small_corpus):
+    model = SingleTaskGenerator(glove_encoder, small_vocab, 8, rng)
+    docs = list(small_corpus)[:6]
+    opt = nn.Adam(model.parameters(), lr=5e-3)
+    first = last = None
+    for epoch in range(4):
+        total = 0.0
+        for d in docs:
+            opt.zero_grad()
+            loss = model.loss(d)
+            loss.backward()
+            opt.step()
+            total += loss.item()
+        if first is None:
+            first = total
+        last = total
+    assert last < first

@@ -1,0 +1,61 @@
+"""Bilinear and multi-head attention tests."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+
+
+def test_bilinear_attention_rows_are_distributions(rng):
+    attn = nn.BilinearAttention(6, 4, rng)
+    weights = attn(nn.Tensor(rng.normal(size=(5, 6))), nn.Tensor(rng.normal(size=(3, 4))))
+    assert weights.shape == (5, 3)
+    assert np.allclose(weights.data.sum(axis=-1), 1.0)
+
+
+def test_bilinear_scores_shape(rng):
+    attn = nn.BilinearAttention(6, 4, rng)
+    scores = attn.scores(nn.Tensor(rng.normal(size=(5, 6))), nn.Tensor(rng.normal(size=(3, 4))))
+    assert scores.shape == (5, 3)
+
+
+def test_attend_combines_values(rng):
+    weights = nn.Tensor(np.array([[1.0, 0.0], [0.0, 1.0]]))
+    values = nn.Tensor(np.array([[1.0, 2.0], [3.0, 4.0]]))
+    out = nn.attend(weights, values)
+    assert np.allclose(out.data, values.data)
+
+
+def test_bilinear_attention_gradients(rng):
+    attn = nn.BilinearAttention(4, 3, rng)
+    q = nn.Tensor(rng.normal(size=(2, 4)), requires_grad=True)
+    k = nn.Tensor(rng.normal(size=(5, 3)), requires_grad=True)
+    attn(q, k).sum().backward()
+    # softmax rows sum to 1, so d(sum)/dq is ~0; weight still got a graph.
+    assert q.grad is not None and k.grad is not None
+
+
+def test_multihead_shapes_and_grad(rng):
+    mha = nn.MultiHeadSelfAttention(8, 2, rng)
+    x = nn.Tensor(rng.normal(size=(5, 8)), requires_grad=True)
+    out = mha(x)
+    assert out.shape == (5, 8)
+    out.sum().backward()
+    assert x.grad is not None
+
+
+def test_multihead_rejects_indivisible_heads(rng):
+    with pytest.raises(ValueError):
+        nn.MultiHeadSelfAttention(7, 2, rng)
+
+
+def test_multihead_mask_blocks_positions(rng):
+    mha = nn.MultiHeadSelfAttention(8, 2, rng)
+    x_data = rng.normal(size=(4, 8))
+    mask = np.array([True, True, True, False])
+    out_masked = mha(nn.Tensor(x_data), mask=mask)
+    # Perturbing the masked position must not change other outputs.
+    perturbed = x_data.copy()
+    perturbed[3] += 100.0
+    out_perturbed = mha(nn.Tensor(perturbed), mask=mask)
+    assert np.allclose(out_masked.data[:3], out_perturbed.data[:3], atol=1e-8)

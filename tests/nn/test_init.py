@@ -1,0 +1,54 @@
+"""Weight initialiser tests."""
+
+import numpy as np
+import pytest
+
+from repro.nn import init
+
+
+def test_xavier_uniform_bounds(rng):
+    w = init.xavier_uniform(rng, (100, 50))
+    bound = np.sqrt(6.0 / 150)
+    assert np.abs(w).max() <= bound
+    assert w.shape == (100, 50)
+    v = init.xavier_uniform(rng, (10,))
+    assert v.shape == (10,)
+
+
+def test_uniform_and_normal(rng):
+    u = init.uniform(rng, (1000,), bound=0.2)
+    assert np.abs(u).max() <= 0.2
+    n = init.normal(rng, (5000,), std=0.02)
+    assert abs(n.std() - 0.02) < 0.005
+
+
+def test_zeros():
+    z = init.zeros((3, 4))
+    assert z.shape == (3, 4)
+    assert not z.any()
+
+
+def test_orthogonal_is_orthogonal(rng):
+    for shape in [(8, 8), (10, 4), (4, 10)]:
+        q = init.orthogonal(rng, shape)
+        assert q.shape == shape
+        if shape[0] >= shape[1]:
+            assert np.allclose(q.T @ q, np.eye(shape[1]), atol=1e-10)
+        else:
+            assert np.allclose(q @ q.T, np.eye(shape[0]), atol=1e-10)
+
+
+def test_orthogonal_gain(rng):
+    q = init.orthogonal(rng, (6, 6), gain=2.0)
+    assert np.allclose(q.T @ q, 4.0 * np.eye(6), atol=1e-10)
+
+
+def test_orthogonal_requires_2d(rng):
+    with pytest.raises(ValueError):
+        init.orthogonal(rng, (3, 3, 3))
+
+
+def test_determinism():
+    a = init.xavier_uniform(np.random.default_rng(1), (4, 4))
+    b = init.xavier_uniform(np.random.default_rng(1), (4, 4))
+    assert np.allclose(a, b)

@@ -1,0 +1,95 @@
+"""Loss function tests: values, gradients, edge cases."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+
+
+def test_cross_entropy_matches_manual(rng):
+    logits_data = rng.normal(size=(4, 3))
+    targets = np.array([0, 2, 1, 1])
+    loss = nn.cross_entropy(nn.Tensor(logits_data), targets)
+    log_probs = logits_data - np.log(np.exp(logits_data).sum(axis=1, keepdims=True))
+    manual = -log_probs[np.arange(4), targets].mean()
+    assert np.isclose(loss.item(), manual)
+
+
+def test_cross_entropy_perfect_prediction_near_zero():
+    logits = np.full((2, 3), -100.0)
+    logits[0, 1] = 100.0
+    logits[1, 0] = 100.0
+    loss = nn.cross_entropy(nn.Tensor(logits), [1, 0])
+    assert loss.item() < 1e-6
+
+
+def test_cross_entropy_ignore_index(rng):
+    logits = nn.Tensor(rng.normal(size=(3, 4)))
+    full = nn.cross_entropy(logits, [0, 1, 2])
+    partial = nn.cross_entropy(logits, [0, -1, -1], ignore_index=-1)
+    only_first = nn.cross_entropy(logits[0:1], [0])
+    assert np.isclose(partial.item(), only_first.item())
+    assert not np.isclose(partial.item(), full.item())
+
+
+def test_cross_entropy_all_ignored_returns_zero(rng):
+    loss = nn.cross_entropy(nn.Tensor(rng.normal(size=(2, 3))), [-1, -1], ignore_index=-1)
+    assert loss.item() == 0.0
+
+
+def test_cross_entropy_shape_validation(rng):
+    with pytest.raises(ValueError):
+        nn.cross_entropy(nn.Tensor(rng.normal(size=(3,))), [0])
+
+
+def test_cross_entropy_gradient_direction(rng):
+    logits = nn.Tensor(rng.normal(size=(1, 3)), requires_grad=True)
+    nn.cross_entropy(logits, [2]).backward()
+    # Gradient decreases the target logit's loss contribution.
+    assert logits.grad[0, 2] < 0
+    assert logits.grad[0, :2].sum() > 0
+
+
+def test_binary_cross_entropy_bounds():
+    probs = nn.Tensor(np.array([0.9, 0.1]))
+    loss = nn.binary_cross_entropy(probs, [1.0, 0.0])
+    assert np.isclose(loss.item(), -np.log(0.9) * 0.5 - np.log(0.9) * 0.5)
+    extreme = nn.binary_cross_entropy(nn.Tensor(np.array([0.0, 1.0])), [1.0, 0.0])
+    assert np.isfinite(extreme.item())
+
+
+def test_kl_divergence_zero_for_identical():
+    p = nn.Tensor(np.array([[0.2, 0.8], [0.5, 0.5]]))
+    assert nn.kl_divergence(p, p).item() < 1e-10
+
+
+def test_kl_divergence_positive_and_teacher_detached(rng):
+    teacher = nn.Tensor(np.array([[0.9, 0.1]]), requires_grad=True)
+    student = nn.Tensor(np.array([[0.4, 0.6]]), requires_grad=True)
+    loss = nn.kl_divergence(teacher, student)
+    assert loss.item() > 0
+    loss.backward()
+    assert teacher.grad is None  # detached
+    assert student.grad is not None
+
+
+def test_l1_attention_loss_zero_for_identical(rng):
+    a = nn.Tensor(rng.dirichlet(np.ones(4), size=5))
+    assert nn.l1_attention_loss(a, a).item() < 1e-12
+
+
+def test_l1_attention_loss_shape_mismatch(rng):
+    with pytest.raises(ValueError):
+        nn.l1_attention_loss(nn.Tensor(np.ones((2, 3))), nn.Tensor(np.ones((3, 3))))
+
+
+def test_l1_attention_loss_value():
+    teacher = nn.Tensor(np.array([[1.0, 0.0]]))
+    student = nn.Tensor(np.array([[0.0, 1.0]]))
+    assert np.isclose(nn.l1_attention_loss(teacher, student).item(), 2.0)
+
+
+def test_nll_loss(rng):
+    log_probs = nn.Tensor(np.log(np.array([[0.25, 0.75], [0.5, 0.5]])))
+    loss = nn.nll_loss(log_probs, [1, 0])
+    assert np.isclose(loss.item(), -(np.log(0.75) + np.log(0.5)) / 2)

@@ -1,0 +1,107 @@
+"""Optimiser / schedule / clipping tests."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.optim import LinearWarmupSchedule
+
+
+def _quadratic_param(start=5.0):
+    p = nn.Parameter(np.array([start]))
+    return p
+
+
+def _minimise(optimizer, p, steps=200):
+    for _ in range(steps):
+        optimizer.zero_grad()
+        loss = (p * p).sum()
+        loss.backward()
+        optimizer.step()
+    return abs(p.data[0])
+
+
+def test_sgd_minimises_quadratic():
+    p = _quadratic_param()
+    assert _minimise(nn.SGD([p], lr=0.1), p) < 1e-3
+
+
+def test_sgd_momentum_minimises_quadratic():
+    p = _quadratic_param()
+    assert _minimise(nn.SGD([p], lr=0.05, momentum=0.9), p) < 1e-2
+
+
+def test_adam_minimises_quadratic():
+    p = _quadratic_param()
+    assert _minimise(nn.Adam([p], lr=0.1), p) < 1e-3
+
+
+def test_adam_skips_parameters_without_grad():
+    p = nn.Parameter(np.array([1.0]))
+    q = nn.Parameter(np.array([2.0]))
+    opt = nn.Adam([p, q], lr=0.1)
+    (p * p).sum().backward()
+    opt.step()
+    assert q.data[0] == 2.0
+    assert p.data[0] != 1.0
+
+
+def test_optimizer_requires_parameters():
+    with pytest.raises(ValueError):
+        nn.Adam([], lr=0.1)
+
+
+def test_adam_weight_decay_shrinks_weights():
+    p = nn.Parameter(np.array([1.0]))
+    opt = nn.Adam([p], lr=0.01, weight_decay=0.1)
+    for _ in range(50):
+        opt.zero_grad()
+        p.grad = np.zeros(1)
+        opt.step()
+    assert abs(p.data[0]) < 1.0
+
+
+def test_clip_grad_norm_scales():
+    p = nn.Parameter(np.zeros(4))
+    p.grad = np.full(4, 10.0)
+    pre = nn.clip_grad_norm([p], max_norm=1.0)
+    assert np.isclose(pre, 20.0)
+    assert np.isclose(np.linalg.norm(p.grad), 1.0)
+
+
+def test_clip_grad_norm_noop_below_threshold():
+    p = nn.Parameter(np.zeros(2))
+    p.grad = np.array([0.1, 0.1])
+    nn.clip_grad_norm([p], max_norm=5.0)
+    assert np.allclose(p.grad, [0.1, 0.1])
+
+
+def test_clip_grad_value():
+    p = nn.Parameter(np.zeros(3))
+    p.grad = np.array([-5.0, 0.05, 5.0])
+    nn.clip_grad_value([p], 0.1)
+    assert np.allclose(p.grad, [-0.1, 0.05, 0.1])
+
+
+def test_warmup_schedule_ramps_then_decays():
+    schedule = LinearWarmupSchedule(1.0, warmup_steps=10, decay_rate=0.5, decay_every=10)
+    assert schedule.learning_rate(0) == pytest.approx(0.1)
+    assert schedule.learning_rate(9) == pytest.approx(1.0)
+    assert schedule.learning_rate(10) == pytest.approx(1.0)
+    assert schedule.learning_rate(20) == pytest.approx(0.5)
+    assert schedule.learning_rate(30) == pytest.approx(0.25)
+
+
+def test_schedule_validation():
+    with pytest.raises(ValueError):
+        LinearWarmupSchedule(0.0)
+
+
+def test_optimizer_uses_schedule():
+    p = nn.Parameter(np.array([1.0]))
+    opt = nn.SGD([p], lr=1.0)
+    opt.set_schedule(LinearWarmupSchedule(1.0, warmup_steps=100))
+    p.grad = np.array([1.0])
+    opt.step()
+    # First step uses warmup lr 1/100.
+    assert np.isclose(p.data[0], 1.0 - 0.01)

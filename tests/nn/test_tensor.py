@@ -1,0 +1,233 @@
+"""Autograd engine tests: every op's backward is checked against finite
+differences, plus graph-mechanics tests (accumulation, detach, no_grad)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import nn
+from repro.nn.tensor import _unbroadcast
+
+EPS = 1e-6
+TOL = 1e-6
+
+
+def numeric_grad(f, x, eps=EPS):
+    """Central-difference gradient of scalar-valued f at x."""
+    grad = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        xp = x.copy()
+        xp[idx] += eps
+        xm = x.copy()
+        xm[idx] -= eps
+        grad[idx] = (f(xp) - f(xm)) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+def check_grad(op, x_data, tol=TOL):
+    """Compare autograd gradient of sum(op(x)) against finite differences."""
+    x = nn.Tensor(x_data, requires_grad=True)
+    out = op(x).sum()
+    out.backward()
+    num = numeric_grad(lambda d: float(op(nn.Tensor(d)).sum().item()), x_data)
+    assert np.allclose(x.grad, num, atol=tol), f"max err {np.abs(x.grad - num).max()}"
+
+
+@pytest.mark.parametrize(
+    "op",
+    [
+        lambda x: x * 3.0 + 1.0,
+        lambda x: x * x,
+        lambda x: x / 2.5,
+        lambda x: -x,
+        lambda x: x ** 3,
+        lambda x: x.tanh(),
+        lambda x: x.sigmoid(),
+        lambda x: x.exp(),
+        lambda x: x.relu(),
+        lambda x: x.abs(),
+        lambda x: x.softmax(axis=-1),
+        lambda x: x.log_softmax(axis=-1),
+        lambda x: x.mean(axis=0),
+        lambda x: x.sum(axis=1, keepdims=True),
+        lambda x: x.transpose(),
+        lambda x: x.reshape(6, 2),
+        lambda x: x.clip(-0.5, 0.5),
+    ],
+)
+def test_elementwise_and_shape_ops_gradcheck(op, rng):
+    check_grad(op, rng.normal(size=(3, 4)))
+
+
+def test_log_gradcheck(rng):
+    check_grad(lambda x: x.log(), rng.uniform(0.5, 2.0, size=(3, 4)))
+
+
+def test_sqrt_gradcheck(rng):
+    check_grad(lambda x: x.sqrt(), rng.uniform(0.5, 2.0, size=(3, 4)))
+
+
+def test_max_gradcheck_no_ties(rng):
+    x = rng.normal(size=(3, 4))
+    x += np.arange(12).reshape(3, 4) * 0.1  # break ties
+    check_grad(lambda t: t.max(axis=1), x)
+
+
+def test_matmul_gradcheck_both_operands(rng):
+    a_data = rng.normal(size=(3, 4))
+    b_data = rng.normal(size=(4, 5))
+    a = nn.Tensor(a_data, requires_grad=True)
+    b = nn.Tensor(b_data, requires_grad=True)
+    (a @ b).sum().backward()
+    num_a = numeric_grad(lambda d: float((nn.Tensor(d) @ nn.Tensor(b_data)).sum().item()), a_data)
+    num_b = numeric_grad(lambda d: float((nn.Tensor(a_data) @ nn.Tensor(d)).sum().item()), b_data)
+    assert np.allclose(a.grad, num_a, atol=TOL)
+    assert np.allclose(b.grad, num_b, atol=TOL)
+
+
+def test_matmul_1d_cases(rng):
+    v = nn.Tensor(rng.normal(size=4), requires_grad=True)
+    m = nn.Tensor(rng.normal(size=(4, 3)), requires_grad=True)
+    (v @ m).sum().backward()
+    assert v.grad.shape == (4,)
+    assert m.grad.shape == (4, 3)
+    u = nn.Tensor(rng.normal(size=4), requires_grad=True)
+    w = nn.Tensor(rng.normal(size=4), requires_grad=True)
+    (u @ w).backward()
+    assert np.allclose(u.grad, w.data)
+    assert np.allclose(w.grad, u.data)
+
+
+def test_batched_matmul_gradcheck(rng):
+    a_data = rng.normal(size=(2, 3, 4))
+    b_data = rng.normal(size=(2, 4, 5))
+    a = nn.Tensor(a_data, requires_grad=True)
+    b = nn.Tensor(b_data, requires_grad=True)
+    (a @ b).sum().backward()
+    num_a = numeric_grad(lambda d: float((nn.Tensor(d) @ nn.Tensor(b_data)).sum().item()), a_data)
+    assert np.allclose(a.grad, num_a, atol=TOL)
+
+
+def test_broadcast_add_unbroadcasts_gradient(rng):
+    x = nn.Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+    bias = nn.Tensor(rng.normal(size=(4,)), requires_grad=True)
+    (x + bias).sum().backward()
+    assert bias.grad.shape == (4,)
+    assert np.allclose(bias.grad, np.full(4, 3.0))
+
+
+def test_getitem_gradient_scatters(rng):
+    x = nn.Tensor(rng.normal(size=(5, 3)), requires_grad=True)
+    x[np.array([0, 2, 2])].sum().backward()
+    expected = np.zeros((5, 3))
+    expected[0] = 1.0
+    expected[2] = 2.0  # row 2 picked twice
+    assert np.allclose(x.grad, expected)
+
+
+def test_concatenate_and_stack_gradients(rng):
+    a = nn.Tensor(rng.normal(size=(2, 3)), requires_grad=True)
+    b = nn.Tensor(rng.normal(size=(4, 3)), requires_grad=True)
+    nn.concatenate([a, b], axis=0).sum().backward()
+    assert np.allclose(a.grad, np.ones((2, 3)))
+    assert np.allclose(b.grad, np.ones((4, 3)))
+
+    c = nn.Tensor(rng.normal(size=3), requires_grad=True)
+    d = nn.Tensor(rng.normal(size=3), requires_grad=True)
+    (nn.stack([c, d], axis=0) * 2.0).sum().backward()
+    assert np.allclose(c.grad, np.full(3, 2.0))
+
+
+def test_gradient_accumulates_across_uses(rng):
+    x = nn.Tensor(rng.normal(size=(2, 2)), requires_grad=True)
+    y = (x * 2.0).sum() + (x * 3.0).sum()
+    y.backward()
+    assert np.allclose(x.grad, np.full((2, 2), 5.0))
+
+
+def test_detach_cuts_graph(rng):
+    x = nn.Tensor(rng.normal(size=(2, 2)), requires_grad=True)
+    y = (x.detach() * 2.0).sum() + x.sum()
+    y.backward()
+    assert np.allclose(x.grad, np.ones((2, 2)))
+
+
+def test_no_grad_disables_recording(rng):
+    x = nn.Tensor(rng.normal(size=(2, 2)), requires_grad=True)
+    with nn.no_grad():
+        y = (x * 2.0).sum()
+    assert not y.requires_grad
+    assert nn.is_grad_enabled()
+
+
+def test_backward_on_non_scalar_requires_grad_argument(rng):
+    x = nn.Tensor(rng.normal(size=(2, 2)), requires_grad=True)
+    y = x * 2.0
+    with pytest.raises(RuntimeError):
+        y.backward()
+    y.backward(np.ones((2, 2)))
+    assert np.allclose(x.grad, np.full((2, 2), 2.0))
+
+
+def test_backward_without_requires_grad_raises():
+    with pytest.raises(RuntimeError):
+        nn.Tensor([1.0]).backward()
+
+
+def test_deep_chain_no_recursion_error():
+    x = nn.Tensor([1.0], requires_grad=True)
+    y = x
+    for _ in range(3000):
+        y = y + 0.001
+    y.sum().backward()
+    assert np.allclose(x.grad, [1.0])
+
+
+def test_unbroadcast_shapes():
+    grad = np.ones((5, 4, 3))
+    assert _unbroadcast(grad, (4, 3)).shape == (4, 3)
+    assert _unbroadcast(grad, (1, 3)).shape == (1, 3)
+    assert np.allclose(_unbroadcast(grad, (1, 3)), np.full((1, 3), 20.0))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    rows=st.integers(1, 4),
+    cols=st.integers(1, 4),
+    seed=st.integers(0, 10_000),
+)
+def test_softmax_rows_sum_to_one(rows, cols, seed):
+    data = np.random.default_rng(seed).normal(size=(rows, cols)) * 10
+    out = nn.Tensor(data).softmax(axis=-1)
+    assert np.allclose(out.data.sum(axis=-1), 1.0)
+    assert (out.data >= 0).all()
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_composite_expression_gradcheck(seed):
+    gen = np.random.default_rng(seed)
+    data = gen.normal(size=(2, 3))
+
+    def op(x):
+        return ((x.tanh() * x.sigmoid()).softmax(axis=-1) + x.relu()).sum(axis=0)
+
+    check_grad(op, data, tol=1e-5)
+
+
+def test_softmax_numerically_stable_with_large_logits():
+    x = nn.Tensor([[1000.0, 1000.0, -1000.0]])
+    out = x.softmax(axis=-1)
+    assert np.isfinite(out.data).all()
+    assert np.allclose(out.data.sum(), 1.0)
+
+
+def test_repr_and_item():
+    t = nn.Tensor([2.5])
+    assert t.item() == 2.5
+    assert "Tensor" in repr(t)
+    assert nn.Tensor([[1.0, 2.0]]).T.shape == (2, 1)

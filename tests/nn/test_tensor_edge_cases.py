@@ -1,0 +1,90 @@
+"""Tensor operator edge cases: reflected ops, grad bookkeeping, views."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+
+
+def test_reflected_arithmetic(rng):
+    x = nn.Tensor(np.array([2.0, 4.0]), requires_grad=True)
+    assert np.allclose((1.0 - x).data, [-1.0, -3.0])
+    assert np.allclose((8.0 / x).data, [4.0, 2.0])
+    assert np.allclose((3.0 + x).data, [5.0, 7.0])
+    assert np.allclose((3.0 * x).data, [6.0, 12.0])
+
+
+def test_rsub_gradient(rng):
+    x = nn.Tensor(np.array([2.0]), requires_grad=True)
+    (5.0 - x).sum().backward()
+    assert np.allclose(x.grad, [-1.0])
+
+
+def test_rdiv_gradient(rng):
+    x = nn.Tensor(np.array([2.0]), requires_grad=True)
+    (8.0 / x).sum().backward()
+    assert np.allclose(x.grad, [-2.0])  # d(8/x)/dx = -8/x^2
+
+
+def test_rmatmul(rng):
+    m = np.eye(3)
+    x = nn.Tensor(rng.normal(size=(3, 2)), requires_grad=True)
+    out = m @ x
+    assert isinstance(out, nn.Tensor)
+    assert np.allclose(out.data, x.data)
+
+
+def test_pow_requires_scalar_exponent():
+    x = nn.Tensor([2.0])
+    with pytest.raises(TypeError):
+        x ** nn.Tensor([2.0])
+
+
+def test_zero_grad_resets():
+    x = nn.Tensor([1.0], requires_grad=True)
+    (x * 2.0).sum().backward()
+    assert x.grad is not None
+    x.zero_grad()
+    assert x.grad is None
+
+
+def test_len_and_size():
+    t = nn.Tensor(np.zeros((4, 5)))
+    assert len(t) == 4
+    assert t.size == 20
+    assert t.ndim == 2
+
+
+def test_numpy_view_is_shared():
+    t = nn.Tensor(np.zeros(3))
+    t.numpy()[0] = 7.0
+    assert t.data[0] == 7.0
+
+
+def test_as_tensor_identity():
+    t = nn.Tensor([1.0])
+    assert nn.as_tensor(t) is t
+    assert isinstance(nn.as_tensor([1.0, 2.0]), nn.Tensor)
+
+
+def test_tensor_from_tensor_copies_reference():
+    a = nn.Tensor([1.0, 2.0], requires_grad=True)
+    b = nn.Tensor(a)
+    assert not b.requires_grad
+    assert np.shares_memory(a.data, b.data)
+
+
+def test_grad_accumulation_requires_matching_shape_via_unbroadcast(rng):
+    bias = nn.Tensor(np.zeros((1, 3)), requires_grad=True)
+    x = nn.Tensor(rng.normal(size=(5, 3)))
+    (x + bias).sum().backward()
+    assert bias.grad.shape == (1, 3)
+    assert np.allclose(bias.grad, np.full((1, 3), 5.0))
+
+
+def test_scalar_tensor_arithmetic_chain():
+    x = nn.Tensor(3.0, requires_grad=True)
+    y = ((x * 2.0 + 1.0) ** 2).sum()
+    y.backward()
+    # d/dx (2x+1)^2 = 2(2x+1)*2 = 28 at x=3
+    assert np.allclose(x.grad, 28.0)

@@ -1,0 +1,52 @@
+"""CLI tests (argument parsing + cheap commands)."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_parser_brief_arguments():
+    args = build_parser().parse_args(["brief", "page.html", "--epochs", "3"])
+    assert args.command == "brief"
+    assert args.html_file == "page.html"
+    assert args.epochs == 3
+
+
+def test_parser_tables_arguments():
+    args = build_parser().parse_args(["tables", "--scale", "tiny", "--only", "table4"])
+    assert args.scale == "tiny"
+    assert args.only == ["table4"]
+
+
+def test_corpus_stats_command(capsys):
+    assert main(["corpus-stats", "--topics", "2", "--pages", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "num_documents" in out
+    assert "mean_attributes" in out
+
+
+def test_train_then_brief_roundtrip(tmp_path, capsys):
+    checkpoint = tmp_path / "model.npz"
+    assert main([
+        "train", "--save", str(checkpoint),
+        "--topics", "2", "--pages", "3", "--epochs", "1",
+    ]) == 0
+    assert checkpoint.exists()
+
+    page = tmp_path / "page.html"
+    page.write_text(
+        "<html><body><p>welcome to our books pages about online shopping "
+        "for books</p><p>the price is 42 for this books listing</p></body></html>"
+    )
+    assert main([
+        "brief", str(page), "--model", str(checkpoint),
+        "--topics", "2", "--pages", "3",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "Topic:" in out

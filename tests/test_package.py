@@ -1,0 +1,41 @@
+"""Package-level API surface tests."""
+
+import numpy as np
+import pytest
+
+import repro
+
+
+def test_version():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_subpackages_importable():
+    for name in ("nn", "html", "data", "models", "distill", "core", "experiments"):
+        module = __import__(f"repro.{name}", fromlist=[name])
+        assert module is not None
+
+
+def test_all_exports_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+    for module in (repro.nn, repro.html, repro.data, repro.models, repro.distill, repro.core):
+        for name in module.__all__:
+            assert hasattr(module, name), f"{module.__name__}.{name}"
+
+
+def test_public_items_documented():
+    import inspect
+
+    for module in (repro.nn, repro.html, repro.data, repro.models, repro.distill, repro.core):
+        for name in module.__all__:
+            obj = getattr(module, name)
+            if inspect.isclass(obj) or inspect.isfunction(obj):
+                assert obj.__doc__, f"{module.__name__}.{name} lacks a docstring"
+
+
+def test_quick_brief_smoke():
+    brief, model = repro.quick_brief(seed=1)
+    assert isinstance(brief, repro.Brief)
+    assert model.num_parameters() > 0
+    assert isinstance(brief.render(), str)

@@ -1,0 +1,98 @@
+"""Cross-module property-based tests (hypothesis) on core invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.evaluation import match_counts
+from repro.core.stats import cohen_kappa, mcnemar
+from repro.data.corpus import Corpus, Document
+from repro.data.preprocessing import DIGIT_TOKEN, word_tokenize
+from repro.html import parse_html, render_visible_text
+from repro.models.extractor import TAG_B, TAG_I, TAG_O, decode_spans
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.text(max_size=200))
+def test_word_tokenize_total_and_lowercase(text):
+    tokens = word_tokenize(text)
+    for token in tokens:
+        assert token == token.lower()
+        assert token == DIGIT_TOKEN or not any(c.isdigit() for c in token)
+        assert token.strip() == token and token
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.sampled_from([TAG_O, TAG_B, TAG_I]), max_size=30))
+def test_decode_spans_invariants(tags):
+    spans = decode_spans(tags)
+    # Spans are disjoint, ordered, in range, and cover exactly the non-O tags.
+    previous_end = 0
+    covered = 0
+    for start, end in spans:
+        assert 0 <= start < end <= len(tags)
+        assert start >= previous_end
+        previous_end = end
+        covered += end - start
+    assert covered == sum(1 for t in tags if t != TAG_O)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(st.sampled_from(["a", "b", "c", "d"]), max_size=10),
+    st.lists(st.sampled_from(["a", "b", "c", "d"]), max_size=10),
+)
+def test_match_counts_bounded_and_symmetric(xs, ys):
+    count = match_counts(xs, ys)
+    assert 0 <= count <= min(len(xs), len(ys))
+    assert count == match_counts(ys, xs)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.booleans(), min_size=1, max_size=60), st.integers(0, 2 ** 32 - 1))
+def test_mcnemar_identity_and_symmetry(flags, seed):
+    rng = np.random.default_rng(seed)
+    other = list(rng.random(len(flags)) < 0.5)
+    assert mcnemar(flags, flags).p_value == 1.0
+    ab = mcnemar(flags, other)
+    ba = mcnemar(other, flags)
+    assert np.isclose(ab.p_value, ba.p_value)
+    assert 0.0 <= ab.p_value <= 1.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(0, 2), min_size=2, max_size=50))
+def test_kappa_self_agreement_is_max(ratings):
+    kappa = cohen_kappa(ratings, ratings)
+    assert kappa == 1.0
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(st.sampled_from(["hello", "world", "<b>x</b>", "&amp;", "<p>", "</p>"]), max_size=20))
+def test_renderer_never_crashes_and_emits_no_tags(pieces):
+    html = "".join(pieces)
+    text = render_visible_text(html)
+    assert "<p>" not in text
+    # Parsing is total on this alphabet.
+    parse_html(html)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.integers(5, 30),
+    st.floats(0.5, 0.9),
+    st.integers(0, 2 ** 32 - 1),
+)
+def test_random_split_partitions_exactly(n_docs, train_fraction, seed):
+    docs = [
+        Document(
+            doc_id=f"d{i}", url="", source="s", topic_id=i % 3, family="f",
+            website="w", topic_tokens=("t",), sentences=[["x"]], section_labels=[0],
+        )
+        for i in range(n_docs)
+    ]
+    corpus = Corpus(docs, {i: ("t",) for i in range(3)})
+    split = corpus.random_split(np.random.default_rng(seed), train=train_fraction, develop=0.05)
+    ids = [d.doc_id for part in split for d in part]
+    assert sorted(ids) == sorted(d.doc_id for d in docs)
+    assert len(split.test) >= 1
