@@ -14,6 +14,12 @@ Commands
 ``tables [--only table4 ...] [--scale tiny|small]``
     Regenerate the paper's tables (delegates to
     :mod:`repro.experiments.runner`).
+``health``
+    Fault-injection self-check of the briefing runtime: crawl a synthetic
+    website through a ``ChaosHost`` + ``ResilientHost`` stack, brief garbled
+    and empty pages, and print the :class:`~repro.runtime.RuntimeStats`
+    counters.  Exit code 0 means retries/breakers/degradations fully masked
+    the injected faults.
 """
 
 from __future__ import annotations
@@ -54,6 +60,15 @@ def build_parser() -> argparse.ArgumentParser:
     tables = sub.add_parser("tables", help="regenerate the paper's tables")
     tables.add_argument("--scale", choices=("tiny", "small"), default="small")
     tables.add_argument("--only", nargs="*")
+
+    health = sub.add_parser("health", help="fault-injection self-check of the runtime")
+    health.add_argument("--seed", type=int, default=7)
+    health.add_argument("--failure-rate", type=float, default=0.3,
+                        help="transient fetch failure probability")
+    health.add_argument("--garble-rate", type=float, default=0.2,
+                        help="garbled/truncated HTML probability")
+    health.add_argument("--pages", type=int, default=6)
+    health.add_argument("--max-attempts", type=int, default=6)
     return parser
 
 
@@ -96,6 +111,8 @@ def _command_brief(args) -> int:
         html = handle.read()
     brief = BriefingPipeline(model).brief_html(html)
     print(brief.render())
+    for degradation in brief.degradations:
+        print(f"[degraded] {degradation.describe()}", file=sys.stderr)
     return 0
 
 
@@ -129,11 +146,71 @@ def _command_tables(args) -> int:
     return 0
 
 
+def _command_health(args) -> int:
+    import numpy as np
+
+    from .core import BriefingPipeline
+    from .data.synthesizer import SyntheticWebsite
+    from .data.taxonomy import build_taxonomy
+    from .html import StructureDrivenCrawler
+    from .runtime import ChaosConfig, ChaosHost, ResilientHost, RetryPolicy, RuntimeStats
+
+    topic = build_taxonomy()[0]
+    website = SyntheticWebsite(
+        "health.example", topic, num_pages=args.pages, rng=np.random.default_rng(args.seed)
+    )
+    crawler = StructureDrivenCrawler()
+    baseline = crawler.crawl(website)
+
+    # Transient fetch faults are the retry layer's job: the chaos crawl must
+    # harvest the exact same page set as the fault-free baseline.
+    stats = RuntimeStats()
+    chaos = ChaosHost(
+        website,
+        ChaosConfig(transient_failure_rate=args.failure_rate, seed=args.seed),
+        stats=stats,
+    )
+    resilient = ResilientHost(
+        chaos, RetryPolicy(max_attempts=args.max_attempts, seed=args.seed), stats=stats
+    )
+    result = crawler.crawl(resilient, stats=stats)
+
+    # Content corruption cannot be retried away — it is the degradation
+    # ladder's job: briefing garbled/truncated/empty pages must never raise.
+    _, _, model = _build_model(topics=2, pages=3, seed=args.seed)
+    pipeline = BriefingPipeline(model, beam_size=2, stats=stats)
+    page_html = website.fetch(result.pages[0].url) if result.pages else "<html></html>"
+    garbler = ChaosHost(
+        website, ChaosConfig(garble_rate=args.garble_rate, seed=args.seed), stats=stats
+    )
+    briefs = [
+        pipeline.brief_html("<html><body><script>x=1</script></body></html>"),
+        pipeline.brief_html(page_html[: len(page_html) // 3]),
+        pipeline.brief_html(garbler.fetch(result.pages[0].url) if result.pages else ""),
+    ]
+
+    print(stats.format())
+    print()
+    for brief in briefs:
+        for degradation in brief.degradations:
+            print(f"degradation: {degradation.describe()}")
+
+    baseline_urls = {p.url for p in baseline.pages}
+    chaos_urls = {p.url for p in result.pages}
+    masked = chaos_urls == baseline_urls and not result.failed_urls
+    served = all(b is not None for b in briefs)
+    verdict = "healthy" if masked and served else "degraded"
+    print(f"\ncrawl: {len(result.pages)}/{len(baseline.pages)} pages, "
+          f"{len(result.failed_urls)} failed urls -> {verdict}")
+    return 0 if masked and served else 1
+
+
 _COMMANDS = {
     "brief": _command_brief,
     "corpus-stats": _command_corpus_stats,
     "train": _command_train,
     "tables": _command_tables,
+    "health": _command_health,
 }
 
 

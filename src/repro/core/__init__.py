@@ -1,6 +1,6 @@
 """``repro.core`` — the WB task API: briefing, training, evaluation, stats."""
 
-from .briefing import Brief
+from .briefing import Brief, Degradation, PartialBrief
 from .evaluation import (
     ExtractionMetrics,
     GenerationMetrics,
@@ -25,6 +25,8 @@ __all__ = [
     "HierarchicalBriefer",
     "train_name_classifier",
     "Brief",
+    "Degradation",
+    "PartialBrief",
     "BriefingPipeline",
     "document_from_raw_html",
     "ExtractionMetrics",

@@ -1,22 +1,37 @@
-"""End-to-end webpage briefing: HTML in, :class:`Brief` out.
+"""End-to-end webpage briefing: HTML in, :class:`PartialBrief` out.
 
 :class:`BriefingPipeline` glues the substrate together the way a deployed WB
 system would (the paper's motivating browser use case): parse + render the
 HTML (Selenium substitute), tokenize, run the trained Joint-WB model, return
 the hierarchical brief.
+
+The pipeline is the last line of the fault-tolerant runtime: whatever a model
+stage or the HTML substrate throws, ``brief_html`` / ``brief_document`` never
+raise.  They walk a graceful-degradation ladder instead and return a
+:class:`~repro.core.briefing.PartialBrief` whose ``degradations`` list names
+every fallback taken:
+
+* unparseable / empty-rendering HTML → empty brief with the reason;
+* topic generation fails → the highest-scoring extracted attribute stands in
+  as the topic;
+* attribute extraction fails → empty attribute list;
+* section classification fails → every sentence treated as informative.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 import numpy as np
 
 from ..data.corpus import Document
 from ..data.preprocessing import word_tokenize
+from ..html.parser import HtmlParseError
 from ..html.render import render_page
 from ..models.joint_wb import JointWBModel
-from .briefing import Brief
+from ..runtime.errors import BriefingError, ParseError, RenderError
+from ..runtime.stats import RuntimeStats
+from .briefing import Degradation, PartialBrief
 
 __all__ = ["BriefingPipeline", "document_from_raw_html"]
 
@@ -27,15 +42,22 @@ def document_from_raw_html(html: str, doc_id: str = "adhoc") -> Document:
     Unlike the corpus builder this assumes no supervision markers: every
     rendered line becomes a sentence, labels are placeholders.  Used at
     inference time on pages outside the corpus.
+
+    Raises :class:`~repro.runtime.errors.ParseError` on unparseable input and
+    :class:`~repro.runtime.errors.RenderError` (a ``ValueError`` subclass)
+    when the page renders to no visible text.
     """
-    rendered = render_page(html)
+    try:
+        rendered = render_page(html)
+    except HtmlParseError as exc:
+        raise ParseError(str(exc), url=doc_id) from exc
     sentences: List[List[str]] = []
     for line in rendered.lines:
         tokens = word_tokenize(line)
         if tokens:
             sentences.append(tokens)
     if not sentences:
-        raise ValueError("page rendered to no visible text")
+        raise RenderError("page rendered to no visible text", url=doc_id)
     return Document(
         doc_id=doc_id,
         url="",
@@ -49,24 +71,106 @@ def document_from_raw_html(html: str, doc_id: str = "adhoc") -> Document:
     )
 
 
-class BriefingPipeline:
-    """HTML → hierarchical brief, powered by a trained joint model."""
+def _reason(exc: BaseException) -> str:
+    text = str(exc)
+    return f"{type(exc).__name__}: {text}" if text else type(exc).__name__
 
-    def __init__(self, model: JointWBModel, beam_size: int = 4) -> None:
+
+class BriefingPipeline:
+    """HTML → hierarchical brief, powered by a trained joint model.
+
+    Pass a shared :class:`~repro.runtime.stats.RuntimeStats` to fold the
+    pipeline's degradation counters into the rest of the serving runtime.
+    """
+
+    def __init__(
+        self,
+        model: JointWBModel,
+        beam_size: int = 4,
+        stats: Optional[RuntimeStats] = None,
+    ) -> None:
         self.model = model
         self.beam_size = beam_size
+        self.stats = stats if stats is not None else RuntimeStats()
 
-    def brief_document(self, document: Document) -> Brief:
-        """Brief a corpus document."""
-        topic = self.model.predict_topic(document, beam_size=self.beam_size)
-        attributes = self.model.predict_attributes(document)
-        sections = self.model.predict_sections(document)
-        return Brief(
+    # ------------------------------------------------------------------
+    def _record(self, degradations: List[Degradation], step: Degradation) -> None:
+        degradations.append(step)
+        self.stats.inc("degradations")
+
+    def _predict_attributes(self, document: Document):
+        """Attributes plus (when the model exposes them) confidence scores."""
+        scored_fn = getattr(self.model, "predict_attributes_scored", None)
+        if scored_fn is not None:
+            try:
+                scored = scored_fn(document)
+            except AttributeError:
+                scored = None  # wrapper advertises the method, model lacks it
+            else:
+                return [attr for attr, _ in scored], scored
+        return self.model.predict_attributes(document), None
+
+    def brief_document(self, document: Document) -> PartialBrief:
+        """Brief a corpus document; degrade instead of raising."""
+        degradations: List[Degradation] = []
+
+        attributes: List[str] = []
+        scored = None
+        try:
+            attributes, scored = self._predict_attributes(document)
+        except Exception as exc:
+            self.stats.inc("model_failures")
+            self._record(
+                degradations, Degradation("attributes", "empty_attributes", _reason(exc))
+            )
+
+        try:
+            sections = self.model.predict_sections(document)
+            informative = [int(i) for i in np.nonzero(sections)[0]]
+        except Exception as exc:
+            self.stats.inc("model_failures")
+            informative = list(range(document.num_sentences))
+            self._record(degradations, Degradation("sections", "all_sentences", _reason(exc)))
+
+        topic: List[str] = []
+        try:
+            topic = self.model.predict_topic(document, beam_size=self.beam_size)
+        except Exception as exc:
+            self.stats.inc("model_failures")
+            if attributes:
+                # Highest-scoring extracted attribute stands in as the topic.
+                if scored:
+                    best = max(scored, key=lambda pair: pair[1])[0]
+                else:
+                    best = attributes[0]
+                topic = best.split()
+                self._record(
+                    degradations, Degradation("topic", "topic_from_attribute", _reason(exc))
+                )
+            else:
+                self._record(degradations, Degradation("topic", "empty_topic", _reason(exc)))
+
+        return PartialBrief(
             topic=topic,
             attributes=attributes,
-            informative_sentences=[int(i) for i in np.nonzero(sections)[0]],
+            informative_sentences=informative,
+            degradations=degradations,
         )
 
-    def brief_html(self, html: str) -> Brief:
-        """Brief raw HTML (parse → render → tokenize → model)."""
-        return self.brief_document(document_from_raw_html(html))
+    def brief_html(self, html: str, doc_id: str = "adhoc") -> PartialBrief:
+        """Brief raw HTML (parse → render → tokenize → model); never raises.
+
+        Garbled, truncated or empty HTML yields an empty
+        :class:`PartialBrief` whose ``degradations`` carry the reason.
+        """
+        try:
+            document = document_from_raw_html(html, doc_id=doc_id)
+        except BriefingError as exc:
+            degradations: List[Degradation] = []
+            self._record(degradations, Degradation(exc.stage, "empty_brief", _reason(exc)))
+            return PartialBrief(topic=[], attributes=[], degradations=degradations)
+        except Exception as exc:  # substrate bug — still degrade, keep serving
+            degradations = []
+            self._record(degradations, Degradation("parse", "empty_brief", _reason(exc)))
+            return PartialBrief(topic=[], attributes=[], degradations=degradations)
+        return self.brief_document(document)

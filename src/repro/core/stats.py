@@ -77,7 +77,6 @@ def cohen_kappa(ratings_a: Sequence[int], ratings_b: Sequence[int]) -> float:
     a = np.asarray(ratings_a)
     b = np.asarray(ratings_b)
     categories = np.union1d(a, b)
-    n = len(a)
     observed = float(np.mean(a == b))
     expected = 0.0
     for category in categories:

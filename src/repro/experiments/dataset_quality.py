@@ -48,7 +48,6 @@ def run_dataset_quality(
     rng = np.random.default_rng(scale.seed + 800)
     documents = list(world.corpus)
     sample_size = min(num_pages, len(documents))
-    indices = rng.choice(len(documents), size=sample_size, replace=False)
 
     table = ResultTable(
         title="Section IV-A2 — dataset quality (simulated annotators)",

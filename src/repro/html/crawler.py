@@ -17,12 +17,22 @@ from __future__ import annotations
 from collections import Counter, deque
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Protocol, Set, Tuple
+from urllib.parse import urljoin, urlsplit, urlunsplit
 
+from ..runtime.errors import FetchError
+from ..runtime.stats import RuntimeStats
 from .dom import ElementNode
-from .parser import parse_html
+from .parser import HtmlParseError, parse_html
 from .render import render_visible_text
 
-__all__ = ["WebsiteHost", "CrawledPage", "CrawlResult", "StructureDrivenCrawler", "structure_signature"]
+__all__ = [
+    "WebsiteHost",
+    "CrawledPage",
+    "CrawlResult",
+    "StructureDrivenCrawler",
+    "structure_signature",
+    "normalize_url",
+]
 
 _MEDIA_EXTENSIONS = (".jpg", ".jpeg", ".png", ".gif", ".mp3", ".mp4", ".avi", ".webm", ".svg", ".pdf")
 
@@ -62,6 +72,10 @@ class CrawlResult:
     skipped_index: int
     skipped_media: int
     clusters: Dict[Tuple[Tuple[str, int], ...], int] = field(default_factory=dict)
+    #: URLs abandoned after retries/breakers gave up (see ``stats`` for why).
+    failed_urls: List[str] = field(default_factory=list)
+    #: runtime health counters accumulated during the crawl.
+    stats: RuntimeStats = field(default_factory=RuntimeStats)
 
 
 def structure_signature(root: ElementNode, depth: int = 3) -> Tuple[Tuple[str, int], ...]:
@@ -85,16 +99,29 @@ def structure_signature(root: ElementNode, depth: int = 3) -> Tuple[Tuple[str, i
     return tuple(sorted(counter.items()))
 
 
-def _extract_links(root: ElementNode, base_url: str) -> List[str]:
-    links = []
+def normalize_url(url: str) -> str:
+    """Canonical form for dedup: drop query string and fragment."""
+    parts = urlsplit(url)
+    return urlunsplit((parts.scheme, parts.netloc, parts.path, "", ""))
+
+
+def _extract_links(root: ElementNode, page_url: str) -> List[str]:
+    """Outgoing links, resolved against the *current page's* URL.
+
+    Relative hrefs follow standard ``urljoin`` semantics (``sub/item.html`` on
+    ``https://s/a/b.html`` → ``https://s/a/sub/item.html``); query strings and
+    fragments are stripped so the same page is never queued twice.
+    """
+    links: List[str] = []
+    seen: Set[str] = set()
     for anchor in root.find_all("a"):
         href = anchor.get("href")
         if not href or href.startswith("#") or href.startswith("javascript:"):
             continue
-        if href.startswith("http://") or href.startswith("https://"):
-            links.append(href)
-        else:
-            links.append(base_url.rstrip("/") + "/" + href.lstrip("/"))
+        resolved = normalize_url(urljoin(page_url, href))
+        if resolved not in seen:
+            seen.add(resolved)
+            links.append(resolved)
     return links
 
 
@@ -127,23 +154,48 @@ class StructureDrivenCrawler:
             return "index"
         return "content"
 
-    def crawl(self, host: WebsiteHost) -> CrawlResult:
-        """Breadth-first crawl from the host root; return content pages."""
+    def crawl(self, host: WebsiteHost, stats: Optional[RuntimeStats] = None) -> CrawlResult:
+        """Breadth-first crawl from the host root; return content pages.
+
+        Pass the same ``stats`` instance given to a ``ResilientHost`` /
+        ``ChaosHost`` wrapper to see the whole story in one counter block.
+        The crawler never raises on a failing URL: fetch errors (including
+        retries-exhausted and circuit-open) are recorded in
+        ``CrawlResult.failed_urls`` and the crawl moves on.
+        """
+        stats = stats if stats is not None else RuntimeStats()
         queue = deque([host.root_url])
         seen: Set[str] = {host.root_url}
         pages: List[CrawledPage] = []
+        failed: List[str] = []
         visited = skipped_index = skipped_media = 0
         clusters: Counter = Counter()
 
         while queue and visited < self.max_visits and len(pages) < self.max_pages:
             url = queue.popleft()
-            html = host.fetch(url)
+            # Media URLs are recognisable from the extension alone — skip them
+            # before spending a fetch on bytes we would discard anyway.
+            if url.lower().endswith(_MEDIA_EXTENSIONS):
+                skipped_media += 1
+                continue
+            try:
+                html = host.fetch(url)
+            except FetchError:
+                stats.inc("fetch_failures")
+                failed.append(url)
+                continue
             if html is None:
                 continue
             visited += 1
-            root = parse_html(html)
+            stats.inc("pages_fetched")
+            try:
+                root = parse_html(html)
+            except HtmlParseError:
+                stats.inc("parse_failures")
+                failed.append(url)
+                continue
             text = render_visible_text(root)
-            for link in _extract_links(root, host.root_url):
+            for link in _extract_links(root, url):
                 if link not in seen:
                     seen.add(link)
                     queue.append(link)
@@ -168,4 +220,6 @@ class StructureDrivenCrawler:
             skipped_index=skipped_index,
             skipped_media=skipped_media,
             clusters=dict(clusters),
+            failed_urls=failed,
+            stats=stats,
         )

@@ -104,6 +104,23 @@ class AttributeExtractor(nn.Module):
 
     def predict_attributes(self, logits: nn.Tensor, document: Document) -> List[str]:
         """Predicted attribute strings for span-level P/R/F1."""
+        return [attr for attr, _ in self.predict_attributes_with_scores(logits, document)]
+
+    def predict_attributes_with_scores(
+        self, logits: nn.Tensor, document: Document
+    ) -> List[Tuple[str, float]]:
+        """Attributes with a confidence score (mean tag probability over the span).
+
+        The score ranks spans for the runtime's degradation ladder: when topic
+        generation fails, the pipeline promotes the highest-scoring attribute.
+        """
         tags = self.predict_tags(logits)
+        data = logits.data - logits.data.max(axis=-1, keepdims=True)
+        probs = np.exp(data)
+        probs /= probs.sum(axis=-1, keepdims=True)
         tokens = document.flat_tokens()
-        return [" ".join(tokens[s:e]) for s, e in decode_spans(tags)]
+        scored: List[Tuple[str, float]] = []
+        for start, end in decode_spans(tags):
+            confidence = float(probs[np.arange(start, end), tags[start:end]].mean())
+            scored.append((" ".join(tokens[start:end]), confidence))
+        return scored

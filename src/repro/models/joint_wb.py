@@ -42,7 +42,7 @@ The same class realises every joint baseline of §IV-A6-ii through
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -308,6 +308,12 @@ class JointWBModel(nn.Module):
 
     def predict_attributes(self, document: Document, beam_size: int = 4) -> List[str]:
         """Extract key attributes (topic exchange uses a greedy decode)."""
+        return [attr for attr, _ in self.predict_attributes_scored(document, beam_size)]
+
+    def predict_attributes_scored(
+        self, document: Document, beam_size: int = 4
+    ) -> List[Tuple[str, float]]:
+        """Key attributes with span confidence scores (for ranked fallbacks)."""
         with nn.no_grad():
             enc, probs, c_e, c_g_dual = self._inference_states(document)
             topic_hidden = self._greedy_topic_hidden(c_g_dual)
@@ -315,7 +321,7 @@ class JointWBModel(nn.Module):
                 c_e, topic_hidden, probs, enc.token_sentence_index
             )
             logits = self.extractor.logits(c_e_dual)
-            return self.extractor.predict_attributes(logits, document)
+            return self.extractor.predict_attributes_with_scores(logits, document)
 
     def predict_sections(self, document: Document) -> np.ndarray:
         """Hard informative-section predictions (empty config → all ones)."""

@@ -1,0 +1,44 @@
+"""``repro.runtime`` — fault tolerance for the briefing serving path.
+
+The production story behind the paper's crawl of 312 live sites: the web is
+flaky, so the crawl → parse → render → model path must survive faults instead
+of crashing.  This package holds the serving-infrastructure layer:
+
+* :mod:`~repro.runtime.errors` — structured exception taxonomy
+  (``FetchError`` / ``ParseError`` / ``RenderError`` / ``ModelError`` under a
+  common ``BriefingError``);
+* :mod:`~repro.runtime.retry` — deterministic ``RetryPolicy`` (capped
+  exponential backoff + seeded jitter, injectable sleep/clock) and a per-host
+  ``CircuitBreaker`` (closed/open/half-open);
+* :mod:`~repro.runtime.resilient` — ``ResilientHost``, wrapping any
+  ``WebsiteHost`` with retries + breakers;
+* :mod:`~repro.runtime.chaos` — ``ChaosHost`` / ``ChaosModel`` seeded fault
+  injection, so robustness is testable offline;
+* :mod:`~repro.runtime.stats` — ``RuntimeStats`` counters threaded through
+  crawler and pipeline and surfaced by ``repro health``.
+
+The package depends only on the standard library — it sits *below*
+``repro.html`` and ``repro.core`` in the layer diagram and never imports them.
+"""
+
+from .chaos import ChaosConfig, ChaosHost, ChaosModel
+from .errors import BriefingError, FetchError, ModelError, ParseError, RenderError
+from .resilient import ResilientHost
+from .retry import CircuitBreaker, RetryPolicy, StepClock
+from .stats import RuntimeStats
+
+__all__ = [
+    "BriefingError",
+    "FetchError",
+    "ParseError",
+    "RenderError",
+    "ModelError",
+    "RetryPolicy",
+    "CircuitBreaker",
+    "StepClock",
+    "ResilientHost",
+    "ChaosConfig",
+    "ChaosHost",
+    "ChaosModel",
+    "RuntimeStats",
+]

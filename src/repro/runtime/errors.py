@@ -1,0 +1,69 @@
+"""Structured error taxonomy for the briefing runtime.
+
+Every failure mode on the serving path (crawl → parse → render → model) gets
+a typed exception carrying machine-readable context instead of a bare
+``ValueError``/``None``:
+
+* :class:`FetchError` — the host could not serve the URL (network fault,
+  circuit open, retries exhausted);
+* :class:`ParseError` — the HTML could not be parsed into a DOM;
+* :class:`RenderError` — the DOM rendered to no usable visible text (also a
+  ``ValueError`` for backwards compatibility with the seed API);
+* :class:`ModelError` — a model stage (topic / attributes / sections) failed;
+* :class:`BriefingError` — the common base, so callers can catch the whole
+  family with one clause.
+
+The ``transient`` flag is the retry contract: transient errors are worth
+retrying (the next attempt may succeed), permanent ones are not.  Each class
+carries a ``stage`` name used by degradation records and stats counters.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = ["BriefingError", "FetchError", "ParseError", "RenderError", "ModelError"]
+
+
+class BriefingError(Exception):
+    """Base class for all briefing-runtime failures."""
+
+    stage = "briefing"
+
+    def __init__(self, message: str = "", *, url: Optional[str] = None, transient: bool = False):
+        super().__init__(message)
+        self.url = url
+        self.transient = transient
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "transient" if self.transient else "permanent"
+        where = f" url={self.url!r}" if self.url else ""
+        return f"{type(self).__name__}({str(self)!r}, {kind}{where})"
+
+
+class FetchError(BriefingError):
+    """A URL could not be fetched (fault, open circuit, retries exhausted)."""
+
+    stage = "fetch"
+
+
+class ParseError(BriefingError):
+    """HTML could not be parsed into a DOM."""
+
+    stage = "parse"
+
+
+class RenderError(BriefingError, ValueError):
+    """A page rendered to no usable visible text.
+
+    Inherits :class:`ValueError` so seed-era callers of
+    ``document_from_raw_html`` that catch ``ValueError`` keep working.
+    """
+
+    stage = "render"
+
+
+class ModelError(BriefingError):
+    """A model inference stage (topic / attributes / sections) failed."""
+
+    stage = "model"

@@ -1,0 +1,99 @@
+"""``ResilientHost`` — wrap any ``WebsiteHost`` with retries and breakers.
+
+The wrapper keeps the plain ``fetch(url) -> Optional[str]`` contract (``None``
+still means a clean 404) but turns flaky hosts into dependable ones:
+
+* transient :class:`~repro.runtime.errors.FetchError`\\ s are retried under a
+  :class:`~repro.runtime.retry.RetryPolicy` (deterministic backoff + jitter);
+* each network location gets its own
+  :class:`~repro.runtime.retry.CircuitBreaker`; repeated failures open the
+  circuit and reject further fetches fast instead of hammering a dead host;
+* every attempt, retry, trip and rejection is counted in a shared
+  :class:`~repro.runtime.stats.RuntimeStats`.
+
+On exhaustion it raises a **permanent** ``FetchError`` so callers (the
+crawler) can skip the URL and move on.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+from urllib.parse import urlsplit
+
+from .errors import FetchError
+from .retry import CircuitBreaker, RetryPolicy
+from .stats import RuntimeStats
+
+__all__ = ["ResilientHost"]
+
+
+class ResilientHost:
+    """Retrying, circuit-breaking decorator for any ``WebsiteHost``."""
+
+    def __init__(
+        self,
+        host,
+        policy: Optional[RetryPolicy] = None,
+        stats: Optional[RuntimeStats] = None,
+        sleep: Optional[Callable[[float], None]] = None,
+        breaker_factory: Optional[Callable[[], CircuitBreaker]] = None,
+    ) -> None:
+        self.host = host
+        self.policy = policy if policy is not None else RetryPolicy()
+        self.stats = stats if stats is not None else RuntimeStats()
+        self._sleep = sleep
+        self._breaker_factory = breaker_factory
+        self._breakers: Dict[str, CircuitBreaker] = {}
+
+    @property
+    def root_url(self) -> str:
+        return self.host.root_url
+
+    # ------------------------------------------------------------------
+    def breaker_for(self, url: str) -> CircuitBreaker:
+        """The (lazily created) breaker guarding ``url``'s network location."""
+        netloc = urlsplit(url).netloc or "<local>"
+        breaker = self._breakers.get(netloc)
+        if breaker is None:
+            if self._breaker_factory is not None:
+                breaker = self._breaker_factory()
+                breaker._on_trip = self._count_trip
+            else:
+                breaker = CircuitBreaker(on_trip=self._count_trip)
+            self._breakers[netloc] = breaker
+        return breaker
+
+    def _count_trip(self) -> None:
+        self.stats.inc("breaker_trips")
+
+    # ------------------------------------------------------------------
+    def fetch(self, url: str) -> Optional[str]:
+        breaker = self.breaker_for(url)
+        delays = self.policy.delays()
+        last: Optional[FetchError] = None
+        for attempt in range(self.policy.max_attempts):
+            if not breaker.allow():
+                self.stats.inc("breaker_rejections")
+                raise FetchError(f"circuit open for {url}", url=url, transient=False) from last
+            if attempt:
+                self.stats.inc("fetch_retries")
+                if self._sleep is not None:
+                    self._sleep(next(delays))
+                else:
+                    next(delays, None)
+            self.stats.inc("fetch_attempts")
+            try:
+                html = self.host.fetch(url)
+            except FetchError as exc:
+                breaker.record_failure()
+                last = exc
+                if not exc.transient:
+                    raise
+                continue
+            breaker.record_success()
+            return html
+        raise FetchError(
+            f"retries exhausted after {self.policy.max_attempts} attempts for {url}",
+            url=url,
+            transient=False,
+        ) from last

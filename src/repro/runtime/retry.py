@@ -1,0 +1,153 @@
+"""Deterministic retry policy and per-host circuit breaker.
+
+Both primitives follow the repo's design rule — *no wall-clock, no global
+state*:
+
+* :class:`RetryPolicy` derives its jitter from a seeded ``random.Random`` and
+  hands computed delays to an **injectable** sleep callable, so tests (and the
+  offline synthetic stack) run instantly while production can pass
+  ``time.sleep``.
+* :class:`CircuitBreaker` reads time from an **injectable** clock callable;
+  the default :class:`StepClock` advances one tick per reading, making
+  recovery windows deterministic counts of operations rather than seconds.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Iterator, Optional, Tuple, Type
+
+__all__ = ["RetryPolicy", "CircuitBreaker", "StepClock"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Capped exponential backoff with seeded jitter.
+
+    ``delays()`` yields ``max_attempts - 1`` waits (there is no wait after the
+    final attempt).  The k-th base delay is ``base_delay * multiplier**k``
+    capped at ``max_delay``, then jittered by a uniform factor in
+    ``[1 - jitter, 1 + jitter]`` drawn from ``random.Random(seed)`` — the same
+    seed always produces the same schedule.
+    """
+
+    max_attempts: int = 4
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    multiplier: float = 2.0
+    jitter: float = 0.25
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+
+    def delays(self) -> Iterator[float]:
+        rng = random.Random(self.seed)
+        delay = self.base_delay
+        for _ in range(self.max_attempts - 1):
+            capped = min(delay, self.max_delay)
+            yield capped * (1.0 + self.jitter * (2.0 * rng.random() - 1.0))
+            delay *= self.multiplier
+
+    def call(
+        self,
+        fn: Callable[[], object],
+        *,
+        retry_on: Tuple[Type[BaseException], ...] = (Exception,),
+        sleep: Optional[Callable[[float], None]] = None,
+        on_retry: Optional[Callable[[int, BaseException], None]] = None,
+    ) -> object:
+        """Run ``fn`` under this policy; re-raise the last error on exhaustion."""
+        delays = self.delays()
+        last: Optional[BaseException] = None
+        for attempt in range(self.max_attempts):
+            try:
+                return fn()
+            except retry_on as exc:  # noqa: PERF203 - the loop IS the point
+                last = exc
+                if attempt == self.max_attempts - 1:
+                    raise
+                if on_retry is not None:
+                    on_retry(attempt + 1, exc)
+                if sleep is not None:
+                    sleep(next(delays))
+        raise last if last is not None else RuntimeError("unreachable")  # pragma: no cover
+
+
+class StepClock:
+    """Deterministic clock: each reading advances one tick."""
+
+    def __init__(self, start: float = 0.0, step: float = 1.0) -> None:
+        self._now = start
+        self._step = step
+
+    def __call__(self) -> float:
+        self._now += self._step
+        return self._now
+
+
+_CLOSED, _OPEN, _HALF_OPEN = "closed", "open", "half_open"
+
+
+class CircuitBreaker:
+    """Per-host closed → open → half-open breaker.
+
+    * **closed** — requests flow; ``failure_threshold`` consecutive failures
+      trip the breaker open.
+    * **open** — requests are rejected without touching the host until
+      ``recovery_time`` has elapsed on the injected clock.
+    * **half-open** — one probe request is let through; success closes the
+      breaker, failure re-opens it (and counts another trip).
+    """
+
+    CLOSED, OPEN, HALF_OPEN = _CLOSED, _OPEN, _HALF_OPEN
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        recovery_time: float = 10.0,
+        clock: Optional[Callable[[], float]] = None,
+        on_trip: Optional[Callable[[], None]] = None,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.recovery_time = recovery_time
+        self._clock = clock if clock is not None else StepClock()
+        self._on_trip = on_trip
+        self.state = _CLOSED
+        self.trips = 0
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+
+    # ------------------------------------------------------------------
+    def allow(self) -> bool:
+        """May a request proceed right now?"""
+        if self.state == _OPEN:
+            if self._clock() - self._opened_at >= self.recovery_time:
+                self.state = _HALF_OPEN
+                return True
+            return False
+        return True
+
+    def record_success(self) -> None:
+        self._consecutive_failures = 0
+        self.state = _CLOSED
+
+    def record_failure(self) -> None:
+        self._consecutive_failures += 1
+        if self.state == _HALF_OPEN or self._consecutive_failures >= self.failure_threshold:
+            self._trip()
+
+    # ------------------------------------------------------------------
+    def _trip(self) -> None:
+        self.state = _OPEN
+        self.trips += 1
+        self._consecutive_failures = 0
+        self._opened_at = self._clock()
+        if self._on_trip is not None:
+            self._on_trip()

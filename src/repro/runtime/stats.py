@@ -1,0 +1,63 @@
+"""Runtime health counters threaded through crawler and pipeline.
+
+A single :class:`RuntimeStats` instance is shared by whichever layers the
+caller wires together (``ChaosHost`` → ``ResilientHost`` → crawler →
+``BriefingPipeline``), so one object tells the whole serving story: attempts,
+retries, breaker trips, injected faults, degradations.  Pure data — no clocks,
+no globals, trivially mergeable across shards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+__all__ = ["RuntimeStats"]
+
+
+@dataclass
+class RuntimeStats:
+    """Counter block for the fault-tolerant briefing runtime."""
+
+    #: fetch() calls issued to the underlying host (includes retries).
+    fetch_attempts: int = 0
+    #: retries beyond the first attempt of each URL.
+    fetch_retries: int = 0
+    #: URLs given up on (permanent error, retries exhausted, circuit open).
+    fetch_failures: int = 0
+    #: pages fetched successfully.
+    pages_fetched: int = 0
+    #: pages whose HTML failed to parse.
+    parse_failures: int = 0
+    #: circuit-breaker transitions to the open state.
+    breaker_trips: int = 0
+    #: fetches rejected without an attempt because a circuit was open.
+    breaker_rejections: int = 0
+    #: faults injected by the chaos layer (all kinds).
+    faults_injected: int = 0
+    #: injected latency spikes.
+    latency_spikes: int = 0
+    #: model stages that raised during briefing.
+    model_failures: int = 0
+    #: degradation ladder steps taken by the pipeline.
+    degradations: int = 0
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        """Increment a named counter (typos raise ``AttributeError``)."""
+        setattr(self, name, getattr(self, name) + amount)
+
+    def merge(self, other: "RuntimeStats") -> "RuntimeStats":
+        """Element-wise sum — combine stats from independent shards."""
+        merged = RuntimeStats()
+        for field in fields(RuntimeStats):
+            setattr(merged, field.name, getattr(self, field.name) + getattr(other, field.name))
+        return merged
+
+    def as_dict(self) -> dict:
+        return {field.name: getattr(self, field.name) for field in fields(RuntimeStats)}
+
+    def format(self) -> str:
+        """Aligned, human-readable counter table (``repro health`` output)."""
+        lines = []
+        for name, value in self.as_dict().items():
+            lines.append(f"{name:>20}: {value}")
+        return "\n".join(lines)

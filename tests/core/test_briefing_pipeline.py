@@ -1,11 +1,9 @@
 """Brief type and end-to-end briefing pipeline tests."""
 
-import numpy as np
 import pytest
 
 from repro import nn
 from repro.core import Brief, BriefingPipeline, document_from_raw_html
-from repro.data import Vocabulary
 from repro.models import BertSumEncoder, make_joint_model
 
 

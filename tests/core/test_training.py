@@ -5,7 +5,6 @@ import pytest
 
 from repro import nn
 from repro.core import TrainConfig, Trainer
-from repro.data import Vocabulary
 from repro.models import GloveEncoder, SingleTaskGenerator
 
 

@@ -5,7 +5,6 @@ import json
 import pytest
 
 from repro.data import (
-    Corpus,
     document_from_dict,
     document_to_dict,
     load_corpus_jsonl,

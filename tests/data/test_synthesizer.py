@@ -1,6 +1,5 @@
 """Dataset construction tests: taxonomy, templates, websites, corpus shape."""
 
-import numpy as np
 import pytest
 
 from repro.data import (
@@ -11,7 +10,7 @@ from repro.data import (
     build_taxonomy,
     document_from_html,
 )
-from repro.data.taxonomy import CATEGORY_POOL, FAMILY_SPECS, family_categories, topic_id_for
+from repro.data.taxonomy import FAMILY_SPECS, family_categories, topic_id_for
 from repro.data.templates import content_page_html, make_style, sample_page_values
 
 

@@ -5,7 +5,6 @@ import pytest
 
 from repro.data.taxonomy import build_taxonomy
 from repro.data.templates import (
-    WebsiteStyle,
     content_page_html,
     index_page_html,
     make_style,

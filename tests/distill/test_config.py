@@ -1,7 +1,5 @@
 """DistillConfig / distill_config helper tests."""
 
-import numpy as np
-import pytest
 
 from repro.distill import DistillConfig, DualDistiller
 from repro.experiments.common import distill_config

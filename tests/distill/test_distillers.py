@@ -14,7 +14,7 @@ from repro.distill import (
     make_variant_distiller,
     with_topic,
 )
-from repro.models import SingleTaskExtractor, SingleTaskGenerator, make_joint_model
+from repro.models import SingleTaskExtractor, make_joint_model
 
 
 CFG = DistillConfig(epochs=1, learning_rate=5e-3, seed=0)

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.experiments import ExperimentScale, ResultTable, paper_shape, small, tiny
+from repro.experiments import ResultTable, paper_shape, small, tiny
 
 
 def test_presets_are_frozen_and_hashable():

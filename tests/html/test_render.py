@@ -1,6 +1,5 @@
 """Visible-text renderer tests — the Selenium-substitute contract."""
 
-import numpy as np
 
 from repro.html import render_page, render_visible_text
 

@@ -1,6 +1,5 @@
 """Model-test fixtures: a tiny encoder and corpus documents."""
 
-import numpy as np
 import pytest
 
 from repro import nn

@@ -1,7 +1,6 @@
 """Document encoder tests: shapes, alignment, truncation."""
 
 import numpy as np
-import pytest
 
 from repro import nn
 from repro.models import BertEncoder, GloveEncoder, truncate_document

@@ -56,14 +56,6 @@ def test_extractor_loss_and_prediction(rng, doc, glove_encoder):
 
 def test_extractor_learns_trivial_pattern(rng):
     """An extractor must fit a deterministic token→tag mapping."""
-    from repro.data import Document
-
-    tokens = ["a", "price", "x", "price", "b"]
-    doc = Document(
-        doc_id="t", url="", source="s", topic_id=0, family="f", website="w",
-        topic_tokens=("t",), sentences=[tokens], section_labels=[1],
-        attributes=[],
-    )
     # Features: one-hot of "price" positions.
     features = np.zeros((5, 4))
     features[[1, 3], 0] = 1.0

@@ -3,11 +3,9 @@
 import numpy as np
 import pytest
 
-from repro import nn
 from repro.models import (
     JOINT_BASELINE_CONFIGS,
     ExchangeConfig,
-    JointWBModel,
     make_joint_model,
 )
 

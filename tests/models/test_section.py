@@ -1,7 +1,6 @@
 """Informative-section predictor (Markov dependency) tests."""
 
 import numpy as np
-import pytest
 
 from repro import nn
 from repro.models import SectionPredictor

@@ -1,7 +1,6 @@
 """Single-task baseline tests (+prior section / +prior topic variants)."""
 
 import numpy as np
-import pytest
 
 from repro import nn
 from repro.models import SingleTaskExtractor, SingleTaskGenerator

@@ -1,0 +1,97 @@
+"""Acceptance: the fault-tolerant runtime masks injected faults end-to-end.
+
+The guarantee from the issue: crawling a ``ChaosHost`` with 30% transient
+fetch failures yields the same dominant-cluster page set as the fault-free
+crawl (retries mask transient faults), and ``BriefingPipeline.brief_html``
+never raises on garbled/empty HTML — with breaker trips and retry counts
+visible in ``RuntimeStats``.
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core import BriefingPipeline, PartialBrief
+from repro.data.synthesizer import SyntheticWebsite
+from repro.data.taxonomy import build_taxonomy
+from repro.html import StructureDrivenCrawler
+from repro.models import BertSumEncoder, make_joint_model
+from repro.runtime import (
+    ChaosConfig,
+    ChaosHost,
+    CircuitBreaker,
+    FetchError,
+    ResilientHost,
+    RetryPolicy,
+    RuntimeStats,
+)
+
+
+@pytest.fixture(scope="module")
+def website():
+    topic = build_taxonomy()[0]
+    return SyntheticWebsite("chaos.example", topic, num_pages=6, rng=np.random.default_rng(3))
+
+
+def test_thirty_percent_transient_failures_yield_identical_page_set(website):
+    crawler = StructureDrivenCrawler()
+    baseline = crawler.crawl(website)
+    assert baseline.pages  # the guarantee is only meaningful on a live site
+
+    stats = RuntimeStats()
+    chaos = ChaosHost(website, ChaosConfig(transient_failure_rate=0.3, seed=11), stats=stats)
+    resilient = ResilientHost(chaos, RetryPolicy(max_attempts=6, seed=11), stats=stats)
+    result = crawler.crawl(resilient, stats=stats)
+
+    assert {p.url for p in result.pages} == {p.url for p in baseline.pages}
+    assert result.failed_urls == []
+    # the faults really happened, and the retry layer visibly absorbed them
+    assert stats.faults_injected > 0
+    assert stats.fetch_retries >= stats.faults_injected
+    # attempts = unique URLs tried (incl. 404 nav links) + retries
+    assert stats.fetch_attempts > stats.pages_fetched
+    assert result.stats is stats
+
+
+def test_permanently_dead_site_trips_breaker_and_crawl_survives(website):
+    class DeadSite:
+        root_url = website.root_url
+
+        def fetch(self, url):
+            raise FetchError("host unreachable", url=url, transient=True)
+
+    stats = RuntimeStats()
+    resilient = ResilientHost(
+        DeadSite(),
+        RetryPolicy(max_attempts=4, seed=0),
+        stats=stats,
+        breaker_factory=lambda: CircuitBreaker(failure_threshold=3, recovery_time=1e9),
+    )
+    result = StructureDrivenCrawler().crawl(resilient, stats=stats)
+
+    assert result.pages == []
+    assert result.failed_urls == [website.root_url]
+    assert stats.breaker_trips >= 1  # visible in RuntimeStats, as required
+    assert stats.fetch_failures == 1
+
+
+def test_garbled_pages_brief_without_raising(website, small_vocab):
+    rng = np.random.default_rng(0)
+    bert = nn.MiniBert(
+        vocab_size=len(small_vocab), dim=12, num_layers=1, num_heads=2, rng=rng, max_len=256
+    )
+    model = make_joint_model("Joint-WB", BertSumEncoder(small_vocab, bert), small_vocab, 6, rng)
+    stats = RuntimeStats()
+    pipeline = BriefingPipeline(model, beam_size=2, stats=stats)
+
+    corruptor = ChaosHost(
+        website, ChaosConfig(truncate_rate=0.5, garble_rate=0.5, seed=4), stats=stats
+    )
+    for url in website.urls:
+        html = corruptor.fetch(url)
+        brief = pipeline.brief_html(html if html is not None else "")
+        assert isinstance(brief, PartialBrief)
+        for degradation in brief.degradations:
+            assert degradation.stage
+            assert degradation.fallback
+    assert stats.faults_injected > 0

@@ -1,0 +1,181 @@
+"""ChaosHost fault injection + ResilientHost retry/breaker behaviour."""
+
+import pytest
+
+from repro.runtime import (
+    ChaosConfig,
+    ChaosHost,
+    CircuitBreaker,
+    FetchError,
+    ResilientHost,
+    RetryPolicy,
+    RuntimeStats,
+)
+
+
+class StaticHost:
+    """Minimal WebsiteHost: a dict of pages."""
+
+    def __init__(self, pages=None, root="https://s.example/"):
+        self._root = root
+        self.pages = pages if pages is not None else {root: "<html><body><p>hi</p></body></html>"}
+        self.fetch_log = []
+
+    @property
+    def root_url(self):
+        return self._root
+
+    def fetch(self, url):
+        self.fetch_log.append(url)
+        return self.pages.get(url)
+
+
+class DeadHost:
+    root_url = "https://dead.example/"
+
+    def __init__(self):
+        self.calls = 0
+
+    def fetch(self, url):
+        self.calls += 1
+        raise FetchError("always down", url=url, transient=True)
+
+
+# ----------------------------------------------------------------------
+# ChaosHost
+def test_chaos_is_deterministic_per_seed():
+    def run(seed):
+        host = ChaosHost(StaticHost(), ChaosConfig(transient_failure_rate=0.5, seed=seed))
+        outcomes = []
+        for _ in range(20):
+            try:
+                outcomes.append(bool(host.fetch(host.root_url)))
+            except FetchError:
+                outcomes.append("fail")
+        return outcomes
+
+    assert run(1) == run(1)
+    assert run(1) != run(2)
+
+
+def test_chaos_transient_faults_are_not_sticky():
+    host = ChaosHost(StaticHost(), ChaosConfig(transient_failure_rate=0.5, seed=0))
+    results = set()
+    for _ in range(30):
+        try:
+            results.add("ok" if host.fetch(host.root_url) else "404")
+        except FetchError as exc:
+            assert exc.transient
+            results.add("fail")
+    assert results == {"ok", "fail"}  # both outcomes occur for the same URL
+
+
+def test_chaos_permanent_faults_are_sticky():
+    host = ChaosHost(StaticHost(), ChaosConfig(permanent_failure_rate=1.0, seed=0))
+    for _ in range(5):
+        with pytest.raises(FetchError) as excinfo:
+            host.fetch(host.root_url)
+        assert not excinfo.value.transient
+
+
+def test_chaos_truncate_and_garble_preserve_type_and_count_faults():
+    stats = RuntimeStats()
+    original = StaticHost()
+    host = ChaosHost(original, ChaosConfig(truncate_rate=1.0, seed=3), stats=stats)
+    html = host.fetch(host.root_url)
+    assert html is not None and len(html) <= len(original.pages[original.root_url])
+    assert stats.faults_injected == 1
+
+    garbled_host = ChaosHost(original, ChaosConfig(garble_rate=1.0, seed=3))
+    garbled = garbled_host.fetch(original.root_url)
+    assert isinstance(garbled, str) and len(garbled) == len(original.pages[original.root_url])
+
+
+def test_chaos_passes_404_through():
+    host = ChaosHost(StaticHost(pages={}), ChaosConfig(seed=0))
+    assert host.fetch("https://s.example/missing") is None
+
+
+def test_chaos_latency_spikes_use_injected_sleep():
+    slept = []
+    host = ChaosHost(
+        StaticHost(),
+        ChaosConfig(latency_spike_rate=1.0, latency=0.75, seed=0),
+        sleep=slept.append,
+    )
+    host.fetch(host.root_url)
+    assert slept == [0.75]
+
+
+# ----------------------------------------------------------------------
+# ResilientHost
+def test_resilient_host_masks_transient_faults():
+    stats = RuntimeStats()
+    flaky = ChaosHost(StaticHost(), ChaosConfig(transient_failure_rate=0.5, seed=5), stats=stats)
+    resilient = ResilientHost(
+        flaky,
+        RetryPolicy(max_attempts=8, seed=5),
+        stats=stats,
+        breaker_factory=lambda: CircuitBreaker(failure_threshold=100),
+    )
+    for _ in range(10):
+        assert resilient.fetch(resilient.root_url) is not None
+    assert stats.fetch_retries > 0
+    assert stats.fetch_attempts == 10 + stats.fetch_retries
+
+
+def test_resilient_host_gives_up_with_permanent_error():
+    dead = DeadHost()
+    stats = RuntimeStats()
+    resilient = ResilientHost(dead, RetryPolicy(max_attempts=3, seed=0), stats=stats)
+    with pytest.raises(FetchError) as excinfo:
+        resilient.fetch(dead.root_url)
+    assert not excinfo.value.transient
+    assert dead.calls == 3
+    assert stats.fetch_attempts == 3 and stats.fetch_retries == 2
+
+
+def test_resilient_host_does_not_retry_permanent_faults():
+    host = ChaosHost(StaticHost(), ChaosConfig(permanent_failure_rate=1.0, seed=0))
+    resilient = ResilientHost(host, RetryPolicy(max_attempts=5, seed=0))
+    with pytest.raises(FetchError):
+        resilient.fetch(resilient.root_url)
+    assert resilient.stats.fetch_attempts == 1
+
+
+def test_breaker_trips_and_rejects_fast_on_dead_host():
+    dead = DeadHost()
+    stats = RuntimeStats()
+    resilient = ResilientHost(
+        dead,
+        RetryPolicy(max_attempts=4, seed=0),
+        stats=stats,
+        breaker_factory=lambda: CircuitBreaker(failure_threshold=3, recovery_time=1e9),
+    )
+    with pytest.raises(FetchError):
+        resilient.fetch(dead.root_url)  # 3 failures -> breaker trips mid-flight
+    assert stats.breaker_trips == 1
+    calls_before = dead.calls
+    with pytest.raises(FetchError):
+        resilient.fetch(dead.root_url)  # circuit open: rejected without fetching
+    assert dead.calls == calls_before
+    assert stats.breaker_rejections >= 1
+
+
+def test_breaker_is_per_network_location():
+    host = StaticHost(
+        pages={
+            "https://a.example/": "<html><body><p>a</p></body></html>",
+            "https://b.example/": "<html><body><p>b</p></body></html>",
+        },
+        root="https://a.example/",
+    )
+    resilient = ResilientHost(host)
+    assert resilient.breaker_for("https://a.example/x") is resilient.breaker_for("https://a.example/y")
+    assert resilient.breaker_for("https://a.example/") is not resilient.breaker_for("https://b.example/")
+
+
+def test_resilient_host_passes_404_through():
+    resilient = ResilientHost(StaticHost(pages={}))
+    assert resilient.fetch("https://s.example/nope") is None
+    assert resilient.stats.fetch_attempts == 1

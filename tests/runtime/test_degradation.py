@@ -1,0 +1,161 @@
+"""Graceful-degradation ladder: the pipeline never raises, and says why."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core import Brief, BriefingPipeline, Degradation, PartialBrief, document_from_raw_html
+from repro.models import BertSumEncoder, make_joint_model
+from repro.runtime import ChaosModel, ModelError, RuntimeStats
+
+
+@pytest.fixture(scope="module")
+def model(small_vocab):
+    rng = np.random.default_rng(0)
+    bert = nn.MiniBert(
+        vocab_size=len(small_vocab), dim=12, num_layers=1, num_heads=2, rng=rng, max_len=256
+    )
+    return make_joint_model("Joint-WB", BertSumEncoder(small_vocab, bert), small_vocab, 6, rng)
+
+
+HTML = (
+    "<html><body><p>welcome to our books pages about shopping</p>"
+    "<p>the price is 42 for this listing</p></body></html>"
+)
+
+
+class FailingStage:
+    """Wrap a model and hard-fail selected stages."""
+
+    def __init__(self, model, fail=()):
+        self.model = model
+        self.fail = set(fail)
+
+    def predict_topic(self, document, beam_size=4):
+        if "topic" in self.fail:
+            raise ModelError("topic stage down")
+        return self.model.predict_topic(document, beam_size=beam_size)
+
+    def predict_attributes_scored(self, document, beam_size=4):
+        if "attributes" in self.fail:
+            raise ModelError("attribute stage down")
+        return self.model.predict_attributes_scored(document, beam_size)
+
+    def predict_attributes(self, document, beam_size=4):
+        if "attributes" in self.fail:
+            raise ModelError("attribute stage down")
+        return self.model.predict_attributes(document, beam_size)
+
+    def predict_sections(self, document):
+        if "sections" in self.fail:
+            raise ModelError("section stage down")
+        return self.model.predict_sections(document)
+
+
+def test_happy_path_is_a_complete_partial_brief(model):
+    brief = BriefingPipeline(model, beam_size=2).brief_html(HTML)
+    assert isinstance(brief, PartialBrief) and isinstance(brief, Brief)
+    assert brief.complete
+    assert brief.degradations == []
+
+
+def test_partial_brief_is_a_drop_in_brief():
+    brief = PartialBrief(
+        topic=["books"], attributes=["42"], degradations=[Degradation("topic", "x", "y")]
+    )
+    assert brief.topic_text == "books"
+    assert not brief.complete
+    assert brief.degraded_stages == ["topic"]
+    assert "topic -> x (y)" in brief.describe_degradations()
+    assert "Topic: books" in brief.render()
+
+
+def test_topic_failure_falls_back_to_highest_scoring_attribute(model):
+    stats = RuntimeStats()
+    pipeline = BriefingPipeline(FailingStage(model, fail={"topic"}), beam_size=2, stats=stats)
+    document_brief = pipeline.brief_html(HTML)
+    scored = model.predict_attributes_scored(document_from_raw_html(HTML))
+    assert not document_brief.complete
+    degradation = document_brief.degradations[0]
+    assert degradation.stage == "topic"
+    assert degradation.fallback == "topic_from_attribute"
+    assert "ModelError" in degradation.reason
+    best = max(scored, key=lambda pair: pair[1])[0]
+    assert document_brief.topic == best.split()
+    assert stats.degradations == 1 and stats.model_failures == 1
+
+
+def test_attribute_failure_yields_empty_attributes(model):
+    pipeline = BriefingPipeline(FailingStage(model, fail={"attributes"}), beam_size=2)
+    brief = pipeline.brief_html(HTML)
+    assert brief.attributes == []
+    assert "attributes" in brief.degraded_stages
+    # topic generation still works -> no topic degradation
+    assert "topic" not in brief.degraded_stages
+
+
+def test_section_failure_treats_all_sentences_as_informative(model):
+    pipeline = BriefingPipeline(FailingStage(model, fail={"sections"}), beam_size=2)
+    brief = pipeline.brief_html(HTML)
+    assert brief.informative_sentences == [0, 1]
+    fallback = {d.stage: d.fallback for d in brief.degradations}
+    assert fallback["sections"] == "all_sentences"
+
+
+def test_total_model_failure_yields_empty_brief_not_exception(model):
+    stats = RuntimeStats()
+    pipeline = BriefingPipeline(
+        FailingStage(model, fail={"topic", "attributes", "sections"}), beam_size=2, stats=stats
+    )
+    brief = pipeline.brief_html(HTML)
+    assert brief.topic == [] and brief.attributes == []
+    assert {d.stage for d in brief.degradations} == {"topic", "attributes", "sections"}
+    fallback = {d.stage: d.fallback for d in brief.degradations}
+    assert fallback["topic"] == "empty_topic"  # no attributes to promote
+    assert stats.model_failures == 3 and stats.degradations == 3
+
+
+def test_brief_html_never_raises_on_pathological_input(model):
+    pipeline = BriefingPipeline(model, beam_size=2)
+    for html in (
+        "",
+        "<html></html>",
+        "<html><body><script>var x=1;</script></body></html>",
+        "<p>trunca",
+        "<<<>>>&&&",
+        HTML[: len(HTML) // 3],
+    ):
+        brief = pipeline.brief_html(html)
+        assert isinstance(brief, PartialBrief)
+        if not brief.complete:
+            assert all(d.stage and d.fallback for d in brief.degradations)
+
+
+def test_empty_render_degradation_names_the_render_stage(model):
+    stats = RuntimeStats()
+    pipeline = BriefingPipeline(model, beam_size=2, stats=stats)
+    brief = pipeline.brief_html("<html><body><script>x</script></body></html>")
+    assert brief.topic == [] and brief.attributes == []
+    assert brief.degradations[0].stage == "render"
+    assert brief.degradations[0].fallback == "empty_brief"
+    assert stats.degradations == 1
+
+
+def test_chaos_model_injects_seeded_model_errors(model, small_corpus):
+    chaos = ChaosModel(model, failure_rate=1.0, seed=0)
+    with pytest.raises(ModelError):
+        chaos.predict_topic(small_corpus[0])
+    # rate 0 -> transparent wrapper
+    clean = ChaosModel(model, failure_rate=0.0, seed=0)
+    assert clean.predict_sections(small_corpus[0]).shape[0] == small_corpus[0].num_sentences
+
+
+def test_pipeline_with_chaos_model_records_every_fallback(model):
+    stats = RuntimeStats()
+    chaos = ChaosModel(model, failure_rate=1.0, seed=2, stats=stats)
+    pipeline = BriefingPipeline(chaos, beam_size=2, stats=stats)
+    brief = pipeline.brief_html(HTML)
+    assert isinstance(brief, PartialBrief)
+    assert {d.stage for d in brief.degradations} == {"topic", "attributes", "sections"}
+    assert stats.degradations == 3
+    assert stats.faults_injected == 3

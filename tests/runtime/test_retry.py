@@ -1,0 +1,114 @@
+"""RetryPolicy and CircuitBreaker unit tests (all deterministic, no sleeping)."""
+
+import pytest
+
+from repro.runtime import CircuitBreaker, FetchError, RetryPolicy, StepClock
+
+
+# ----------------------------------------------------------------------
+# RetryPolicy
+def test_delays_are_deterministic_per_seed():
+    a = list(RetryPolicy(max_attempts=5, seed=3).delays())
+    b = list(RetryPolicy(max_attempts=5, seed=3).delays())
+    c = list(RetryPolicy(max_attempts=5, seed=4).delays())
+    assert a == b
+    assert a != c
+
+
+def test_delays_grow_exponentially_within_jitter_and_cap():
+    policy = RetryPolicy(
+        max_attempts=8, base_delay=0.1, multiplier=2.0, max_delay=0.5, jitter=0.25, seed=0
+    )
+    delays = list(policy.delays())
+    assert len(delays) == 7
+    for k, delay in enumerate(delays):
+        base = min(0.1 * 2.0**k, 0.5)
+        assert base * 0.75 <= delay <= base * 1.25
+    # the cap binds from 0.1 * 2^3 = 0.8 > 0.5 onwards
+    assert all(d <= 0.5 * 1.25 for d in delays[3:])
+
+
+def test_zero_jitter_gives_exact_schedule():
+    policy = RetryPolicy(max_attempts=4, base_delay=1.0, multiplier=3.0, max_delay=100.0, jitter=0.0)
+    assert list(policy.delays()) == [1.0, 3.0, 9.0]
+
+
+def test_policy_validation():
+    with pytest.raises(ValueError):
+        RetryPolicy(max_attempts=0)
+    with pytest.raises(ValueError):
+        RetryPolicy(jitter=1.5)
+
+
+def test_call_retries_then_succeeds_with_injected_sleep():
+    slept = []
+    attempts = []
+
+    def flaky():
+        attempts.append(1)
+        if len(attempts) < 3:
+            raise FetchError("boom", transient=True)
+        return "ok"
+
+    policy = RetryPolicy(max_attempts=4, seed=1)
+    result = policy.call(flaky, retry_on=(FetchError,), sleep=slept.append)
+    assert result == "ok"
+    assert len(attempts) == 3
+    assert slept == list(policy.delays())[:2]
+
+
+def test_call_reraises_on_exhaustion():
+    def always_fails():
+        raise FetchError("down", transient=True)
+
+    with pytest.raises(FetchError):
+        RetryPolicy(max_attempts=3).call(always_fails, retry_on=(FetchError,))
+
+
+# ----------------------------------------------------------------------
+# CircuitBreaker
+def test_breaker_opens_after_threshold_and_counts_trips():
+    trips = []
+    breaker = CircuitBreaker(failure_threshold=3, recovery_time=1000.0, on_trip=lambda: trips.append(1))
+    assert breaker.state == CircuitBreaker.CLOSED
+    for _ in range(2):
+        breaker.record_failure()
+    assert breaker.state == CircuitBreaker.CLOSED
+    breaker.record_failure()
+    assert breaker.state == CircuitBreaker.OPEN
+    assert breaker.trips == 1 and len(trips) == 1
+    assert not breaker.allow()
+
+
+def test_success_resets_consecutive_failure_count():
+    breaker = CircuitBreaker(failure_threshold=2)
+    breaker.record_failure()
+    breaker.record_success()
+    breaker.record_failure()
+    assert breaker.state == CircuitBreaker.CLOSED
+
+
+def test_breaker_half_open_probe_closes_on_success():
+    clock = StepClock()
+    breaker = CircuitBreaker(failure_threshold=1, recovery_time=3.0, clock=clock)
+    breaker.record_failure()
+    assert breaker.state == CircuitBreaker.OPEN
+    # clock advances one tick per allow(); the window opens after 3 ticks
+    assert not breaker.allow()
+    assert not breaker.allow()
+    assert breaker.allow()  # recovery window elapsed -> half-open probe
+    assert breaker.state == CircuitBreaker.HALF_OPEN
+    breaker.record_success()
+    assert breaker.state == CircuitBreaker.CLOSED
+    assert breaker.allow()
+
+
+def test_breaker_half_open_probe_reopens_on_failure():
+    breaker = CircuitBreaker(failure_threshold=1, recovery_time=2.0)
+    breaker.record_failure()
+    while not breaker.allow():
+        pass
+    assert breaker.state == CircuitBreaker.HALF_OPEN
+    breaker.record_failure()
+    assert breaker.state == CircuitBreaker.OPEN
+    assert breaker.trips == 2

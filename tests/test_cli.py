@@ -1,6 +1,5 @@
 """CLI tests (argument parsing + cheap commands)."""
 
-import numpy as np
 import pytest
 
 from repro.cli import build_parser, main
@@ -22,6 +21,21 @@ def test_parser_tables_arguments():
     args = build_parser().parse_args(["tables", "--scale", "tiny", "--only", "table4"])
     assert args.scale == "tiny"
     assert args.only == ["table4"]
+
+
+def test_parser_health_arguments():
+    args = build_parser().parse_args(["health", "--failure-rate", "0.4", "--seed", "3"])
+    assert args.command == "health"
+    assert args.failure_rate == 0.4
+    assert args.seed == 3
+
+
+def test_health_command_masks_faults(capsys):
+    assert main(["health", "--seed", "7"]) == 0
+    out = capsys.readouterr().out
+    assert "fetch_retries" in out
+    assert "degradation: render -> empty_brief" in out
+    assert "healthy" in out
 
 
 def test_corpus_stats_command(capsys):

@@ -1,7 +1,5 @@
 """Package-level API surface tests."""
 
-import numpy as np
-import pytest
 
 import repro
 
