@@ -1,0 +1,51 @@
+"""Benchmark: batched serving throughput vs the sequential pipeline.
+
+Shape asserted: the batched pipeline beats sequential briefing on the same
+page stream (the encoder runs once per document instead of once per task
+head, and repeated content is served from the content-addressed cache), and
+its discrete outputs — topic tokens, attribute spans, informative sentences
+— are identical to the sequential pipeline's.
+
+Absolute docs/sec depends on the host; the assertions only pin the ordering
+(with slack) and the correctness invariants, matching the table benchmarks'
+philosophy.
+"""
+
+import json
+
+import pytest
+
+from repro.core import run_serving_bench
+
+
+@pytest.mark.benchmark(group="serving")
+def test_serving_bench(benchmark, tmp_path):
+    output = tmp_path / "BENCH_serving.json"
+    result = benchmark.pedantic(
+        run_serving_bench,
+        kwargs={"num_pages": 32, "seed": 7, "output_path": str(output)},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.format())
+
+    assert result.outputs_match, f"batched briefs diverged: {result.mismatches}"
+    assert result.cache_hit_rate > 0, "duplicated pages never hit the cache"
+    # Paper-shape assertion: batched wins with slack (locally ~3x).
+    assert result.speedup > 1.2
+
+    report = json.loads(output.read_text())
+    assert report["outputs_match"] is True
+    assert report["num_pages"] == 32
+    assert set(report) == {
+        "num_pages",
+        "unique_pages",
+        "batch_size",
+        "sequential",
+        "batched",
+        "speedup",
+        "cache_hit_rate",
+        "outputs_match",
+        "mismatches",
+    }

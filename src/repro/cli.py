@@ -20,6 +20,12 @@ Commands
     and empty pages, and print the :class:`~repro.runtime.RuntimeStats`
     counters.  Exit code 0 means retries/breakers/degradations fully masked
     the injected faults.
+``bench [--pages 64] [--output BENCH_serving.json] [--smoke]``
+    Serving benchmark: time the same page stream through the sequential and
+    the batched briefing pipelines, check the briefs are identical, and
+    write docs/sec, latency percentiles and cache hit rate to a JSON report.
+    ``--smoke`` runs a tiny corpus and exits nonzero if batched outputs
+    diverge from sequential or the cache never hits.
 """
 
 from __future__ import annotations
@@ -69,6 +75,18 @@ def build_parser() -> argparse.ArgumentParser:
                         help="garbled/truncated HTML probability")
     health.add_argument("--pages", type=int, default=6)
     health.add_argument("--max-attempts", type=int, default=6)
+
+    bench = sub.add_parser("bench", help="serving benchmark: sequential vs batched briefing")
+    bench.add_argument("--pages", type=int, default=64, help="pages in the synthesized stream")
+    bench.add_argument("--seed", type=int, default=7)
+    bench.add_argument("--batch-size", type=int, default=8)
+    bench.add_argument("--beam-size", type=int, default=2)
+    bench.add_argument("--output", default="BENCH_serving.json",
+                       help="JSON report path ('' to skip writing)")
+    bench.add_argument("--float32", action="store_true",
+                       help="run batched inference under float32")
+    bench.add_argument("--smoke", action="store_true",
+                       help="tiny corpus; exit 1 on output mismatch or cold cache")
     return parser
 
 
@@ -205,12 +223,35 @@ def _command_health(args) -> int:
     return 0 if masked and served else 1
 
 
+def _command_bench(args) -> int:
+    from .core import run_serving_bench
+
+    num_pages = min(args.pages, 12) if args.smoke else args.pages
+    result = run_serving_bench(
+        num_pages=num_pages,
+        seed=args.seed,
+        batch_size=args.batch_size,
+        beam_size=args.beam_size,
+        dtype=np.float32 if args.float32 else None,
+        output_path=args.output or None,
+    )
+    print(result.format())
+    if args.output:
+        print(f"\nwrote {args.output}")
+    if args.smoke:
+        ok = result.outputs_match and result.cache_hit_rate > 0
+        print(f"smoke: {'ok' if ok else 'FAILED'}")
+        return 0 if ok else 1
+    return 0
+
+
 _COMMANDS = {
     "brief": _command_brief,
     "corpus-stats": _command_corpus_stats,
     "train": _command_train,
     "tables": _command_tables,
     "health": _command_health,
+    "bench": _command_bench,
 }
 
 

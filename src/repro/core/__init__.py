@@ -1,5 +1,7 @@
 """``repro.core`` — the WB task API: briefing, training, evaluation, stats."""
 
+from .batched import BatchedBriefingPipeline, BriefCache, content_hash
+from .bench import BenchResult, run_serving_bench, synthesize_serving_corpus
 from .briefing import Brief, Degradation, PartialBrief
 from .evaluation import (
     ExtractionMetrics,
@@ -28,6 +30,12 @@ __all__ = [
     "Degradation",
     "PartialBrief",
     "BriefingPipeline",
+    "BatchedBriefingPipeline",
+    "BriefCache",
+    "content_hash",
+    "BenchResult",
+    "run_serving_bench",
+    "synthesize_serving_corpus",
     "document_from_raw_html",
     "ExtractionMetrics",
     "GenerationMetrics",

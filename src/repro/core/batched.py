@@ -1,0 +1,242 @@
+"""Batched serving: many HTML pages → briefs, with content-addressed caching.
+
+:class:`BatchedBriefingPipeline` is the high-throughput sibling of
+:class:`~repro.core.pipeline.BriefingPipeline`.  It fans a list of pages
+through render → tokenize → one :meth:`~repro.models.joint_wb.JointWBModel.
+predict_batch` pass → briefs, with two bounded LRU caches keyed on a hash of
+the page content:
+
+* a **brief cache** for finished, *complete* briefs (degraded briefs are
+  never cached, so a page corrupted by a transient fault is re-briefed from
+  scratch on the next request);
+* a **render cache** for parsed :class:`~repro.data.corpus.Document` objects,
+  so a page whose briefing degraded still skips the parse/render work when it
+  comes back.
+
+Both caches are collision-safe: an entry stores the content alongside the
+value, and a lookup whose hash matches but whose content differs is a miss.
+Brief-level hits and misses are threaded into the shared
+:class:`~repro.runtime.stats.RuntimeStats` counters.
+
+Like the sequential pipeline, :meth:`BatchedBriefingPipeline.brief_many`
+never raises: unparseable pages yield empty degraded briefs, and a failure
+inside the batched model falls back to the sequential per-document
+degradation ladder for that batch.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from contextlib import nullcontext
+from typing import Callable, Dict, Hashable, Iterable, List, Optional, Tuple, Union
+
+import numpy as np
+
+from .. import nn
+from ..data.corpus import Document
+from ..models.joint_wb import BriefPrediction, JointWBModel
+from ..runtime.errors import BriefingError
+from ..runtime.stats import RuntimeStats
+from .briefing import Degradation, PartialBrief
+from .pipeline import BriefingPipeline, _reason, document_from_raw_html
+
+__all__ = ["BriefCache", "BatchedBriefingPipeline", "content_hash"]
+
+#: A page is raw HTML, or ``(doc_id, html)`` when the caller wants stable ids.
+Page = Union[str, Tuple[str, str]]
+
+
+def content_hash(content: str) -> str:
+    """Default cache key: SHA-256 hex digest of the page content."""
+    return hashlib.sha256(content.encode("utf-8")).hexdigest()
+
+
+def _copy_brief(brief: PartialBrief) -> PartialBrief:
+    """Defensive copy so callers can't mutate cached briefs (or vice versa)."""
+    return PartialBrief(
+        topic=list(brief.topic),
+        attributes=list(brief.attributes),
+        extra_levels={level: list(items) for level, items in brief.extra_levels.items()},
+        informative_sentences=list(brief.informative_sentences),
+        degradations=list(brief.degradations),
+    )
+
+
+class BriefCache:
+    """Bounded LRU mapping page content to a value, keyed on a content hash.
+
+    Entries store the original content next to the value; a lookup whose hash
+    matches a stored entry but whose content differs counts as a miss, so a
+    weak (or adversarial) ``hash_fn`` can cost performance but never serves
+    the wrong page's value.  ``capacity=0`` disables the cache entirely.
+    """
+
+    def __init__(self, capacity: int, hash_fn: Optional[Callable[[str], Hashable]] = None) -> None:
+        if capacity < 0:
+            raise ValueError(f"cache capacity must be >= 0, got {capacity}")
+        self.capacity = capacity
+        self.hash_fn = hash_fn if hash_fn is not None else content_hash
+        #: lookups served from the cache / lookups that fell through.
+        self.hits = 0
+        self.misses = 0
+        self._entries: "OrderedDict[Hashable, Tuple[str, object]]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, content: str) -> bool:
+        entry = self._entries.get(self.hash_fn(content))
+        return entry is not None and entry[0] == content
+
+    def keys(self) -> List[Hashable]:
+        """Cache keys, least- to most-recently used (for tests/introspection)."""
+        return list(self._entries)
+
+    def get(self, content: str):
+        """Value cached for ``content``, or ``None``; refreshes recency."""
+        key = self.hash_fn(content)
+        entry = self._entries.get(key)
+        if entry is None or entry[0] != content:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry[1]
+
+    def put(self, content: str, value) -> None:
+        """Insert (or refresh) an entry, evicting the least recently used."""
+        if self.capacity == 0:
+            return
+        self._entries[self.hash_fn(content)] = (content, value)
+        self._entries.move_to_end(self.hash_fn(content))
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+
+class BatchedBriefingPipeline:
+    """Batched HTML → brief serving with LRU caching; never raises.
+
+    Repeated content is served from the brief cache (or coalesced in flight
+    when the same page appears twice in one call), and each batch runs the
+    model once via :meth:`predict_batch` instead of once per document per
+    task head.  ``dtype`` optionally runs inference under
+    :class:`~repro.nn.tensor.default_dtype` (e.g. ``np.float32``) — discrete
+    outputs are unchanged, intermediate tensors shrink.
+    """
+
+    def __init__(
+        self,
+        model: JointWBModel,
+        beam_size: int = 4,
+        stats: Optional[RuntimeStats] = None,
+        batch_size: int = 8,
+        brief_cache_size: int = 256,
+        render_cache_size: int = 256,
+        hash_fn: Optional[Callable[[str], Hashable]] = None,
+        dtype=None,
+    ) -> None:
+        self.model = model
+        self.beam_size = beam_size
+        self.batch_size = batch_size
+        self.stats = stats if stats is not None else RuntimeStats()
+        self.dtype = dtype
+        self.brief_cache = BriefCache(brief_cache_size, hash_fn=hash_fn)
+        self.render_cache = BriefCache(render_cache_size, hash_fn=hash_fn)
+        self._fallback = BriefingPipeline(model, beam_size=beam_size, stats=self.stats)
+
+    # ------------------------------------------------------------------
+    def _dtype_context(self):
+        return nn.default_dtype(self.dtype) if self.dtype is not None else nullcontext()
+
+    def _empty_brief(self, stage: str, exc: BaseException) -> PartialBrief:
+        self.stats.inc("degradations")
+        return PartialBrief(
+            topic=[],
+            attributes=[],
+            degradations=[Degradation(stage, "empty_brief", _reason(exc))],
+        )
+
+    @staticmethod
+    def _brief_from_prediction(prediction: BriefPrediction) -> PartialBrief:
+        informative = [int(i) for i in np.nonzero(prediction.sections)[0]]
+        return PartialBrief(
+            topic=list(prediction.topic),
+            attributes=list(prediction.attributes),
+            informative_sentences=informative,
+            degradations=[],
+        )
+
+    def _predict_briefs(self, documents: List[Document]) -> List[PartialBrief]:
+        """Batched prediction; falls back to the sequential ladder on failure."""
+        try:
+            with self._dtype_context():
+                predictions = self.model.predict_batch(
+                    documents, beam_size=self.beam_size, batch_size=self.batch_size
+                )
+        except Exception:
+            # The batched path raises as a unit; re-run the batch through the
+            # per-document degradation ladder so brief_many never raises and
+            # partial results survive (matching BriefingPipeline semantics).
+            self.stats.inc("model_failures")
+            return [self._fallback.brief_document(document) for document in documents]
+        return [self._brief_from_prediction(prediction) for prediction in predictions]
+
+    # ------------------------------------------------------------------
+    def brief_html(self, html: str, doc_id: str = "adhoc") -> PartialBrief:
+        """Single-page convenience wrapper over :meth:`brief_many`."""
+        return self.brief_many([(doc_id, html)])[0]
+
+    def brief_many(self, pages: Iterable[Page]) -> List[PartialBrief]:
+        """Brief many pages; results align with the input order.
+
+        Cache lookups and in-flight coalescing of duplicate content both
+        count as ``cache_hits``; first sightings count as ``cache_misses``.
+        Only complete briefs are cached, so degraded pages (corrupt HTML,
+        model faults) are re-briefed in full on their next request.
+        """
+        page_list: List[Tuple[str, str]] = []
+        for position, page in enumerate(pages):
+            if isinstance(page, str):
+                page_list.append((f"page-{position}", page))
+            else:
+                doc_id, html = page
+                page_list.append((doc_id, html))
+
+        briefs: List[Optional[PartialBrief]] = [None] * len(page_list)
+        # In-flight work, keyed by page content: one model pass per unique page.
+        pending: "Dict[str, Tuple[Document, List[int]]]" = {}
+        for index, (doc_id, html) in enumerate(page_list):
+            if html in pending:
+                self.stats.inc("cache_hits")
+                pending[html][1].append(index)
+                continue
+            cached = self.brief_cache.get(html)
+            if cached is not None:
+                self.stats.inc("cache_hits")
+                briefs[index] = _copy_brief(cached)
+                continue
+            self.stats.inc("cache_misses")
+            document = self.render_cache.get(html)
+            if document is None:
+                try:
+                    document = document_from_raw_html(html, doc_id=doc_id)
+                except BriefingError as exc:
+                    briefs[index] = self._empty_brief(exc.stage, exc)
+                    continue
+                except Exception as exc:  # substrate bug — degrade, keep serving
+                    briefs[index] = self._empty_brief("parse", exc)
+                    continue
+                self.render_cache.put(html, document)
+            pending[html] = (document, [index])
+
+        if pending:
+            contents = list(pending)
+            documents = [pending[content][0] for content in contents]
+            computed = self._predict_briefs(documents)
+            for content, brief in zip(contents, computed):
+                if brief.complete:
+                    self.brief_cache.put(content, _copy_brief(brief))
+                for index in pending[content][1]:
+                    briefs[index] = _copy_brief(brief)
+        return briefs

@@ -1,0 +1,239 @@
+"""Serving benchmark: sequential vs batched briefing throughput.
+
+``repro bench`` (and the ``benchmarks/perf`` smoke tests) time the same page
+stream through :class:`~repro.core.pipeline.BriefingPipeline` one page at a
+time and through :class:`~repro.core.batched.BatchedBriefingPipeline` in
+batches, verify the discrete outputs (topic tokens, attribute spans,
+informative sentences) are identical, and report docs/sec, per-page latency
+percentiles and the brief-cache hit rate.  Results serialise to
+``BENCH_serving.json`` — schema documented in ``docs/ARCHITECTURE.md``.
+
+The synthesized corpus repeats a fraction of its pages (default 25%) the way
+real crawl frontiers revisit URLs, so the content-addressed cache has
+something to hit.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["BenchResult", "run_serving_bench", "synthesize_serving_corpus"]
+
+
+def synthesize_serving_corpus(
+    num_pages: int,
+    seed: int = 7,
+    duplicate_fraction: float = 0.25,
+) -> List[Tuple[str, str]]:
+    """``(doc_id, html)`` pages from synthetic websites, with repeats.
+
+    Roughly ``duplicate_fraction`` of the stream re-serves earlier content
+    under a fresh ``doc_id`` (same bytes, new request) to exercise the
+    serving cache; the rest are unique pages drawn from as many synthetic
+    websites as needed.
+    """
+    if num_pages <= 0:
+        raise ValueError(f"num_pages must be positive, got {num_pages}")
+    if not 0.0 <= duplicate_fraction < 1.0:
+        raise ValueError(f"duplicate_fraction must be in [0, 1), got {duplicate_fraction}")
+    from ..data.synthesizer import SyntheticWebsite
+    from ..data.taxonomy import build_taxonomy
+
+    rng = np.random.default_rng(seed)
+    topics = build_taxonomy()
+    num_unique = max(1, num_pages - int(round(num_pages * duplicate_fraction)))
+
+    unique: List[str] = []
+    site_index = 0
+    while len(unique) < num_unique:
+        topic = topics[site_index % len(topics)]
+        website = SyntheticWebsite(
+            f"bench-{site_index}.example", topic, num_pages=4, rng=rng
+        )
+        for url in website.urls:
+            html = website.fetch(url)
+            if html:
+                unique.append(html)
+            if len(unique) == num_unique:
+                break
+        site_index += 1
+
+    stream = list(unique)
+    while len(stream) < num_pages:
+        stream.append(unique[int(rng.integers(len(unique)))])
+    rng.shuffle(stream)
+    return [(f"page-{position:04d}", html) for position, html in enumerate(stream)]
+
+
+@dataclass
+class BenchResult:
+    """One serving-benchmark run; ``to_dict`` is the BENCH_serving.json schema."""
+
+    num_pages: int
+    unique_pages: int
+    batch_size: int
+    sequential_seconds: float
+    batched_seconds: float
+    sequential_docs_per_second: float
+    batched_docs_per_second: float
+    speedup: float
+    sequential_latency_p50_ms: float
+    sequential_latency_p95_ms: float
+    batched_latency_p50_ms: float
+    batched_latency_p95_ms: float
+    cache_hit_rate: float
+    outputs_match: bool
+    mismatches: List[str] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "num_pages": self.num_pages,
+            "unique_pages": self.unique_pages,
+            "batch_size": self.batch_size,
+            "sequential": {
+                "seconds": self.sequential_seconds,
+                "docs_per_second": self.sequential_docs_per_second,
+                "latency_p50_ms": self.sequential_latency_p50_ms,
+                "latency_p95_ms": self.sequential_latency_p95_ms,
+            },
+            "batched": {
+                "seconds": self.batched_seconds,
+                "docs_per_second": self.batched_docs_per_second,
+                "latency_p50_ms": self.batched_latency_p50_ms,
+                "latency_p95_ms": self.batched_latency_p95_ms,
+            },
+            "speedup": self.speedup,
+            "cache_hit_rate": self.cache_hit_rate,
+            "outputs_match": self.outputs_match,
+            "mismatches": list(self.mismatches),
+        }
+
+    def save(self, path: str) -> None:
+        with open(path, "w") as handle:
+            json.dump(self.to_dict(), handle, indent=2)
+            handle.write("\n")
+
+    def format(self) -> str:
+        lines = [
+            f"pages: {self.num_pages} ({self.unique_pages} unique), "
+            f"batch size {self.batch_size}",
+            f"sequential: {self.sequential_docs_per_second:6.2f} docs/s  "
+            f"p50 {self.sequential_latency_p50_ms:.1f} ms  "
+            f"p95 {self.sequential_latency_p95_ms:.1f} ms",
+            f"batched:    {self.batched_docs_per_second:6.2f} docs/s  "
+            f"p50 {self.batched_latency_p50_ms:.1f} ms  "
+            f"p95 {self.batched_latency_p95_ms:.1f} ms",
+            f"speedup: {self.speedup:.2f}x   cache hit rate: {self.cache_hit_rate:.0%}",
+            f"outputs match: {self.outputs_match}"
+            + (f" ({len(self.mismatches)} mismatches)" if self.mismatches else ""),
+        ]
+        return "\n".join(lines)
+
+
+def _build_bench_model(topics: int, pages: int, seed: int):
+    """Tiny untrained Joint-WB stack (deterministic outputs, honest compute)."""
+    from .. import nn
+    from ..data import Vocabulary, build_jasmine_corpus
+    from ..models import BertSumEncoder, make_joint_model
+
+    corpus = build_jasmine_corpus(num_topics=topics, pages_per_site=pages, seed=seed)
+    vocabulary = Vocabulary.from_corpus(corpus)
+    rng = np.random.default_rng(seed)
+    bert = nn.MiniBert(
+        vocab_size=len(vocabulary), dim=24, num_layers=1, num_heads=2, rng=rng, max_len=512
+    )
+    return make_joint_model(
+        "Joint-WB", BertSumEncoder(vocabulary, bert), vocabulary, hidden_dim=16, rng=rng
+    )
+
+
+def _percentile_ms(latencies: List[float], q: float) -> float:
+    return float(np.percentile(np.asarray(latencies), q) * 1000.0)
+
+
+def run_serving_bench(
+    num_pages: int = 64,
+    seed: int = 7,
+    batch_size: int = 8,
+    beam_size: int = 2,
+    duplicate_fraction: float = 0.25,
+    dtype=None,
+    output_path: Optional[str] = None,
+    model=None,
+) -> BenchResult:
+    """Time sequential vs batched briefing on a synthesized page stream.
+
+    The batched side consumes the stream in ``batch_size`` chunks (each
+    page's latency is its chunk's wall time — the request waits for its
+    batch), so later chunks exercise the brief cache on repeated content.
+    Pass ``output_path`` to also write ``BENCH_serving.json``.
+    """
+    from .batched import BatchedBriefingPipeline
+    from .pipeline import BriefingPipeline
+
+    pages = synthesize_serving_corpus(
+        num_pages, seed=seed, duplicate_fraction=duplicate_fraction
+    )
+    unique_pages = len({html for _, html in pages})
+    if model is None:
+        model = _build_bench_model(topics=2, pages=3, seed=seed)
+
+    sequential = BriefingPipeline(model, beam_size=beam_size)
+    sequential_latencies: List[float] = []
+    start = time.perf_counter()
+    sequential_briefs = []
+    for doc_id, html in pages:
+        t0 = time.perf_counter()
+        sequential_briefs.append(sequential.brief_html(html, doc_id=doc_id))
+        sequential_latencies.append(time.perf_counter() - t0)
+    sequential_seconds = time.perf_counter() - start
+
+    batched = BatchedBriefingPipeline(
+        model, beam_size=beam_size, batch_size=batch_size, dtype=dtype
+    )
+    batched_latencies: List[float] = []
+    batched_briefs = []
+    start = time.perf_counter()
+    for offset in range(0, len(pages), batch_size):
+        chunk = pages[offset : offset + batch_size]
+        t0 = time.perf_counter()
+        batched_briefs.extend(batched.brief_many(chunk))
+        chunk_seconds = time.perf_counter() - t0
+        batched_latencies.extend([chunk_seconds] * len(chunk))
+    batched_seconds = time.perf_counter() - start
+
+    mismatches: List[str] = []
+    for (doc_id, _), left, right in zip(pages, sequential_briefs, batched_briefs):
+        if (
+            left.topic != right.topic
+            or left.attributes != right.attributes
+            or left.informative_sentences != right.informative_sentences
+        ):
+            mismatches.append(doc_id)
+
+    lookups = batched.stats.cache_hits + batched.stats.cache_misses
+    result = BenchResult(
+        num_pages=len(pages),
+        unique_pages=unique_pages,
+        batch_size=batch_size,
+        sequential_seconds=sequential_seconds,
+        batched_seconds=batched_seconds,
+        sequential_docs_per_second=len(pages) / sequential_seconds,
+        batched_docs_per_second=len(pages) / batched_seconds,
+        speedup=sequential_seconds / batched_seconds,
+        sequential_latency_p50_ms=_percentile_ms(sequential_latencies, 50),
+        sequential_latency_p95_ms=_percentile_ms(sequential_latencies, 95),
+        batched_latency_p50_ms=_percentile_ms(batched_latencies, 50),
+        batched_latency_p95_ms=_percentile_ms(batched_latencies, 95),
+        cache_hit_rate=(batched.stats.cache_hits / lookups) if lookups else 0.0,
+        outputs_match=not mismatches,
+        mismatches=mismatches,
+    )
+    if output_path is not None:
+        result.save(output_path)
+    return result

@@ -9,7 +9,7 @@ same thing.
 
 from __future__ import annotations
 
-from typing import Iterator, List, Sequence, TypeVar
+from typing import Callable, Iterator, List, Optional, Sequence, TypeVar
 
 import numpy as np
 
@@ -18,10 +18,24 @@ __all__ = ["iterate_batches", "shuffled_epochs"]
 T = TypeVar("T")
 
 
-def iterate_batches(items: Sequence[T], batch_size: int) -> Iterator[List[T]]:
-    """Yield consecutive batches; the final batch may be smaller."""
+def iterate_batches(
+    items: Sequence[T],
+    batch_size: int,
+    *,
+    bucket_by: Optional[Callable[[T], int]] = None,
+) -> Iterator[List[T]]:
+    """Yield consecutive batches; the final batch may be smaller.
+
+    ``bucket_by`` enables length-bucketing for the padded inference engine: a
+    key function (e.g. ``lambda doc: doc.num_tokens``) by which items are
+    stable-sorted before batching, so each padded batch wastes minimal compute
+    on pad positions.  The default (``None``) keeps the original order — the
+    behaviour training reproducibility depends on.
+    """
     if batch_size < 1:
         raise ValueError("batch_size must be >= 1")
+    if bucket_by is not None:
+        items = sorted(items, key=bucket_by)
     for start in range(0, len(items), batch_size):
         yield list(items[start : start + batch_size])
 

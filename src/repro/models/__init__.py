@@ -26,7 +26,7 @@ from .joint_baselines import (
     naive_join,
     pip_extractor_pip_generator,
 )
-from .joint_wb import ExchangeConfig, JointForward, JointWBModel
+from .joint_wb import BriefPrediction, ExchangeConfig, JointForward, JointWBModel
 from .section import SectionPredictor
 from .single_task import SingleTaskExtractor, SingleTaskGenerator
 
@@ -48,6 +48,7 @@ __all__ = [
     "TAG_I",
     "TopicGenerator",
     "SectionPredictor",
+    "BriefPrediction",
     "ExchangeConfig",
     "JointForward",
     "JointWBModel",

@@ -17,7 +17,7 @@ one-line change.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -87,8 +87,32 @@ class DocumentEncoder(nn.Module):
     def encode(self, document: Document) -> EncoderOutput:
         raise NotImplementedError
 
+    def encode_batch(self, documents: Sequence[Document]) -> List[EncoderOutput]:
+        """Encode several documents at once.
+
+        The base implementation simply loops; contextual encoders override it
+        to run one padded forward pass for the whole batch (the serving hot
+        path).  Results are per-document and numerically equivalent to
+        :meth:`encode`.
+        """
+        return [self.encode(document) for document in documents]
+
     def forward(self, document: Document) -> EncoderOutput:
         return self.encode(document)
+
+    @staticmethod
+    def _pad_id_matrix(
+        id_lists: Sequence[Sequence[int]], pad_id: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Pad per-document token-id lists into ``(B, T)`` ids + bool mask."""
+        batch = len(id_lists)
+        t_max = max(len(ids) for ids in id_lists)
+        matrix = np.full((batch, t_max), pad_id, dtype=np.int64)
+        mask = np.zeros((batch, t_max), dtype=bool)
+        for row, ids in enumerate(id_lists):
+            matrix[row, : len(ids)] = ids
+            mask[row, : len(ids)] = True
+        return matrix, mask
 
     # Helper shared by subclasses -------------------------------------
     @staticmethod
@@ -145,6 +169,29 @@ class GloveEncoder(DocumentEncoder):
             token_sentence_index=self._sentence_index(document),
         )
 
+    def encode_batch(self, documents: Sequence[Document]) -> List[EncoderOutput]:
+        """One padded embedding lookup for the whole batch.
+
+        Embedding rows are independent, so padded results are exactly the
+        per-document ones; the win is amortising the lookup and graph setup.
+        """
+        if not documents:
+            return []
+        id_lists = [self.vocabulary.encode(d.flat_tokens()) for d in documents]
+        matrix, mask = self._pad_id_matrix(id_lists, self.vocabulary.pad_id)
+        states = self.embedding(matrix)  # (B, T, dim)
+        outputs: List[EncoderOutput] = []
+        for row, document in enumerate(documents):
+            token_states = states[row][: len(id_lists[row])]
+            outputs.append(
+                EncoderOutput(
+                    token_states=token_states,
+                    sentence_states=self._mean_sentence_states(token_states, document),
+                    token_sentence_index=self._sentence_index(document),
+                )
+            )
+        return outputs
+
 
 class BertEncoder(DocumentEncoder):
     """Contextual encoder (the ``BERT→*`` baselines).
@@ -168,6 +215,25 @@ class BertEncoder(DocumentEncoder):
             token_sentence_index=self._sentence_index(document),
         )
 
+    def encode_batch(self, documents: Sequence[Document]) -> List[EncoderOutput]:
+        """One masked transformer pass over the padded batch."""
+        if not documents:
+            return []
+        id_lists = [self.vocabulary.encode(d.flat_tokens()) for d in documents]
+        matrix, mask = self._pad_id_matrix(id_lists, self.vocabulary.pad_id)
+        states = self.bert(matrix, mask=mask)  # (B, T, dim)
+        outputs: List[EncoderOutput] = []
+        for row, document in enumerate(documents):
+            token_states = states[row][: len(id_lists[row])]
+            outputs.append(
+                EncoderOutput(
+                    token_states=token_states,
+                    sentence_states=self._mean_sentence_states(token_states, document),
+                    token_sentence_index=self._sentence_index(document),
+                )
+            )
+        return outputs
+
 
 class BertSumEncoder(DocumentEncoder):
     """BERTSUM-style encoder (the ``BERTSUM→*`` baselines and Joint-WB).
@@ -183,19 +249,52 @@ class BertSumEncoder(DocumentEncoder):
         self.bert = bert
         self.dim = bert.dim
 
-    def encode(self, document: Document) -> EncoderOutput:
+    @staticmethod
+    def _interleaved_tokens(document: Document) -> Tuple[List[str], List[int]]:
+        """Token stream with a [CLS] before every sentence + [CLS] positions."""
         tokens: List[str] = []
         cls_positions: List[int] = []
         for sentence in document.sentences:
             cls_positions.append(len(tokens))
             tokens.append(CLS_TOKEN)
             tokens.extend(sentence)
+        return tokens, cls_positions
+
+    @staticmethod
+    def _split_views(states, cls_positions: List[int], num_tokens: int) -> Tuple:
+        """Split a full hidden sequence into (token_states, sentence_states)."""
+        cls = np.asarray(cls_positions, dtype=np.int64)
+        word_positions = np.setdiff1d(np.arange(num_tokens), cls)
+        return states[word_positions], states[cls]
+
+    def encode(self, document: Document) -> EncoderOutput:
+        tokens, cls_positions = self._interleaved_tokens(document)
         ids = self.vocabulary.encode(tokens)
         states = self.bert(ids)
-        cls = np.asarray(cls_positions, dtype=np.int64)
-        word_positions = np.setdiff1d(np.arange(len(tokens)), cls)
+        token_states, sentence_states = self._split_views(states, cls_positions, len(tokens))
         return EncoderOutput(
-            token_states=states[word_positions],
-            sentence_states=states[cls],
+            token_states=token_states,
+            sentence_states=sentence_states,
             token_sentence_index=self._sentence_index(document),
         )
+
+    def encode_batch(self, documents: Sequence[Document]) -> List[EncoderOutput]:
+        """One masked transformer pass over the padded [CLS]-interleaved batch."""
+        if not documents:
+            return []
+        streams = [self._interleaved_tokens(d) for d in documents]
+        id_lists = [self.vocabulary.encode(tokens) for tokens, _ in streams]
+        matrix, mask = self._pad_id_matrix(id_lists, self.vocabulary.pad_id)
+        states = self.bert(matrix, mask=mask)  # (B, T, dim)
+        outputs: List[EncoderOutput] = []
+        for row, (document, (tokens, cls_positions)) in enumerate(zip(documents, streams)):
+            own = states[row][: len(tokens)]
+            token_states, sentence_states = self._split_views(own, cls_positions, len(tokens))
+            outputs.append(
+                EncoderOutput(
+                    token_states=token_states,
+                    sentence_states=sentence_states,
+                    token_sentence_index=self._sentence_index(document),
+                )
+            )
+        return outputs

@@ -80,12 +80,35 @@ class AttributeExtractor(nn.Module):
     # ------------------------------------------------------------------
     def hidden(self, token_states: nn.Tensor, extra: Optional[nn.Tensor] = None) -> nn.Tensor:
         """Hidden token representations ``C_E`` of shape ``(L, 2h)``."""
+        return self.dropout(self.encoder(self._inputs(token_states, extra)))
+
+    def hidden_batch(
+        self,
+        token_states: Sequence[nn.Tensor],
+        extras: Optional[Sequence[Optional[nn.Tensor]]] = None,
+    ) -> List[nn.Tensor]:
+        """Per-document ``C_E`` from one padded masked BiLSTM pass.
+
+        Pads the B variable-length token-state matrices into a ``(B, T, d)``
+        tensor so the recurrence runs one Python loop over T for the whole
+        batch, then un-pads; equivalent to calling :meth:`hidden` per document.
+        """
+        if not token_states:
+            return []
+        if extras is None:
+            extras = [None] * len(token_states)
+        inputs = [self._inputs(t, e) for t, e in zip(token_states, extras)]
+        padded, mask = nn.pad_stack(inputs)
+        hidden = self.dropout(self.encoder(padded, mask=mask))
+        return nn.unpad_stack(hidden, mask)
+
+    def _inputs(self, token_states: nn.Tensor, extra: Optional[nn.Tensor]) -> nn.Tensor:
         inputs = nn.as_tensor(token_states)
         if self.extra_dim:
             if extra is None:
                 raise ValueError("extractor built with extra_dim but no extra features given")
             inputs = nn.concatenate([inputs, nn.as_tensor(extra)], axis=-1)
-        return self.dropout(self.encoder(inputs))
+        return inputs
 
     def logits(self, hidden_states: nn.Tensor) -> nn.Tensor:
         """Tag logits ``(L, 3)`` from hidden token representations."""

@@ -60,12 +60,30 @@ class TopicGenerator(nn.Module):
     # ------------------------------------------------------------------
     def encode(self, sentence_states: nn.Tensor, extra: Optional[nn.Tensor] = None) -> nn.Tensor:
         """Hidden sentence representations ``C_G`` of shape ``(m, 2h)``."""
+        return self.dropout(self.encoder(self._inputs(sentence_states, extra)))
+
+    def encode_batch(
+        self,
+        sentence_states: Sequence[nn.Tensor],
+        extras: Optional[Sequence[Optional[nn.Tensor]]] = None,
+    ) -> List[nn.Tensor]:
+        """Per-document ``C_G`` from one padded masked BiLSTM pass."""
+        if not sentence_states:
+            return []
+        if extras is None:
+            extras = [None] * len(sentence_states)
+        inputs = [self._inputs(s, e) for s, e in zip(sentence_states, extras)]
+        padded, mask = nn.pad_stack(inputs)
+        hidden = self.dropout(self.encoder(padded, mask=mask))
+        return nn.unpad_stack(hidden, mask)
+
+    def _inputs(self, sentence_states: nn.Tensor, extra: Optional[nn.Tensor]) -> nn.Tensor:
         inputs = nn.as_tensor(sentence_states)
         if self.extra_dim:
             if extra is None:
                 raise ValueError("generator built with extra_dim but no extra features given")
             inputs = nn.concatenate([inputs, nn.as_tensor(extra)], axis=-1)
-        return self.dropout(self.encoder(inputs))
+        return inputs
 
     def _initial_state(self, memory: nn.Tensor) -> Tuple[nn.Tensor, nn.Tensor]:
         summary = memory.mean(axis=0)

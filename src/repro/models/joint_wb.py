@@ -42,11 +42,12 @@ The same class realises every joint baseline of §IV-A6-ii through
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from .. import nn
+from ..data.batching import iterate_batches
 from ..data.corpus import Document
 from ..data.vocab import Vocabulary
 from .encoders import DocumentEncoder, EncoderOutput
@@ -54,7 +55,25 @@ from .extractor import AttributeExtractor
 from .generator import TopicGenerator
 from .section import SectionPredictor
 
-__all__ = ["ExchangeConfig", "JointForward", "JointWBModel"]
+__all__ = ["BriefPrediction", "ExchangeConfig", "JointForward", "JointWBModel"]
+
+
+@dataclass
+class BriefPrediction:
+    """Everything the serving layer needs for one document, from one pass.
+
+    Produced by :meth:`JointWBModel.predict_batch`; the sequential path
+    computes the same three outputs via three separate encoder passes
+    (``predict_topic`` / ``predict_attributes_scored`` / ``predict_sections``).
+    """
+
+    topic: List[str]
+    scored_attributes: List[Tuple[str, float]]
+    sections: np.ndarray
+
+    @property
+    def attributes(self) -> List[str]:
+        return [attribute for attribute, _ in self.scored_attributes]
 
 
 @dataclass(frozen=True)
@@ -334,6 +353,75 @@ class JointWBModel(nn.Module):
     def brief(self, document: Document, beam_size: int = 4):
         """Full WB output: (topic tokens, attribute strings)."""
         return self.predict_topic(document, beam_size), self.predict_attributes(document)
+
+    # ------------------------------------------------------------------
+    # Batched inference
+    # ------------------------------------------------------------------
+    def predict_batch(
+        self,
+        documents: Sequence[Document],
+        beam_size: int = 4,
+        batch_size: int = 8,
+    ) -> List[BriefPrediction]:
+        """Brief many documents with padded batched forward passes.
+
+        Documents are length-bucketed so padded batches waste little compute,
+        the encoder and both Bi-LSTM heads run once per batch (one Python
+        loop over T for the whole bucket), and — unlike the sequential
+        ``predict_*`` trio, which re-encodes the document for every head —
+        each document is encoded exactly once.  Results are returned in input
+        order and are numerically equivalent to the sequential path (identical
+        spans / topic tokens / section decisions).
+        """
+        documents = list(documents)
+        results: List[Optional[BriefPrediction]] = [None] * len(documents)
+        with nn.no_grad():
+            for batch in iterate_batches(
+                list(enumerate(documents)),
+                batch_size,
+                bucket_by=lambda pair: pair[1].num_tokens,
+            ):
+                indices = [index for index, _ in batch]
+                docs = [document for _, document in batch]
+                encs = self.encoder.encode_batch(docs)
+                c_e_list = self.extractor.hidden_batch([enc.token_states for enc in encs])
+                c_g_list = self.generator.encode_batch([enc.sentence_states for enc in encs])
+                for index, document, enc, c_e, c_g in zip(
+                    indices, docs, encs, c_e_list, c_g_list
+                ):
+                    results[index] = self._predict_from_states(
+                        document, enc, c_e, c_g, beam_size
+                    )
+        return results
+
+    def _predict_from_states(
+        self,
+        document: Document,
+        enc: EncoderOutput,
+        c_e: nn.Tensor,
+        c_g: nn.Tensor,
+        beam_size: int,
+    ) -> BriefPrediction:
+        """Cheap per-document heads on top of batch-computed hidden states."""
+        probs = self.section.probabilities(enc.sentence_states) if self.section else None
+        e_pool = (
+            self.attr_pool(c_e.mean(axis=0).reshape(1, -1))
+            if self.config.attr_to_generator != "none"
+            else None
+        )
+        c_g_dual = self._update_generator_hidden(c_g, e_pool, probs)
+        topic = self.generator.generate(c_g_dual, beam_size=beam_size)
+        topic_hidden = self._greedy_topic_hidden(c_g_dual)
+        c_e_dual = self._update_extractor_hidden(
+            c_e, topic_hidden, probs, enc.token_sentence_index
+        )
+        logits = self.extractor.logits(c_e_dual)
+        scored = self.extractor.predict_attributes_with_scores(logits, document)
+        if probs is None:
+            sections = np.ones(document.num_sentences, dtype=np.int64)
+        else:
+            sections = (probs.data >= 0.5).astype(np.int64)
+        return BriefPrediction(topic=topic, scored_attributes=scored, sections=sections)
 
     def _greedy_topic_hidden(self, memory: nn.Tensor, max_depth: int = 8) -> nn.Tensor:
         """Greedy decode collecting decoder hidden states (for the exchange)."""

@@ -14,11 +14,12 @@ following ATAE-LSTM's concatenation procedure:
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 import numpy as np
 
 from .. import nn
+from ..data.batching import iterate_batches
 from ..data.corpus import Document
 from ..data.vocab import Vocabulary
 from .encoders import DocumentEncoder
@@ -84,6 +85,37 @@ class SingleTaskExtractor(nn.Module):
             logits = self._logits(document)
             return self.extractor.predict_attributes(logits, document)
 
+    def predict_batch(
+        self, documents: Sequence[Document], batch_size: int = 8
+    ) -> List[List[str]]:
+        """Extract attributes for many documents via padded batched passes.
+
+        Length-buckets, encodes each bucket with one padded encoder pass and
+        one masked Bi-LSTM pass, then decodes spans per document; equivalent
+        to :meth:`predict_attributes` in input order.
+        """
+        documents = list(documents)
+        results: List[Optional[List[str]]] = [None] * len(documents)
+        with nn.no_grad():
+            for batch in iterate_batches(
+                list(enumerate(documents)),
+                batch_size,
+                bucket_by=lambda pair: pair[1].num_tokens,
+            ):
+                docs = [document for _, document in batch]
+                encs = self.encoder.encode_batch(docs)
+                extras = [
+                    self._extra_features(document, enc.token_sentence_index)
+                    for document, enc in zip(docs, encs)
+                ]
+                hiddens = self.extractor.hidden_batch(
+                    [enc.token_states for enc in encs], extras=extras
+                )
+                for (index, document), hidden in zip(batch, hiddens):
+                    logits = self.extractor.logits(hidden)
+                    results[index] = self.extractor.predict_attributes(logits, document)
+        return results
+
 
 class SingleTaskGenerator(nn.Module):
     """``*→[Bi-LSTM, LSTM]`` topic generator with optional section prior."""
@@ -127,3 +159,33 @@ class SingleTaskGenerator(nn.Module):
         with nn.no_grad():
             memory = self._memory(document)
             return self.generator.generate(memory, beam_size=beam_size)
+
+    def predict_batch(
+        self, documents: Sequence[Document], beam_size: int = 4, batch_size: int = 8
+    ) -> List[List[str]]:
+        """Generate topics for many documents via padded batched encoding."""
+        documents = list(documents)
+        results: List[Optional[List[str]]] = [None] * len(documents)
+        with nn.no_grad():
+            for batch in iterate_batches(
+                list(enumerate(documents)),
+                batch_size,
+                bucket_by=lambda pair: pair[1].num_tokens,
+            ):
+                docs = [document for _, document in batch]
+                encs = self.encoder.encode_batch(docs)
+                extras: List[Optional[nn.Tensor]] = []
+                for document in docs:
+                    if self.prior_section:
+                        labels = np.asarray(
+                            document.section_labels, dtype=np.float64
+                        ).reshape(-1, 1)
+                        extras.append(nn.Tensor(labels))
+                    else:
+                        extras.append(None)
+                memories = self.generator.encode_batch(
+                    [enc.sentence_states for enc in encs], extras=extras
+                )
+                for (index, _), memory in zip(batch, memories):
+                    results[index] = self.generator.generate(memory, beam_size=beam_size)
+        return results

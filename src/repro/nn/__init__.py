@@ -6,7 +6,7 @@ identification/understanding distillation losses), optimisers with the
 paper's warm-up schedule, and beam search.
 """
 
-from .attention import BilinearAttention, MultiHeadSelfAttention, attend
+from .attention import BilinearAttention, MultiHeadSelfAttention, attend, masked_softmax
 from .beam import BeamHypothesis, beam_search, greedy_decode
 from .layers import Activation, Dense, Dropout, Embedding, LayerNorm, Sequential
 from .losses import (
@@ -19,7 +19,19 @@ from .losses import (
 from .module import Module, ModuleList, Parameter
 from .optim import SGD, Adam, LinearWarmupSchedule, clip_grad_norm, clip_grad_value
 from .rnn import BiLSTM, LSTM, LSTMCell
-from .tensor import Tensor, as_tensor, concatenate, is_grad_enabled, no_grad, stack
+from .tensor import (
+    Tensor,
+    as_tensor,
+    concatenate,
+    default_dtype,
+    get_default_dtype,
+    is_grad_enabled,
+    no_grad,
+    pad_stack,
+    set_default_dtype,
+    stack,
+    unpad_stack,
+)
 from .transformer import BertSum, MiniBert, TransformerEncoderLayer
 
 __all__ = [
@@ -27,8 +39,13 @@ __all__ = [
     "as_tensor",
     "concatenate",
     "stack",
+    "pad_stack",
+    "unpad_stack",
     "no_grad",
     "is_grad_enabled",
+    "default_dtype",
+    "get_default_dtype",
+    "set_default_dtype",
     "Module",
     "ModuleList",
     "Parameter",
@@ -44,6 +61,7 @@ __all__ = [
     "BilinearAttention",
     "MultiHeadSelfAttention",
     "attend",
+    "masked_softmax",
     "TransformerEncoderLayer",
     "MiniBert",
     "BertSum",

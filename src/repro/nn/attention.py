@@ -20,7 +20,35 @@ from . import init
 from .module import Module, Parameter
 from .tensor import Tensor, as_tensor, concatenate
 
-__all__ = ["BilinearAttention", "MultiHeadSelfAttention", "attend"]
+__all__ = ["BilinearAttention", "MultiHeadSelfAttention", "attend", "masked_softmax"]
+
+
+def masked_softmax(scores: Tensor, mask: np.ndarray, axis: int = -1) -> Tensor:
+    """Softmax over ``axis`` restricted to positions where ``mask`` is True.
+
+    Masked positions receive weight *exactly* zero (not a large-negative-bias
+    approximation), so padded batch entries cannot leak probability mass into
+    real ones — the property the batched inference engine relies on.  Rows
+    whose positions are all masked come back as all zeros.  When the mask is
+    all-True the result is bitwise identical to :meth:`Tensor.softmax`.
+    """
+    scores = as_tensor(scores)
+    mask = np.broadcast_to(np.asarray(mask, dtype=bool), scores.data.shape)
+    neg_inf = np.array(-np.inf, dtype=scores.data.dtype)
+    shifted_max = np.where(mask, scores.data, neg_inf).max(axis=axis, keepdims=True)
+    # Fully-masked rows have max -inf; substitute 0 to keep exp() finite (the
+    # mask zeroes those rows anyway).
+    safe_max = np.where(np.isfinite(shifted_max), shifted_max, 0.0)
+    exp = np.where(mask, np.exp(scores.data - safe_max), 0.0)
+    total = exp.sum(axis=axis, keepdims=True)
+    out_data = exp / np.where(total == 0.0, 1.0, total)
+
+    def backward(grad: np.ndarray) -> None:
+        if scores.requires_grad:
+            dot = (grad * out_data).sum(axis=axis, keepdims=True)
+            scores._accumulate(out_data * (grad - dot))
+
+    return Tensor._make(out_data, (scores,), backward)
 
 
 class BilinearAttention(Module):
@@ -46,9 +74,18 @@ class BilinearAttention(Module):
         keys = as_tensor(keys)
         return (queries @ self.weight) @ keys.transpose()
 
-    def forward(self, queries: Tensor, keys: Tensor) -> Tensor:
-        """Attention distribution of each query row over the key rows."""
-        return self.scores(queries, keys).softmax(axis=-1)
+    def forward(
+        self, queries: Tensor, keys: Tensor, mask: Optional[np.ndarray] = None
+    ) -> Tensor:
+        """Attention distribution of each query row over the key rows.
+
+        ``mask`` (optional, shape broadcastable to the score matrix with the
+        key axis last) excludes padded key rows with exactly zero weight.
+        """
+        scores = self.scores(queries, keys)
+        if mask is None:
+            return scores.softmax(axis=-1)
+        return masked_softmax(scores, mask, axis=-1)
 
 
 def attend(weights: Tensor, values: Tensor) -> Tensor:
@@ -57,7 +94,11 @@ def attend(weights: Tensor, values: Tensor) -> Tensor:
 
 
 class MultiHeadSelfAttention(Module):
-    """Multi-head scaled dot-product self-attention over ``(T, d)`` input."""
+    """Multi-head scaled dot-product self-attention.
+
+    Accepts a single sequence ``(T, d)`` or a padded batch ``(B, T, d)``;
+    padded key positions are excluded exactly via :func:`masked_softmax`.
+    """
 
     def __init__(self, dim: int, num_heads: int, rng: np.random.Generator) -> None:
         super().__init__()
@@ -77,25 +118,37 @@ class MultiHeadSelfAttention(Module):
         Parameters
         ----------
         x:
-            Input of shape ``(T, dim)``.
+            Input of shape ``(T, dim)`` or a padded batch ``(B, T, dim)``.
         mask:
-            Optional boolean array of shape ``(T,)``; ``False`` positions are
-            excluded from attention (padding).
+            Optional boolean array of shape ``(T,)`` (or ``(B, T)`` for
+            batched input); ``False`` positions are excluded from attention
+            with exactly zero weight (padding).
         """
         x = as_tensor(x)
-        seq_len = x.shape[0]
+        if x.ndim not in (2, 3):
+            raise ValueError("self-attention expects (T, dim) or (B, T, dim) input")
+        key_mask = None
+        if mask is not None:
+            key_mask = np.asarray(mask, dtype=bool)
+            if key_mask.shape != x.shape[:-1]:
+                raise ValueError(
+                    f"mask shape {key_mask.shape} does not match input {x.shape[:-1]}"
+                )
+            # Broadcast over the query axis: every query sees the same keys.
+            key_mask = key_mask[..., None, :]
         q = x @ self.w_q
         k = x @ self.w_k
         v = x @ self.w_v
         head_outputs = []
-        scale = 1.0 / np.sqrt(self.head_dim)
+        scale = 1.0 / float(np.sqrt(self.head_dim))
         for h in range(self.num_heads):
             sl = slice(h * self.head_dim, (h + 1) * self.head_dim)
-            q_h, k_h, v_h = q[:, sl], k[:, sl], v[:, sl]
-            scores = (q_h @ k_h.transpose()) * scale
-            if mask is not None:
-                bias = np.where(np.asarray(mask, dtype=bool), 0.0, -1e9)
-                scores = scores + Tensor(np.broadcast_to(bias, (seq_len, seq_len)).copy())
-            attn = scores.softmax(axis=-1)
+            q_h, k_h, v_h = q[..., sl], k[..., sl], v[..., sl]
+            k_t = k_h.transpose() if x.ndim == 2 else k_h.transpose(0, 2, 1)
+            scores = (q_h @ k_t) * scale
+            if key_mask is not None:
+                attn = masked_softmax(scores, key_mask, axis=-1)
+            else:
+                attn = scores.softmax(axis=-1)
             head_outputs.append(attn @ v_h)
         return concatenate(head_outputs, axis=-1) @ self.w_o

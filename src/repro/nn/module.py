@@ -78,6 +78,17 @@ class Module:
         for param in self.parameters():
             param.grad = None
 
+    def astype(self, dtype) -> "Module":
+        """Cast every parameter in-place to ``dtype`` (e.g. ``np.float32``).
+
+        The float64 default exists for reliable gradient checking; inference
+        does not need it, so serving casts models down to float32.  Combine
+        with :func:`repro.nn.default_dtype` so intermediate tensors follow.
+        """
+        for param in self.parameters():
+            param.data = param.data.astype(dtype)
+        return self
+
     # ------------------------------------------------------------------
     # Serialisation
     # ------------------------------------------------------------------

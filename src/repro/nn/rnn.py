@@ -14,9 +14,13 @@ import numpy as np
 
 from . import init
 from .module import Module, Parameter
-from .tensor import Tensor, as_tensor, concatenate, stack
+from .tensor import Tensor, as_tensor, concatenate, is_grad_enabled, stack
 
 __all__ = ["LSTMCell", "LSTM", "BiLSTM"]
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-x))
 
 
 class LSTMCell(Module):
@@ -64,7 +68,18 @@ class LSTM(Module):
     """Unidirectional LSTM over a sequence.
 
     Input of shape ``(T, d)`` (or ``(B, T, d)``) produces hidden states of
-    shape ``(T, h)`` (or ``(B, T, h)``).
+    shape ``(T, h)`` (or ``(B, T, h)``).  The time loop runs *once* for the
+    whole batch — batching B documents into one padded ``(B, T, d)`` tensor
+    turns B Python loops over T into one.
+
+    ``mask`` (shape ``(T,)`` or ``(B, T)``) marks real timesteps of padded
+    batches: masked steps do not update the carried state, so the reverse
+    direction of a padded sequence starts from its true last token and the
+    final state equals the state at each sequence's true end.
+
+    When gradients are disabled the recurrence runs on raw numpy arrays with
+    a preallocated output buffer (no per-step autograd tensors) — the serving
+    fast path; it computes exactly the same float64 arithmetic.
     """
 
     def __init__(self, input_dim: int, hidden_dim: int, rng: np.random.Generator) -> None:
@@ -78,20 +93,82 @@ class LSTM(Module):
         x: Tensor,
         initial_state: Optional[Tuple[Tensor, Tensor]] = None,
         reverse: bool = False,
+        mask: Optional[np.ndarray] = None,
     ) -> Tuple[Tensor, Tuple[Tensor, Tensor]]:
         x = as_tensor(x)
         if x.ndim < 2:
             raise ValueError("LSTM expects input of shape (T, d) or (B, T, d)")
         seq_len = x.shape[-2]
         batch_shape = x.shape[:-2]
+        if mask is not None:
+            mask = np.asarray(mask, dtype=bool)
+            if mask.shape != batch_shape + (seq_len,):
+                raise ValueError(
+                    f"mask shape {mask.shape} does not match input {batch_shape + (seq_len,)}"
+                )
+        if not is_grad_enabled():
+            return self._forward_no_grad(x, initial_state, reverse, mask)
         state = initial_state or self.cell.initial_state(batch_shape)
         indices = range(seq_len - 1, -1, -1) if reverse else range(seq_len)
         outputs = [None] * seq_len
         for t in indices:
             step = x[..., t, :]
-            h, state = self.cell(step, state)
+            h, new_state = self.cell(step, state)
+            if mask is not None:
+                # Exact carry: keep (1.0 * new + 0.0 * old) at real steps and
+                # (0.0 * new + 1.0 * old) at padded ones.
+                keep = Tensor(mask[..., t : t + 1].astype(x.data.dtype))
+                drop = Tensor((~mask[..., t : t + 1]).astype(x.data.dtype))
+                state = (
+                    new_state[0] * keep + state[0] * drop,
+                    new_state[1] * keep + state[1] * drop,
+                )
+            else:
+                state = new_state
             outputs[t] = h
         return stack(outputs, axis=-2), state
+
+    def _forward_no_grad(
+        self,
+        x: Tensor,
+        initial_state: Optional[Tuple[Tensor, Tensor]],
+        reverse: bool,
+        mask: Optional[np.ndarray],
+    ) -> Tuple[Tensor, Tuple[Tensor, Tensor]]:
+        """Inference fast path: same recurrence on plain numpy arrays."""
+        cell = self.cell
+        hd = cell.hidden_dim
+        w_x, w_h, bias = cell.w_x.data, cell.w_h.data, cell.bias.data
+        data = x.data
+        seq_len = data.shape[-2]
+        batch_shape = data.shape[:-2]
+        if initial_state is None:
+            h = np.zeros(batch_shape + (hd,), dtype=data.dtype)
+            c = np.zeros(batch_shape + (hd,), dtype=data.dtype)
+        else:
+            h = np.array(initial_state[0].data, copy=True)
+            c = np.array(initial_state[1].data, copy=True)
+        # One fused matmul for the input contribution of every timestep; the
+        # per-step sum order (x·Wx + h·Wh + b) matches the autograd path.
+        xw = data @ w_x
+        outputs = np.empty(batch_shape + (seq_len, hd), dtype=xw.dtype)
+        indices = range(seq_len - 1, -1, -1) if reverse else range(seq_len)
+        for t in indices:
+            gates = xw[..., t, :] + h @ w_h + bias
+            i_gate = _sigmoid(gates[..., 0:hd])
+            f_gate = _sigmoid(gates[..., hd : 2 * hd])
+            g_gate = np.tanh(gates[..., 2 * hd : 3 * hd])
+            o_gate = _sigmoid(gates[..., 3 * hd : 4 * hd])
+            c_new = f_gate * c + i_gate * g_gate
+            h_new = o_gate * np.tanh(c_new)
+            if mask is not None:
+                keep = mask[..., t : t + 1]
+                h = np.where(keep, h_new, h)
+                c = np.where(keep, c_new, c)
+            else:
+                h, c = h_new, c_new
+            outputs[..., t, :] = h_new
+        return Tensor(outputs), (Tensor(h), Tensor(c))
 
 
 class BiLSTM(Module):
@@ -108,7 +185,7 @@ class BiLSTM(Module):
         self.forward_lstm = LSTM(input_dim, hidden_dim, rng)
         self.backward_lstm = LSTM(input_dim, hidden_dim, rng)
 
-    def forward(self, x: Tensor) -> Tensor:
-        fwd, _ = self.forward_lstm(x)
-        bwd, _ = self.backward_lstm(x, reverse=True)
+    def forward(self, x: Tensor, mask: Optional[np.ndarray] = None) -> Tensor:
+        fwd, _ = self.forward_lstm(x, mask=mask)
+        bwd, _ = self.backward_lstm(x, reverse=True, mask=mask)
         return concatenate([fwd, bwd], axis=-1)

@@ -29,14 +29,78 @@ __all__ = [
     "as_tensor",
     "concatenate",
     "stack",
+    "pad_stack",
+    "unpad_stack",
     "no_grad",
     "is_grad_enabled",
+    "default_dtype",
+    "get_default_dtype",
+    "set_default_dtype",
 ]
 
 Scalar = Union[int, float]
 TensorLike = Union["Tensor", np.ndarray, Scalar, Sequence]
 
 _GRAD_ENABLED = True
+
+#: When set (e.g. ``np.float32``), every tensor created without an explicit
+#: ``dtype`` is cast to it.  When ``None`` (the default), floating-point numpy
+#: inputs keep their dtype and everything else is cast to float64, preserving
+#: the historical gradient-checking-friendly default.
+_DTYPE_OVERRIDE: Optional[np.dtype] = None
+
+_FLOAT_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))
+
+
+def set_default_dtype(dtype) -> None:
+    """Set (or with ``None`` clear) the process-wide tensor dtype override."""
+    global _DTYPE_OVERRIDE
+    if dtype is None:
+        _DTYPE_OVERRIDE = None
+        return
+    dtype = np.dtype(dtype)
+    if dtype not in _FLOAT_DTYPES:
+        raise ValueError(f"unsupported tensor dtype {dtype} (use float32 or float64)")
+    _DTYPE_OVERRIDE = dtype
+
+
+def get_default_dtype() -> np.dtype:
+    """The dtype new tensors receive when neither they nor their input fix one."""
+    return _DTYPE_OVERRIDE if _DTYPE_OVERRIDE is not None else np.dtype(np.float64)
+
+
+class default_dtype:
+    """Context manager scoping the tensor dtype override.
+
+    ``with default_dtype(np.float32): ...`` makes every tensor created inside
+    the block float32 — the inference-time precision knob (training keeps the
+    float64 default, which finite-difference gradient checking relies on).
+    """
+
+    def __init__(self, dtype) -> None:
+        self._dtype = dtype
+
+    def __enter__(self) -> "default_dtype":
+        self._prev = _DTYPE_OVERRIDE
+        set_default_dtype(self._dtype)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        global _DTYPE_OVERRIDE
+        _DTYPE_OVERRIDE = self._prev
+
+
+def _resolve_dtype(data, dtype) -> np.dtype:
+    if dtype is not None:
+        dtype = np.dtype(dtype)
+        if dtype not in _FLOAT_DTYPES:
+            raise ValueError(f"unsupported tensor dtype {dtype} (use float32 or float64)")
+        return dtype
+    if _DTYPE_OVERRIDE is not None:
+        return _DTYPE_OVERRIDE
+    if isinstance(data, np.ndarray) and data.dtype in _FLOAT_DTYPES:
+        return data.dtype
+    return np.dtype(np.float64)
 
 
 class no_grad:
@@ -94,10 +158,11 @@ class Tensor:
         data: TensorLike,
         requires_grad: bool = False,
         name: Optional[str] = None,
+        dtype=None,
     ) -> None:
         if isinstance(data, Tensor):
             data = data.data
-        self.data = np.asarray(data, dtype=np.float64)
+        self.data = np.asarray(data, dtype=_resolve_dtype(data, dtype))
         self.grad: Optional[np.ndarray] = None
         self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
         self._backward: Optional[Callable[[np.ndarray], None]] = None
@@ -114,6 +179,14 @@ class Tensor:
     @property
     def ndim(self) -> int:
         return self.data.ndim
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.data.dtype
+
+    def astype(self, dtype) -> "Tensor":
+        """Return a detached copy cast to ``dtype`` (no graph, like detach)."""
+        return Tensor(self.data.astype(dtype), dtype=dtype)
 
     @property
     def size(self) -> int:
@@ -162,7 +235,7 @@ class Tensor:
         return out
 
     def _accumulate(self, grad: np.ndarray) -> None:
-        grad = np.asarray(grad, dtype=np.float64)
+        grad = np.asarray(grad, dtype=self.data.dtype)
         if grad.shape != self.data.shape:
             grad = _unbroadcast(grad, self.data.shape)
         if self.grad is None:
@@ -453,7 +526,7 @@ class Tensor:
         return Tensor._make(out_data, (self,), backward)
 
     def relu(self) -> "Tensor":
-        mask = (self.data > 0).astype(np.float64)
+        mask = (self.data > 0).astype(self.data.dtype)
         out_data = self.data * mask
 
         def backward(grad: np.ndarray) -> None:
@@ -474,7 +547,7 @@ class Tensor:
 
     def clip(self, low: float, high: float) -> "Tensor":
         out_data = np.clip(self.data, low, high)
-        mask = ((self.data >= low) & (self.data <= high)).astype(np.float64)
+        mask = ((self.data >= low) & (self.data <= high)).astype(self.data.dtype)
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
@@ -517,9 +590,17 @@ class Tensor:
         return self.data.argmax(axis=axis)
 
 
-def as_tensor(value: TensorLike) -> Tensor:
-    """Coerce ``value`` to a :class:`Tensor` (no copy when already one)."""
-    return value if isinstance(value, Tensor) else Tensor(value)
+def as_tensor(value: TensorLike, dtype=None) -> Tensor:
+    """Coerce ``value`` to a :class:`Tensor` (no copy when already one).
+
+    With ``dtype`` given, an existing tensor of a different dtype is cast
+    (returning a detached copy); matching tensors pass through untouched.
+    """
+    if isinstance(value, Tensor):
+        if dtype is not None and value.data.dtype != np.dtype(dtype):
+            return value.astype(dtype)
+        return value
+    return Tensor(value, dtype=dtype)
 
 
 def concatenate(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
@@ -551,3 +632,52 @@ def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
                 tensor._accumulate(np.squeeze(piece, axis=axis))
 
     return Tensor._make(out_data, tuple(tensors), backward)
+
+
+def pad_stack(
+    tensors: Sequence[Tensor], pad_value: float = 0.0
+) -> Tuple[Tensor, np.ndarray]:
+    """Pad variable-length sequences into one batch tensor plus a mask.
+
+    Each input has shape ``(T_i, *rest)`` with identical trailing dims; the
+    result is a ``(B, T_max, *rest)`` tensor padded with ``pad_value`` and a
+    boolean ``(B, T_max)`` mask that is ``True`` at real (non-pad) positions.
+    Differentiable: gradients of the padded region are discarded, gradients of
+    the valid region flow back to the corresponding input sequence.
+    """
+    tensors = [as_tensor(t) for t in tensors]
+    if not tensors:
+        raise ValueError("pad_stack needs at least one sequence")
+    trailing = tensors[0].data.shape[1:]
+    for t in tensors:
+        if t.data.ndim < 1 or t.data.shape[1:] != trailing:
+            raise ValueError("pad_stack sequences must share trailing dimensions")
+    lengths = [t.data.shape[0] for t in tensors]
+    batch, t_max = len(tensors), max(lengths)
+    dtype = np.result_type(*[t.data.dtype for t in tensors])
+    data = np.full((batch, t_max) + trailing, pad_value, dtype=dtype)
+    mask = np.zeros((batch, t_max), dtype=bool)
+    for row, (tensor, length) in enumerate(zip(tensors, lengths)):
+        data[row, :length] = tensor.data
+        mask[row, :length] = True
+
+    def backward(grad: np.ndarray) -> None:
+        for row, (tensor, length) in enumerate(zip(tensors, lengths)):
+            if tensor.requires_grad:
+                tensor._accumulate(grad[row, :length])
+
+    return Tensor._make(data, tuple(tensors), backward), mask
+
+
+def unpad_stack(padded: Tensor, mask: np.ndarray) -> List[Tensor]:
+    """Invert :func:`pad_stack`: recover the list of per-sequence tensors.
+
+    Pad positions must be trailing (the :func:`pad_stack` layout).  Slicing is
+    differentiable, so unpadded views can keep feeding the autograd graph.
+    """
+    padded = as_tensor(padded)
+    mask = np.asarray(mask, dtype=bool)
+    if mask.ndim != 2 or mask.shape != padded.data.shape[:2]:
+        raise ValueError(f"mask shape {mask.shape} does not match batch {padded.data.shape[:2]}")
+    lengths = mask.sum(axis=1)
+    return [padded[row][: int(length)] for row, length in enumerate(lengths)]

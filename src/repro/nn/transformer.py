@@ -96,13 +96,21 @@ class MiniBert(Module):
         self.final_norm = LayerNorm(dim)
 
     def forward(self, token_ids: Sequence[int], mask: Optional[np.ndarray] = None) -> Tensor:
-        """Encode a token-id sequence to contextual vectors ``(T, dim)``."""
+        """Encode token ids to contextual vectors.
+
+        A single sequence ``(T,)`` yields ``(T, dim)``; a padded id matrix
+        ``(B, T)`` with a boolean ``(B, T)`` mask yields ``(B, T, dim)`` where
+        padded positions are excluded from attention with exactly zero weight
+        (representations at padded positions are garbage and must be sliced
+        away by the caller).
+        """
         ids = np.asarray(token_ids, dtype=np.int64)
-        if ids.ndim != 1:
-            raise ValueError("MiniBert encodes one sequence at a time: shape (T,)")
-        if len(ids) > self.max_len:
-            raise ValueError(f"sequence length {len(ids)} exceeds max_len {self.max_len}")
-        x = self.token_embedding[ids] + self.position_embedding[np.arange(len(ids))]
+        if ids.ndim not in (1, 2):
+            raise ValueError("MiniBert expects token ids of shape (T,) or (B, T)")
+        seq_len = ids.shape[-1]
+        if seq_len > self.max_len:
+            raise ValueError(f"sequence length {seq_len} exceeds max_len {self.max_len}")
+        x = self.token_embedding[ids] + self.position_embedding[np.arange(seq_len)]
         for layer in self.layers:
             x = layer(x, mask=mask)
         return self.final_norm(x)

@@ -40,6 +40,10 @@ class RuntimeStats:
     model_failures: int = 0
     #: degradation ladder steps taken by the pipeline.
     degradations: int = 0
+    #: briefs (or rendered pages) served straight from the serving cache.
+    cache_hits: int = 0
+    #: cache lookups that missed and fell through to real work.
+    cache_misses: int = 0
 
     def inc(self, name: str, amount: int = 1) -> None:
         """Increment a named counter (typos raise ``AttributeError``)."""

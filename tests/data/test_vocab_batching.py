@@ -51,6 +51,20 @@ def test_iterate_batches_sizes():
         list(iterate_batches([1], 0))
 
 
+def test_iterate_batches_default_order_unchanged():
+    items = [5, 1, 4, 2, 3]
+    assert list(iterate_batches(items, 2)) == [[5, 1], [4, 2], [3]]
+
+
+def test_iterate_batches_bucket_by_sorts_stably():
+    items = ["ccc", "a", "bb", "dd", "e"]
+    batches = list(iterate_batches(items, 2, bucket_by=len))
+    assert batches == [["a", "e"], ["bb", "dd"], ["ccc"]]
+    # Stable: ties keep their input order ("bb" before "dd").
+    flat = [item for batch in batches for item in batch]
+    assert sorted(flat) == sorted(items)
+
+
 def test_shuffled_epochs_covers_all_items():
     items = list(range(12))
     batches = list(shuffled_epochs(items, 5, epochs=2, rng=np.random.default_rng(0)))

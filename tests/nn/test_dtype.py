@@ -1,0 +1,94 @@
+"""dtype plumbing: float32 inference support on the numpy substrate."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.tensor import get_default_dtype, set_default_dtype
+
+
+def test_default_dtype_is_float64():
+    assert nn.Tensor([1.0, 2.0]).dtype == np.float64
+    assert get_default_dtype() == np.float64
+
+
+def test_explicit_dtype_parameter():
+    t = nn.Tensor([1.0, 2.0], dtype=np.float32)
+    assert t.dtype == np.float32
+    assert nn.as_tensor([3.0], dtype=np.float32).dtype == np.float32
+
+
+def test_as_tensor_casts_existing_tensor():
+    t64 = nn.Tensor([1.0, 2.0])
+    t32 = nn.as_tensor(t64, dtype=np.float32)
+    assert t32.dtype == np.float32
+    assert nn.as_tensor(t64) is t64  # no dtype → pass through untouched
+
+
+def test_floating_ndarray_dtype_preserved():
+    t = nn.Tensor(np.ones(3, dtype=np.float32))
+    assert t.dtype == np.float32
+
+
+def test_default_dtype_context_manager():
+    with nn.default_dtype(np.float32):
+        assert nn.Tensor([1.0]).dtype == np.float32
+        a = nn.Tensor(np.random.default_rng(0).standard_normal((2, 3)))
+        b = nn.Tensor(np.random.default_rng(1).standard_normal((3, 2)))
+        assert (a @ b).dtype == np.float32
+    assert nn.Tensor([1.0]).dtype == np.float64
+
+
+def test_default_dtype_context_restores_on_error():
+    with pytest.raises(RuntimeError):
+        with nn.default_dtype(np.float32):
+            raise RuntimeError("boom")
+    assert nn.Tensor([1.0]).dtype == np.float64
+
+
+def test_set_default_dtype_roundtrip():
+    set_default_dtype(np.float32)
+    try:
+        assert nn.Tensor([1.0]).dtype == np.float32
+    finally:
+        set_default_dtype(None)
+    assert nn.Tensor([1.0]).dtype == np.float64
+
+
+def test_explicit_dtype_beats_override():
+    with nn.default_dtype(np.float32):
+        assert nn.Tensor([1.0], dtype=np.float64).dtype == np.float64
+
+
+def test_astype_detaches():
+    t = nn.Tensor([1.0, 2.0], requires_grad=True)
+    cast = t.astype(np.float32)
+    assert cast.dtype == np.float32
+    assert not cast.requires_grad
+
+
+def test_module_astype_casts_parameters():
+    rng = np.random.default_rng(2)
+    dense = nn.Dense(4, 3, rng)
+    dense.astype(np.float32)
+    assert all(p.dtype == np.float32 for p in dense.parameters())
+    out = dense(nn.Tensor(np.zeros((2, 4), dtype=np.float32)))
+    assert out.dtype == np.float32
+
+
+def test_float32_grad_stays_float32():
+    t = nn.Tensor(np.ones(3, dtype=np.float32), requires_grad=True)
+    (t * 2.0).sum().backward()
+    assert t.grad.dtype == np.float32
+
+
+def test_float32_lstm_runs_and_matches_float64_shape():
+    rng = np.random.default_rng(3)
+    lstm = nn.LSTM(3, 4, rng)
+    x64 = np.random.default_rng(4).standard_normal((5, 3))
+    with nn.no_grad():
+        out64, _ = lstm(nn.Tensor(x64))
+        with nn.default_dtype(np.float32):
+            out32, _ = lstm(nn.Tensor(x64))
+    assert out32.dtype == np.float32
+    np.testing.assert_allclose(out32.data, out64.data, atol=1e-4)

@@ -1,0 +1,178 @@
+"""Padded batching primitives: pad_stack, masked softmax, masked recurrence.
+
+The batched inference engine requires that padded ``(B, T, d)`` passes agree
+with the per-document loops they replace — these tests pin that equivalence
+at the nn layer (1e-10 tolerance: GEMM blocking reorders float sums).
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+
+
+def _random_sequences(rng, lengths, dim):
+    return [nn.Tensor(rng.standard_normal((length, dim)), requires_grad=True) for length in lengths]
+
+
+# ----------------------------------------------------------------------
+# pad_stack / unpad_stack
+# ----------------------------------------------------------------------
+def test_pad_stack_shapes_and_mask():
+    rng = np.random.default_rng(0)
+    sequences = _random_sequences(rng, [3, 1, 5], 4)
+    padded, mask = nn.pad_stack(sequences)
+    assert padded.shape == (3, 5, 4)
+    assert mask.shape == (3, 5)
+    assert mask.dtype == np.bool_
+    assert mask.sum(axis=1).tolist() == [3, 1, 5]
+    for row, sequence in enumerate(sequences):
+        length = sequence.shape[0]
+        np.testing.assert_array_equal(padded.data[row, :length], sequence.data)
+        assert not padded.data[row, length:].any()
+
+
+def test_pad_stack_custom_pad_value():
+    padded, _ = nn.pad_stack([nn.Tensor(np.ones((1, 2))), nn.Tensor(np.ones((3, 2)))], pad_value=-7.0)
+    np.testing.assert_array_equal(padded.data[0, 1:], np.full((2, 2), -7.0))
+
+
+def test_pad_stack_rejects_bad_input():
+    with pytest.raises(ValueError):
+        nn.pad_stack([])
+    with pytest.raises(ValueError):
+        nn.pad_stack([nn.Tensor(np.ones((2, 3))), nn.Tensor(np.ones((2, 4)))])
+
+
+def test_unpad_stack_roundtrip():
+    rng = np.random.default_rng(1)
+    sequences = _random_sequences(rng, [4, 2, 6, 1], 3)
+    padded, mask = nn.pad_stack(sequences)
+    recovered = nn.unpad_stack(padded, mask)
+    assert len(recovered) == len(sequences)
+    for original, back in zip(sequences, recovered):
+        np.testing.assert_array_equal(original.data, back.data)
+
+
+def test_pad_unpad_backward_routes_gradients():
+    rng = np.random.default_rng(2)
+    sequences = _random_sequences(rng, [2, 3], 3)
+    padded, mask = nn.pad_stack(sequences)
+    rows = nn.unpad_stack(padded, mask)
+    loss = (rows[0].sum() * 2.0) + rows[1].sum()
+    loss.backward()
+    np.testing.assert_allclose(sequences[0].grad, np.full((2, 3), 2.0))
+    np.testing.assert_allclose(sequences[1].grad, np.full((3, 3), 1.0))
+
+
+# ----------------------------------------------------------------------
+# masked softmax
+# ----------------------------------------------------------------------
+def test_masked_softmax_zeroes_padding_exactly():
+    rng = np.random.default_rng(3)
+    scores = nn.Tensor(rng.standard_normal((2, 5)))
+    mask = np.array([[True, True, True, False, False], [True] * 5])
+    out = nn.masked_softmax(scores, mask)
+    assert (out.data[0, 3:] == 0.0).all()  # exactly zero, not just tiny
+    np.testing.assert_allclose(out.data.sum(axis=-1), [1.0, 1.0])
+
+
+def test_masked_softmax_matches_softmax_when_unmasked():
+    rng = np.random.default_rng(4)
+    scores = nn.Tensor(rng.standard_normal((3, 7)))
+    masked = nn.masked_softmax(scores, np.ones((3, 7), dtype=bool))
+    plain = scores.softmax(axis=-1)
+    np.testing.assert_array_equal(masked.data, plain.data)
+
+
+def test_masked_softmax_fully_masked_row_is_zero():
+    scores = nn.Tensor(np.ones((2, 3)))
+    mask = np.array([[False, False, False], [True, True, True]])
+    out = nn.masked_softmax(scores, mask)
+    assert not np.isnan(out.data).any()
+    assert (out.data[0] == 0.0).all()
+
+
+def test_masked_softmax_gradient_matches_unmasked_positions():
+    rng = np.random.default_rng(5)
+    data = rng.standard_normal((1, 4))
+    mask = np.array([[True, True, True, False]])
+
+    full = nn.Tensor(data, requires_grad=True)
+    out = nn.masked_softmax(full, mask)
+    out.sum().backward()
+
+    short = nn.Tensor(data[:, :3], requires_grad=True)
+    short.softmax(axis=-1).sum().backward()
+    np.testing.assert_allclose(full.grad[:, :3], short.grad, atol=1e-12)
+    np.testing.assert_allclose(full.grad[:, 3], 0.0)
+
+
+# ----------------------------------------------------------------------
+# masked recurrence: padded batch == per-sequence loop
+# ----------------------------------------------------------------------
+def test_masked_lstm_batch_matches_per_sequence():
+    rng = np.random.default_rng(6)
+    lstm = nn.LSTM(4, 5, rng)
+    sequences = _random_sequences(np.random.default_rng(7), [3, 6, 1, 4], 4)
+    padded, mask = nn.pad_stack(sequences)
+    with nn.no_grad():
+        batched, _ = lstm(padded, mask=mask)
+        rows = nn.unpad_stack(batched, mask)
+        for sequence, row in zip(sequences, rows):
+            single, _ = lstm(sequence)
+            np.testing.assert_allclose(row.data, single.data, atol=1e-10)
+
+
+def test_masked_bilstm_batch_matches_per_sequence():
+    rng = np.random.default_rng(8)
+    bilstm = nn.BiLSTM(4, 3, rng)
+    sequences = _random_sequences(np.random.default_rng(9), [5, 2, 7], 4)
+    padded, mask = nn.pad_stack(sequences)
+    with nn.no_grad():
+        rows = nn.unpad_stack(bilstm(padded, mask=mask), mask)
+        for sequence, row in zip(sequences, rows):
+            np.testing.assert_allclose(row.data, bilstm(sequence).data, atol=1e-10)
+
+
+def test_lstm_no_grad_fast_path_matches_graph_path():
+    """Regression: the preallocated numpy fast path equals the autograd loop."""
+    rng = np.random.default_rng(10)
+    lstm = nn.LSTM(3, 4, rng)
+    x = nn.Tensor(np.random.default_rng(11).standard_normal((2, 6, 3)))
+    mask = np.array([[True] * 6, [True] * 4 + [False] * 2])
+    graph_out, (graph_h, graph_c) = lstm(x, mask=mask)  # grad enabled → graph path
+    with nn.no_grad():
+        fast_out, (fast_h, fast_c) = lstm(x, mask=mask)
+    np.testing.assert_allclose(fast_out.data, graph_out.data, atol=1e-10)
+    np.testing.assert_allclose(fast_h.data, graph_h.data, atol=1e-10)
+    np.testing.assert_allclose(fast_c.data, graph_c.data, atol=1e-10)
+
+
+def test_lstm_rejects_bad_mask_shape():
+    rng = np.random.default_rng(12)
+    lstm = nn.LSTM(3, 4, rng)
+    x = nn.Tensor(np.zeros((2, 5, 3)))
+    with pytest.raises(ValueError):
+        lstm(x, mask=np.ones((2, 4), dtype=bool))
+
+
+# ----------------------------------------------------------------------
+# masked transformer: padded batch == per-document
+# ----------------------------------------------------------------------
+def test_minibert_batch_matches_per_document():
+    rng = np.random.default_rng(13)
+    bert = nn.MiniBert(vocab_size=30, dim=8, num_layers=1, num_heads=2, rng=rng, max_len=16)
+    id_rng = np.random.default_rng(14)
+    id_lists = [id_rng.integers(1, 30, size=length) for length in (5, 9, 3)]
+    longest = max(len(ids) for ids in id_lists)
+    matrix = np.zeros((len(id_lists), longest), dtype=np.int64)
+    mask = np.zeros((len(id_lists), longest), dtype=bool)
+    for row, ids in enumerate(id_lists):
+        matrix[row, : len(ids)] = ids
+        mask[row, : len(ids)] = True
+    with nn.no_grad():
+        batched = bert(matrix, mask=mask)
+        for row, ids in enumerate(id_lists):
+            single = bert(ids)
+            np.testing.assert_allclose(batched.data[row, : len(ids)], single.data, atol=1e-10)

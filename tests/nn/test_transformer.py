@@ -33,9 +33,11 @@ def test_minibert_rejects_too_long(bert):
         bert(list(range(10)) * 10)
 
 
-def test_minibert_rejects_batch_input(bert):
+def test_minibert_accepts_batch_rejects_higher_rank(bert):
+    batched = bert.forward(np.zeros((2, 4), dtype=int))
+    assert batched.shape == (2, 4, bert.dim)
     with pytest.raises(ValueError):
-        bert.forward(np.zeros((2, 4), dtype=int))
+        bert.forward(np.zeros((2, 3, 4), dtype=int))
 
 
 def test_minibert_gradients_reach_embeddings(bert):

@@ -30,6 +30,23 @@ def test_parser_health_arguments():
     assert args.seed == 3
 
 
+def test_parser_bench_arguments():
+    args = build_parser().parse_args(["bench", "--pages", "16", "--smoke", "--output", ""])
+    assert args.command == "bench"
+    assert args.pages == 16
+    assert args.smoke
+    assert args.output == ""
+
+
+def test_bench_smoke_command(tmp_path, capsys):
+    report = tmp_path / "BENCH_serving.json"
+    assert main(["bench", "--smoke", "--output", str(report)]) == 0
+    out = capsys.readouterr().out
+    assert "speedup" in out
+    assert "smoke: ok" in out
+    assert report.exists()
+
+
 def test_health_command_masks_faults(capsys):
     assert main(["health", "--seed", "7"]) == 0
     out = capsys.readouterr().out
