@@ -23,9 +23,19 @@ Commands
 ``bench [--pages 64] [--output BENCH_serving.json] [--smoke]``
     Serving benchmark: time the same page stream through the sequential and
     the batched briefing pipelines, check the briefs are identical, and
-    write docs/sec, latency percentiles and cache hit rate to a JSON report.
-    ``--smoke`` runs a tiny corpus and exits nonzero if batched outputs
-    diverge from sequential or the cache never hits.
+    write docs/sec, latency percentiles, cache hit rate, per-stage timings
+    and per-layer forward times to a JSON report.  ``--smoke`` runs a tiny
+    corpus and exits nonzero if batched outputs diverge from sequential or
+    the cache never hits.
+``metrics``
+    Exercise the runtime (retries, a circuit breaker, the brief cache) with
+    deterministic faults and print the resulting metrics registry in
+    Prometheus text format — a quick way to see every exported series.
+
+``brief``, ``train``, ``health``, ``bench`` and ``metrics`` all accept
+``--trace PATH`` (write a JSON-lines span trace) and ``--metrics PATH``
+(write a Prometheus text snapshot); omitting both keeps the no-op
+observability path.
 """
 
 from __future__ import annotations
@@ -39,6 +49,14 @@ import numpy as np
 __all__ = ["main", "build_parser"]
 
 
+def _add_obs_args(parser: argparse.ArgumentParser) -> None:
+    """``--trace`` / ``--metrics`` outputs, shared by the observable commands."""
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="write a JSON-lines span trace to PATH")
+    parser.add_argument("--metrics", metavar="PATH", default=None,
+                        help="write a Prometheus text metrics snapshot to PATH")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -50,6 +68,7 @@ def build_parser() -> argparse.ArgumentParser:
     brief.add_argument("--pages", type=int, default=6)
     brief.add_argument("--epochs", type=int, default=10)
     brief.add_argument("--seed", type=int, default=7)
+    _add_obs_args(brief)
 
     stats = sub.add_parser("corpus-stats", help="synthesise a corpus and print stats")
     stats.add_argument("--topics", type=int, default=6)
@@ -62,6 +81,7 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--pages", type=int, default=6)
     train.add_argument("--epochs", type=int, default=10)
     train.add_argument("--seed", type=int, default=7)
+    _add_obs_args(train)
 
     tables = sub.add_parser("tables", help="regenerate the paper's tables")
     tables.add_argument("--scale", choices=("tiny", "small"), default="small")
@@ -75,6 +95,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="garbled/truncated HTML probability")
     health.add_argument("--pages", type=int, default=6)
     health.add_argument("--max-attempts", type=int, default=6)
+    _add_obs_args(health)
 
     bench = sub.add_parser("bench", help="serving benchmark: sequential vs batched briefing")
     bench.add_argument("--pages", type=int, default=64, help="pages in the synthesized stream")
@@ -87,7 +108,37 @@ def build_parser() -> argparse.ArgumentParser:
                        help="run batched inference under float32")
     bench.add_argument("--smoke", action="store_true",
                        help="tiny corpus; exit 1 on output mismatch or cold cache")
+    _add_obs_args(bench)
+
+    metrics = sub.add_parser(
+        "metrics", help="exercise the runtime and print its Prometheus metrics"
+    )
+    metrics.add_argument("--seed", type=int, default=7)
+    _add_obs_args(metrics)
     return parser
+
+
+def _make_obs(args):
+    """Tracer/registry for a command: real when requested, no-ops otherwise."""
+    from .obs import NOOP_REGISTRY, NOOP_TRACER, MetricsRegistry, Tracer
+
+    tracer = Tracer() if getattr(args, "trace", None) else NOOP_TRACER
+    registry = MetricsRegistry() if getattr(args, "metrics", None) else NOOP_REGISTRY
+    return tracer, registry
+
+
+def _write_obs(args, tracer, registry) -> None:
+    """Flush ``--trace`` / ``--metrics`` outputs at the end of a command."""
+    from .obs import write_prometheus, write_trace_jsonl
+
+    if getattr(args, "trace", None):
+        with open(args.trace, "w") as handle:
+            write_trace_jsonl(tracer, handle)
+        print(f"wrote {len(tracer.spans)} spans to {args.trace}", file=sys.stderr)
+    if getattr(args, "metrics", None):
+        with open(args.metrics, "w") as handle:
+            write_prometheus(registry.snapshot(), handle)
+        print(f"wrote metrics snapshot to {args.metrics}", file=sys.stderr)
 
 
 def _build_model(topics: int, pages: int, seed: int):
@@ -107,18 +158,22 @@ def _build_model(topics: int, pages: int, seed: int):
     return corpus, vocabulary, model
 
 
-def _train(model, corpus, epochs: int, seed: int) -> None:
+def _train(model, corpus, epochs: int, seed: int, tracer=None, registry=None) -> None:
     from .core import TrainConfig, Trainer
 
     split = corpus.random_split(np.random.default_rng(seed))
-    Trainer(model, TrainConfig(epochs=epochs, learning_rate=5e-3, batch_size=2, seed=seed)).train(
-        split.train
-    )
+    Trainer(
+        model,
+        TrainConfig(epochs=epochs, learning_rate=5e-3, batch_size=2, seed=seed),
+        tracer=tracer,
+        registry=registry,
+    ).train(split.train)
 
 
 def _command_brief(args) -> int:
     from .core import BriefingPipeline
 
+    tracer, registry = _make_obs(args)
     corpus, _, model = _build_model(args.topics, args.pages, args.seed)
     if args.model:
         model.load(args.model)
@@ -127,10 +182,11 @@ def _command_brief(args) -> int:
         _train(model, corpus, args.epochs, args.seed)
     with open(args.html_file) as handle:
         html = handle.read()
-    brief = BriefingPipeline(model).brief_html(html)
+    brief = BriefingPipeline(model, tracer=tracer, registry=registry).brief_html(html)
     print(brief.render())
     for degradation in brief.degradations:
         print(f"[degraded] {degradation.describe()}", file=sys.stderr)
+    _write_obs(args, tracer, registry)
     return 0
 
 
@@ -148,10 +204,12 @@ def _command_corpus_stats(args) -> int:
 
 
 def _command_train(args) -> int:
+    tracer, registry = _make_obs(args)
     corpus, _, model = _build_model(args.topics, args.pages, args.seed)
-    _train(model, corpus, args.epochs, args.seed)
+    _train(model, corpus, args.epochs, args.seed, tracer=tracer, registry=registry)
     model.save(args.save)
     print(f"saved {model.num_parameters():,} parameters to {args.save}")
+    _write_obs(args, tracer, registry)
     return 0
 
 
@@ -167,12 +225,14 @@ def _command_tables(args) -> int:
 def _command_health(args) -> int:
     import numpy as np
 
-    from .core import BriefingPipeline
+    from .core import BatchedBriefingPipeline, BriefingPipeline
     from .data.synthesizer import SyntheticWebsite
     from .data.taxonomy import build_taxonomy
     from .html import StructureDrivenCrawler
+    from .obs import bridge_runtime_stats
     from .runtime import ChaosConfig, ChaosHost, ResilientHost, RetryPolicy, RuntimeStats
 
+    tracer, registry = _make_obs(args)
     topic = build_taxonomy()[0]
     website = SyntheticWebsite(
         "health.example", topic, num_pages=args.pages, rng=np.random.default_rng(args.seed)
@@ -189,14 +249,18 @@ def _command_health(args) -> int:
         stats=stats,
     )
     resilient = ResilientHost(
-        chaos, RetryPolicy(max_attempts=args.max_attempts, seed=args.seed), stats=stats
+        chaos,
+        RetryPolicy(max_attempts=args.max_attempts, seed=args.seed),
+        stats=stats,
+        tracer=tracer,
+        registry=registry,
     )
-    result = crawler.crawl(resilient, stats=stats)
+    result = crawler.crawl(resilient, stats=stats, tracer=tracer, registry=registry)
 
     # Content corruption cannot be retried away — it is the degradation
     # ladder's job: briefing garbled/truncated/empty pages must never raise.
     _, _, model = _build_model(topics=2, pages=3, seed=args.seed)
-    pipeline = BriefingPipeline(model, beam_size=2, stats=stats)
+    pipeline = BriefingPipeline(model, beam_size=2, stats=stats, tracer=tracer, registry=registry)
     page_html = website.fetch(result.pages[0].url) if result.pages else "<html></html>"
     garbler = ChaosHost(
         website, ChaosConfig(garble_rate=args.garble_rate, seed=args.seed), stats=stats
@@ -207,6 +271,14 @@ def _command_health(args) -> int:
         pipeline.brief_html(garbler.fetch(result.pages[0].url) if result.pages else ""),
     ]
 
+    # Brief the same healthy page twice through the batched pipeline so the
+    # snapshot also carries cache hit/miss series alongside the fault ones.
+    batched = BatchedBriefingPipeline(
+        model, beam_size=2, stats=stats, tracer=tracer, registry=registry
+    )
+    batched.brief_many([("cache-check", page_html), ("cache-check", page_html)])
+
+    bridge_runtime_stats(stats, registry)
     print(stats.format())
     print()
     for brief in briefs:
@@ -220,12 +292,14 @@ def _command_health(args) -> int:
     verdict = "healthy" if masked and served else "degraded"
     print(f"\ncrawl: {len(result.pages)}/{len(baseline.pages)} pages, "
           f"{len(result.failed_urls)} failed urls -> {verdict}")
+    _write_obs(args, tracer, registry)
     return 0 if masked and served else 1
 
 
 def _command_bench(args) -> int:
     from .core import run_serving_bench
 
+    tracer, registry = _make_obs(args)
     num_pages = min(args.pages, 12) if args.smoke else args.pages
     result = run_serving_bench(
         num_pages=num_pages,
@@ -234,14 +308,82 @@ def _command_bench(args) -> int:
         beam_size=args.beam_size,
         dtype=np.float32 if args.float32 else None,
         output_path=args.output or None,
+        tracer=tracer if tracer.enabled else None,
+        registry=registry if registry.enabled else None,
     )
     print(result.format())
     if args.output:
         print(f"\nwrote {args.output}")
+    _write_obs(args, tracer, registry)
     if args.smoke:
         ok = result.outputs_match and result.cache_hit_rate > 0
         print(f"smoke: {'ok' if ok else 'FAILED'}")
         return 0 if ok else 1
+    return 0
+
+
+def _command_metrics(args) -> int:
+    from .core.batched import BriefCache
+    from .obs import bridge_runtime_stats, render_prometheus
+    from .runtime import CircuitBreaker, FetchError, RetryPolicy, RuntimeStats
+
+    tracer, registry = _make_obs(args)
+    if not registry.enabled:
+        from .obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+
+    # Deterministic mini-workout of the runtime so every family has data.
+    stats = RuntimeStats()
+    retry_counter = registry.counter("fetch_retries_total", help="retries per host")
+    attempts = {"n": 0}
+
+    def flaky() -> str:
+        attempts["n"] += 1
+        stats.inc("fetch_attempts")
+        if attempts["n"] < 3:
+            stats.inc("fetch_retries")
+            retry_counter.inc(host="metrics.example")
+            raise FetchError("synthetic fault", url="https://metrics.example/", transient=True)
+        return "ok"
+
+    with tracer.span("retry_demo", host="metrics.example"):
+        RetryPolicy(max_attempts=5, base_delay=0.0, seed=args.seed).call(flaky)
+
+    transition_counter = registry.counter(
+        "breaker_transitions_total", help="circuit state changes"
+    )
+
+    def on_transition(old: str, new: str) -> None:
+        transition_counter.inc(host="metrics.example", **{"from": old, "to": new})
+
+    breaker = CircuitBreaker(
+        failure_threshold=2, recovery_time=0.0, on_transition=on_transition
+    )
+    with tracer.span("breaker_demo", host="metrics.example"):
+        breaker.record_failure()
+        breaker.record_failure()  # trips open
+        stats.inc("breaker_trips")
+        breaker.allow()  # recovery_time=0 → half-open probe
+        breaker.record_success()  # closes again
+
+    cache_counter = registry.counter(
+        "serving_cache_requests_total", help="brief-cache lookups, by result"
+    )
+    cache = BriefCache(capacity=4)
+    with tracer.span("cache_demo"):
+        for content, value in (("page-a", 1), ("page-a", 1), ("page-b", 2)):
+            if cache.get(content) is None:
+                stats.inc("cache_misses")
+                cache_counter.inc(result="miss")
+                cache.put(content, value)
+            else:
+                stats.inc("cache_hits")
+                cache_counter.inc(result="hit")
+
+    bridge_runtime_stats(stats, registry)
+    print(render_prometheus(registry.snapshot()), end="")
+    _write_obs(args, tracer, registry)
     return 0
 
 
@@ -252,6 +394,7 @@ _COMMANDS = {
     "tables": _command_tables,
     "health": _command_health,
     "bench": _command_bench,
+    "metrics": _command_metrics,
 }
 
 

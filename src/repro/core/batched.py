@@ -27,6 +27,7 @@ degradation ladder for that batch.
 from __future__ import annotations
 
 import hashlib
+import time
 from collections import OrderedDict
 from contextlib import nullcontext
 from typing import Callable, Dict, Hashable, Iterable, List, Optional, Tuple, Union
@@ -36,6 +37,7 @@ import numpy as np
 from .. import nn
 from ..data.corpus import Document
 from ..models.joint_wb import BriefPrediction, JointWBModel
+from ..obs import NOOP_REGISTRY, NOOP_TRACER
 from ..runtime.errors import BriefingError
 from ..runtime.stats import RuntimeStats
 from .briefing import Degradation, PartialBrief
@@ -135,15 +137,37 @@ class BatchedBriefingPipeline:
         render_cache_size: int = 256,
         hash_fn: Optional[Callable[[str], Hashable]] = None,
         dtype=None,
+        tracer=None,
+        registry=None,
     ) -> None:
         self.model = model
         self.beam_size = beam_size
         self.batch_size = batch_size
         self.stats = stats if stats is not None else RuntimeStats()
         self.dtype = dtype
+        self.tracer = tracer if tracer is not None else NOOP_TRACER
+        self.registry = registry if registry is not None else NOOP_REGISTRY
+        self._observing = bool(self.tracer.enabled or self.registry.enabled)
+        self._stage_seconds = self.registry.histogram(
+            "briefing_stage_seconds", help="wall time per briefing pipeline stage"
+        )
+        self._cache_counter = self.registry.counter(
+            "serving_cache_requests_total", help="brief-cache lookups, by result"
+        )
+        self._batch_pages = self.registry.histogram(
+            "serving_batch_pages",
+            help="pages per brief_many call",
+            buckets=(1, 2, 4, 8, 16, 32, 64, 128, 256),
+        )
         self.brief_cache = BriefCache(brief_cache_size, hash_fn=hash_fn)
         self.render_cache = BriefCache(render_cache_size, hash_fn=hash_fn)
-        self._fallback = BriefingPipeline(model, beam_size=beam_size, stats=self.stats)
+        self._fallback = BriefingPipeline(
+            model,
+            beam_size=beam_size,
+            stats=self.stats,
+            tracer=self.tracer,
+            registry=self.registry,
+        )
 
     # ------------------------------------------------------------------
     def _dtype_context(self):
@@ -151,6 +175,8 @@ class BatchedBriefingPipeline:
 
     def _empty_brief(self, stage: str, exc: BaseException) -> PartialBrief:
         self.stats.inc("degradations")
+        self._fallback._degradation_counter.inc(stage=stage, fallback="empty_brief")
+        self.tracer.event("degradation", stage=stage, fallback="empty_brief", reason=_reason(exc))
         return PartialBrief(
             topic=[],
             attributes=[],
@@ -169,17 +195,28 @@ class BatchedBriefingPipeline:
 
     def _predict_briefs(self, documents: List[Document]) -> List[PartialBrief]:
         """Batched prediction; falls back to the sequential ladder on failure."""
-        try:
-            with self._dtype_context():
-                predictions = self.model.predict_batch(
-                    documents, beam_size=self.beam_size, batch_size=self.batch_size
-                )
-        except Exception:
-            # The batched path raises as a unit; re-run the batch through the
-            # per-document degradation ladder so brief_many never raises and
-            # partial results survive (matching BriefingPipeline semantics).
-            self.stats.inc("model_failures")
-            return [self._fallback.brief_document(document) for document in documents]
+        start = time.perf_counter() if self._observing else 0.0
+        with self.tracer.span(
+            "predict_batch",
+            documents=len(documents),
+            bucket_lengths=sorted({d.num_tokens for d in documents}) if self._observing else [],
+        ) as span:
+            try:
+                with self._dtype_context():
+                    predictions = self.model.predict_batch(
+                        documents, beam_size=self.beam_size, batch_size=self.batch_size
+                    )
+            except Exception as exc:
+                # The batched path raises as a unit; re-run the batch through the
+                # per-document degradation ladder so brief_many never raises and
+                # partial results survive (matching BriefingPipeline semantics).
+                self.stats.inc("model_failures")
+                span.record_error(exc)
+                span.add_event("sequential_fallback", documents=len(documents))
+                return [self._fallback.brief_document(document) for document in documents]
+            finally:
+                if self._observing:
+                    self._stage_seconds.observe(time.perf_counter() - start, stage="predict_batch")
         return [self._brief_from_prediction(prediction) for prediction in predictions]
 
     # ------------------------------------------------------------------
@@ -203,40 +240,52 @@ class BatchedBriefingPipeline:
                 doc_id, html = page
                 page_list.append((doc_id, html))
 
-        briefs: List[Optional[PartialBrief]] = [None] * len(page_list)
-        # In-flight work, keyed by page content: one model pass per unique page.
-        pending: "Dict[str, Tuple[Document, List[int]]]" = {}
-        for index, (doc_id, html) in enumerate(page_list):
-            if html in pending:
-                self.stats.inc("cache_hits")
-                pending[html][1].append(index)
-                continue
-            cached = self.brief_cache.get(html)
-            if cached is not None:
-                self.stats.inc("cache_hits")
-                briefs[index] = _copy_brief(cached)
-                continue
-            self.stats.inc("cache_misses")
-            document = self.render_cache.get(html)
-            if document is None:
-                try:
-                    document = document_from_raw_html(html, doc_id=doc_id)
-                except BriefingError as exc:
-                    briefs[index] = self._empty_brief(exc.stage, exc)
+        with self.tracer.span("brief_many", pages=len(page_list)) as batch_span:
+            hits_before, misses_before = self.stats.cache_hits, self.stats.cache_misses
+            briefs: List[Optional[PartialBrief]] = [None] * len(page_list)
+            # In-flight work, keyed by page content: one model pass per unique page.
+            pending: "Dict[str, Tuple[Document, List[int]]]" = {}
+            for index, (doc_id, html) in enumerate(page_list):
+                if html in pending:
+                    self.stats.inc("cache_hits")
+                    self._cache_counter.inc(result="coalesced")
+                    pending[html][1].append(index)
                     continue
-                except Exception as exc:  # substrate bug — degrade, keep serving
-                    briefs[index] = self._empty_brief("parse", exc)
+                cached = self.brief_cache.get(html)
+                if cached is not None:
+                    self.stats.inc("cache_hits")
+                    self._cache_counter.inc(result="hit")
+                    briefs[index] = _copy_brief(cached)
                     continue
-                self.render_cache.put(html, document)
-            pending[html] = (document, [index])
+                self.stats.inc("cache_misses")
+                self._cache_counter.inc(result="miss")
+                document = self.render_cache.get(html)
+                if document is None:
+                    try:
+                        document = document_from_raw_html(
+                            html, doc_id=doc_id, tracer=self.tracer, registry=self.registry
+                        )
+                    except BriefingError as exc:
+                        briefs[index] = self._empty_brief(exc.stage, exc)
+                        continue
+                    except Exception as exc:  # substrate bug — degrade, keep serving
+                        briefs[index] = self._empty_brief("parse", exc)
+                        continue
+                    self.render_cache.put(html, document)
+                pending[html] = (document, [index])
 
-        if pending:
-            contents = list(pending)
-            documents = [pending[content][0] for content in contents]
-            computed = self._predict_briefs(documents)
-            for content, brief in zip(contents, computed):
-                if brief.complete:
-                    self.brief_cache.put(content, _copy_brief(brief))
-                for index in pending[content][1]:
-                    briefs[index] = _copy_brief(brief)
+            if pending:
+                contents = list(pending)
+                documents = [pending[content][0] for content in contents]
+                computed = self._predict_briefs(documents)
+                for content, brief in zip(contents, computed):
+                    if brief.complete:
+                        self.brief_cache.put(content, _copy_brief(brief))
+                    for index in pending[content][1]:
+                        briefs[index] = _copy_brief(brief)
+            if self._observing:
+                self._batch_pages.observe(len(page_list))
+                batch_span.set_attribute("unique_documents", len(pending))
+                batch_span.set_attribute("cache_hits", self.stats.cache_hits - hits_before)
+                batch_span.set_attribute("cache_misses", self.stats.cache_misses - misses_before)
         return briefs

@@ -8,6 +8,14 @@ informative sentences) are identical, and report docs/sec, per-page latency
 percentiles and the brief-cache hit rate.  Results serialise to
 ``BENCH_serving.json`` — schema documented in ``docs/ARCHITECTURE.md``.
 
+With ``observe=True`` (the default) the bench also answers *where the time
+went*: it replays the stream through two fresh batched pipelines — one
+un-observed, one under a live :class:`~repro.obs.Tracer` +
+:class:`~repro.obs.MetricsRegistry` — to measure tracing overhead honestly,
+reads per-stage timings back from the ``briefing_stage_seconds`` histogram,
+and attributes model time per layer class (MiniBert vs BiLSTM vs attention)
+with a :class:`~repro.obs.ForwardProfiler` pass.
+
 The synthesized corpus repeats a fraction of its pages (default 25%) the way
 real crawl frontiers revisit URLs, so the content-addressed cache has
 something to hit.
@@ -18,7 +26,7 @@ from __future__ import annotations
 import json
 import time
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -89,6 +97,17 @@ class BenchResult:
     cache_hit_rate: float
     outputs_match: bool
     mismatches: List[str] = field(default_factory=list)
+    #: brief-cache lookups during the batched run (counts, not just the rate).
+    cache_hits: int = 0
+    cache_misses: int = 0
+    #: per-stage timings from the ``briefing_stage_seconds`` histogram:
+    #: ``{stage: {count, total_seconds, p50_ms, p95_ms}}``.
+    phases: Dict[str, dict] = field(default_factory=dict)
+    #: per-layer-class forward time: ``{class: {calls, seconds}}``.
+    layers: Dict[str, dict] = field(default_factory=dict)
+    #: (traced seconds / un-traced seconds) - 1 for the same stream;
+    #: ``None`` when the bench ran with ``observe=False``.
+    observability_overhead: Optional[float] = None
 
     def to_dict(self) -> dict:
         return {
@@ -108,7 +127,15 @@ class BenchResult:
                 "latency_p95_ms": self.batched_latency_p95_ms,
             },
             "speedup": self.speedup,
+            "cache": {
+                "hits": self.cache_hits,
+                "misses": self.cache_misses,
+                "hit_rate": self.cache_hit_rate,
+            },
             "cache_hit_rate": self.cache_hit_rate,
+            "phases": {stage: dict(data) for stage, data in self.phases.items()},
+            "layers": {cls: dict(data) for cls, data in self.layers.items()},
+            "observability_overhead": self.observability_overhead,
             "outputs_match": self.outputs_match,
             "mismatches": list(self.mismatches),
         }
@@ -128,10 +155,31 @@ class BenchResult:
             f"batched:    {self.batched_docs_per_second:6.2f} docs/s  "
             f"p50 {self.batched_latency_p50_ms:.1f} ms  "
             f"p95 {self.batched_latency_p95_ms:.1f} ms",
-            f"speedup: {self.speedup:.2f}x   cache hit rate: {self.cache_hit_rate:.0%}",
+            f"speedup: {self.speedup:.2f}x   cache: {self.cache_hits} hits / "
+            f"{self.cache_misses} misses ({self.cache_hit_rate:.0%})",
             f"outputs match: {self.outputs_match}"
             + (f" ({len(self.mismatches)} mismatches)" if self.mismatches else ""),
         ]
+        if self.phases:
+            lines.append("per-stage (batched, traced run):")
+            for stage, data in sorted(
+                self.phases.items(), key=lambda kv: kv[1]["total_seconds"], reverse=True
+            ):
+                lines.append(
+                    f"  {stage:<14} {data['count']:>5} calls  "
+                    f"{data['total_seconds'] * 1000:8.1f} ms total  "
+                    f"p50 {data['p50_ms']:6.2f} ms  p95 {data['p95_ms']:6.2f} ms"
+                )
+        if self.layers:
+            lines.append("per-layer forward time (profiled pass):")
+            for cls, data in sorted(
+                self.layers.items(), key=lambda kv: kv[1]["seconds"], reverse=True
+            ):
+                lines.append(
+                    f"  {cls:<24} {data['calls']:>6} calls  {data['seconds'] * 1000:8.1f} ms"
+                )
+        if self.observability_overhead is not None:
+            lines.append(f"observability overhead: {self.observability_overhead:+.1%}")
         return "\n".join(lines)
 
 
@@ -156,6 +204,14 @@ def _percentile_ms(latencies: List[float], q: float) -> float:
     return float(np.percentile(np.asarray(latencies), q) * 1000.0)
 
 
+def _run_batched_stream(pipeline, pages: List[Tuple[str, str]], batch_size: int) -> float:
+    """Push ``pages`` through ``pipeline.brief_many`` in chunks; wall seconds."""
+    start = time.perf_counter()
+    for offset in range(0, len(pages), batch_size):
+        pipeline.brief_many(pages[offset : offset + batch_size])
+    return time.perf_counter() - start
+
+
 def run_serving_bench(
     num_pages: int = 64,
     seed: int = 7,
@@ -165,6 +221,9 @@ def run_serving_bench(
     dtype=None,
     output_path: Optional[str] = None,
     model=None,
+    observe: bool = True,
+    tracer=None,
+    registry=None,
 ) -> BenchResult:
     """Time sequential vs batched briefing on a synthesized page stream.
 
@@ -172,7 +231,13 @@ def run_serving_bench(
     page's latency is its chunk's wall time — the request waits for its
     batch), so later chunks exercise the brief cache on repeated content.
     Pass ``output_path`` to also write ``BENCH_serving.json``.
+
+    ``observe=True`` adds the observability passes (overhead measurement,
+    per-stage timings, per-layer profile); pass your own ``tracer`` /
+    ``registry`` to keep the spans and metrics they produce (the CLI's
+    ``--trace`` / ``--metrics`` do exactly that).
     """
+    from ..obs import ForwardProfiler, MetricsRegistry, Tracer, bridge_runtime_stats
     from .batched import BatchedBriefingPipeline
     from .pipeline import BriefingPipeline
 
@@ -216,6 +281,74 @@ def run_serving_bench(
         ):
             mismatches.append(doc_id)
 
+    phases: Dict[str, dict] = {}
+    layers: Dict[str, dict] = {}
+    overhead: Optional[float] = None
+    if observe:
+        # Overhead compares *fresh* pipelines over the same stream (same cold
+        # caches), alternating un-traced and traced passes and keeping the
+        # best of each — min-of-N discards scheduler noise, and interleaving
+        # keeps warm-up and machine drift out of the comparison.
+        obs_tracer = tracer if tracer is not None else Tracer()
+        obs_registry = registry if registry is not None else MetricsRegistry()
+        plain_seconds = float("inf")
+        observed_seconds = float("inf")
+        observed = None
+        for _ in range(3):
+            plain = BatchedBriefingPipeline(
+                model, beam_size=beam_size, batch_size=batch_size, dtype=dtype
+            )
+            plain_seconds = min(plain_seconds, _run_batched_stream(plain, pages, batch_size))
+            observed = BatchedBriefingPipeline(
+                model,
+                beam_size=beam_size,
+                batch_size=batch_size,
+                dtype=dtype,
+                tracer=obs_tracer,
+                registry=obs_registry,
+            )
+            observed_seconds = min(
+                observed_seconds, _run_batched_stream(observed, pages, batch_size)
+            )
+        overhead = observed_seconds / plain_seconds - 1.0
+        bridge_runtime_stats(observed.stats, obs_registry)
+
+        stage_seconds = obs_registry.histogram("briefing_stage_seconds")
+        for key in obs_registry.snapshot().labels("briefing_stage_seconds"):
+            stage = dict(key).get("stage", "")
+            phases[stage] = {
+                "count": stage_seconds.count(stage=stage),
+                "total_seconds": stage_seconds.sum(stage=stage),
+                "p50_ms": stage_seconds.percentile(50, stage=stage) * 1000.0,
+                "p95_ms": stage_seconds.percentile(95, stage=stage) * 1000.0,
+            }
+
+        # Layer attribution on one profiled forward pass over a small sample
+        # of unique documents (profiling wraps every submodule forward, so it
+        # is kept out of the overhead-measured run).
+        from .pipeline import document_from_raw_html
+
+        sample: List = []
+        seen_html = set()
+        for doc_id, html in pages:
+            if html in seen_html:
+                continue
+            seen_html.add(html)
+            try:
+                sample.append(document_from_raw_html(html, doc_id=doc_id))
+            except Exception:
+                continue
+            if len(sample) >= batch_size:
+                break
+        if sample:
+            profiler = ForwardProfiler()
+            with profiler.install(model):
+                model.predict_batch(sample, beam_size=beam_size, batch_size=batch_size)
+            layers = {
+                cls: {"calls": timing.calls, "seconds": timing.seconds}
+                for cls, timing in profiler.by_class().items()
+            }
+
     lookups = batched.stats.cache_hits + batched.stats.cache_misses
     result = BenchResult(
         num_pages=len(pages),
@@ -233,6 +366,11 @@ def run_serving_bench(
         cache_hit_rate=(batched.stats.cache_hits / lookups) if lookups else 0.0,
         outputs_match=not mismatches,
         mismatches=mismatches,
+        cache_hits=batched.stats.cache_hits,
+        cache_misses=batched.stats.cache_misses,
+        phases=phases,
+        layers=layers,
+        observability_overhead=overhead,
     )
     if output_path is not None:
         result.save(output_path)

@@ -1,0 +1,69 @@
+"""``repro.obs`` — structured tracing, metrics, export and profiling.
+
+Observability for the briefing service, one layer *below*
+``repro.runtime`` in the stack: pure standard library, no imports from any
+other ``repro`` package, so every layer above (runtime, html, core, cli) can
+thread a tracer and a metrics registry through without cycles.
+
+Four parts:
+
+* :mod:`~repro.obs.trace` — a :class:`Tracer` producing nested
+  :class:`Span`\\ s (monotonic start/duration, parent ids, attributes,
+  status) through a context-manager API with an injectable clock;
+* :mod:`~repro.obs.metrics` — a :class:`MetricsRegistry` of labelled
+  :class:`Counter` / :class:`Gauge` / :class:`Histogram` instruments with
+  mergeable :class:`MetricsSnapshot`\\ s;
+* :mod:`~repro.obs.export` — JSON-lines span export and Prometheus text
+  rendering, both pure functions over file-like objects;
+* :mod:`~repro.obs.profile` — an opt-in per-layer forward-timing hook for
+  ``nn.Module`` trees.
+
+Everything defaults to the shared no-op singletons (:data:`NOOP_TRACER`,
+:data:`NOOP_REGISTRY`): when observability is off the hot path takes one
+``enabled`` check and allocates nothing.
+"""
+
+from .export import (
+    parse_prometheus_text,
+    render_prometheus,
+    write_prometheus,
+    write_spans_jsonl,
+    write_trace_jsonl,
+)
+from .metrics import (
+    DEFAULT_BUCKETS,
+    NOOP_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsSnapshot,
+    NoopMetricsRegistry,
+    bridge_runtime_stats,
+)
+from .profile import ForwardProfiler, LayerTiming
+from .trace import NOOP_SPAN, NOOP_TRACER, NoopTracer, Span, Tracer
+
+__all__ = [
+    "Tracer",
+    "Span",
+    "NoopTracer",
+    "NOOP_TRACER",
+    "NOOP_SPAN",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "NoopMetricsRegistry",
+    "NOOP_REGISTRY",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "DEFAULT_BUCKETS",
+    "bridge_runtime_stats",
+    "write_spans_jsonl",
+    "write_trace_jsonl",
+    "write_prometheus",
+    "render_prometheus",
+    "parse_prometheus_text",
+    "ForwardProfiler",
+    "LayerTiming",
+]

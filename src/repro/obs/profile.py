@@ -1,0 +1,135 @@
+"""Opt-in per-layer forward timing for ``nn.Module`` trees.
+
+:class:`ForwardProfiler` walks a module tree (duck-typed on the ``_modules``
+dict every :class:`repro.nn.Module` carries — ``obs`` imports nothing from
+``repro.nn``), shadows each submodule's ``forward`` with a timing wrapper,
+and accumulates cumulative seconds + call counts per layer::
+
+    profiler = ForwardProfiler()
+    with profiler.install(model):
+        model.predict_batch(documents)
+    print(profiler.format())        # MiniBert vs BiLSTM vs attention
+
+Timings are *inclusive* (a parent's time contains its children's), which is
+what "where did the forward pass go" questions want.  Wrappers are instance
+attributes shadowing the class method, so ``remove()`` (or leaving the
+``with`` block) restores the exact original behaviour; modules that never
+override ``Module.forward`` (containers, task wrappers) are skipped.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+__all__ = ["ForwardProfiler", "LayerTiming"]
+
+
+@dataclass
+class LayerTiming:
+    """Cumulative forward time for one layer."""
+
+    layer: str
+    cls: str
+    calls: int = 0
+    seconds: float = 0.0
+
+    def as_dict(self) -> dict:
+        return {"layer": self.layer, "class": self.cls, "calls": self.calls, "seconds": self.seconds}
+
+
+def _named_modules(module, prefix: str):
+    yield prefix, module
+    for name, child in getattr(module, "_modules", {}).items():
+        yield from _named_modules(child, f"{prefix}.{name}")
+
+
+def _overrides_forward(module) -> bool:
+    forward = getattr(type(module), "forward", None)
+    if forward is None:
+        return False
+    # The abstract repro.nn base raises NotImplementedError; wrapping it
+    # would only time an exception, so skip (duck-typed via __qualname__).
+    return getattr(forward, "__qualname__", "") != "Module.forward"
+
+
+class ForwardProfiler:
+    """Install/remove forward-timing hooks; read per-layer cumulative time."""
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None) -> None:
+        self._clock = clock if clock is not None else time.perf_counter
+        self.timings: Dict[str, LayerTiming] = {}
+        self._installed: List[Tuple[object, object]] = []
+
+    @property
+    def installed(self) -> bool:
+        return bool(self._installed)
+
+    # ------------------------------------------------------------------
+    def install(self, module, name: str = "model") -> "ForwardProfiler":
+        """Hook every forward in ``module``'s tree (idempotent per call)."""
+        if self._installed:
+            raise RuntimeError("profiler already installed; call remove() first")
+        clock = self._clock
+        for path, mod in _named_modules(module, name):
+            if not _overrides_forward(mod) or "forward" in mod.__dict__:
+                continue
+            timing = self.timings.setdefault(
+                path, LayerTiming(layer=path, cls=type(mod).__name__)
+            )
+            original = mod.forward  # bound class method
+
+            def wrapper(*args, _original=original, _timing=timing, **kwargs):
+                start = clock()
+                try:
+                    return _original(*args, **kwargs)
+                finally:
+                    _timing.seconds += clock() - start
+                    _timing.calls += 1
+
+            object.__setattr__(mod, "forward", wrapper)
+            self._installed.append((mod, original))
+        return self
+
+    def remove(self) -> None:
+        """Restore every hooked module's original ``forward``."""
+        for mod, _original in self._installed:
+            if "forward" in mod.__dict__:
+                object.__delattr__(mod, "forward")
+        self._installed = []
+
+    def __enter__(self) -> "ForwardProfiler":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.remove()
+        return False
+
+    # ------------------------------------------------------------------
+    def top(self, n: int = 10) -> List[LayerTiming]:
+        """The ``n`` most expensive layers, by cumulative seconds."""
+        recorded = [t for t in self.timings.values() if t.calls]
+        return sorted(recorded, key=lambda t: t.seconds, reverse=True)[:n]
+
+    def by_class(self) -> Dict[str, LayerTiming]:
+        """Timings rolled up by layer class (MiniBert, BiLSTM, ...)."""
+        rollup: Dict[str, LayerTiming] = {}
+        for timing in self.timings.values():
+            if not timing.calls:
+                continue
+            entry = rollup.setdefault(timing.cls, LayerTiming(layer=timing.cls, cls=timing.cls))
+            entry.calls += timing.calls
+            entry.seconds += timing.seconds
+        return rollup
+
+    def as_dict(self) -> Dict[str, dict]:
+        return {path: t.as_dict() for path, t in sorted(self.timings.items()) if t.calls}
+
+    def format(self, n: int = 10) -> str:
+        lines = [f"{'layer':<44} {'class':<22} {'calls':>7} {'seconds':>9}"]
+        for timing in self.top(n):
+            lines.append(
+                f"{timing.layer:<44} {timing.cls:<22} {timing.calls:>7} {timing.seconds:>9.4f}"
+            )
+        return "\n".join(lines)

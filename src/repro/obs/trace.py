@@ -1,0 +1,233 @@
+"""Structured tracing: nested spans with deterministic, injectable time.
+
+A :class:`Tracer` hands out :class:`Span` context managers::
+
+    tracer = Tracer()
+    with tracer.span("brief", doc_id="page-7"):
+        with tracer.span("topic") as span:
+            span.set_attribute("beam_size", 4)
+
+Spans record a monotonic ``start`` and ``duration`` from the tracer's clock
+(injectable — pass a fake clock and traces become byte-for-byte
+deterministic), the ``parent_id`` of the enclosing span, free-form
+``attributes``, timestamped ``events``, and a ``status`` that flips to
+``"error"`` when the body raises or :meth:`Span.record_error` is called.
+Finished spans accumulate on ``tracer.spans`` (children finish first);
+:func:`repro.obs.export.write_trace_jsonl` serialises them.
+
+The module-level :data:`NOOP_TRACER` is the default everywhere observability
+is threaded through: its :meth:`~NoopTracer.span` returns the one shared
+:data:`NOOP_SPAN` singleton, so a disabled trace point allocates nothing.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+__all__ = ["Span", "Tracer", "NoopTracer", "NOOP_TRACER", "NOOP_SPAN"]
+
+_OK, _ERROR = "ok", "error"
+
+
+class Span:
+    """One timed operation; use as a context manager via :meth:`Tracer.span`."""
+
+    __slots__ = (
+        "name",
+        "span_id",
+        "parent_id",
+        "start",
+        "duration",
+        "attributes",
+        "events",
+        "status",
+        "error",
+        "_tracer",
+    )
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        span_id: int,
+        parent_id: Optional[int],
+        start: float,
+        attributes: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start = start
+        self.duration: Optional[float] = None
+        self.attributes: Dict[str, Any] = dict(attributes) if attributes else {}
+        self.events: List[Tuple[float, str, Dict[str, Any]]] = []
+        self.status = _OK
+        self.error = ""
+
+    # ------------------------------------------------------------------
+    def set_attribute(self, key: str, value: Any) -> "Span":
+        self.attributes[key] = value
+        return self
+
+    def add_event(self, name: str, **attributes: Any) -> "Span":
+        """Attach a timestamped point event to this span."""
+        self.events.append((self._tracer._clock(), name, attributes))
+        return self
+
+    def record_error(self, error: BaseException | str) -> "Span":
+        """Flip the span to ``error`` status without raising."""
+        self.status = _ERROR
+        if isinstance(error, BaseException):
+            text = str(error)
+            self.error = f"{type(error).__name__}: {text}" if text else type(error).__name__
+        else:
+            self.error = str(error)
+        return self
+
+    @property
+    def finished(self) -> bool:
+        return self.duration is not None
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc is not None:
+            self.record_error(exc)
+        self._tracer._finish(self)
+        return False  # never swallow
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start": self.start,
+            "duration": self.duration,
+            "status": self.status,
+            "error": self.error,
+            "attributes": dict(self.attributes),
+            "events": [
+                {"time": t, "name": n, "attributes": dict(a)} for t, n, a in self.events
+            ],
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Span({self.name!r}, id={self.span_id}, parent={self.parent_id}, status={self.status})"
+
+
+class Tracer:
+    """Produces nested spans; finished spans collect on :attr:`spans`.
+
+    ``clock`` is any zero-argument callable returning monotonically
+    non-decreasing floats (default :func:`time.perf_counter`).  Nesting is
+    tracked with an explicit stack, so parent ids need no thread-locals —
+    matching the repo's single-threaded, no-global-state design rule.
+    """
+
+    enabled = True
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None) -> None:
+        self._clock = clock if clock is not None else time.perf_counter
+        self._stack: List[Span] = []
+        self._next_id = 1
+        #: finished spans, in completion order (children before parents).
+        self.spans: List[Span] = []
+        #: events emitted while no span was active (see :meth:`event`).
+        self.orphan_events: List[Tuple[float, str, Dict[str, Any]]] = []
+
+    # ------------------------------------------------------------------
+    def span(self, name: str, **attributes: Any) -> Span:
+        """Open a span as a context manager; nested under the active span."""
+        parent = self._stack[-1].span_id if self._stack else None
+        span = Span(self, name, self._next_id, parent, self._clock(), attributes)
+        self._next_id += 1
+        self._stack.append(span)
+        return span
+
+    def _finish(self, span: Span) -> None:
+        span.duration = self._clock() - span.start
+        # Tolerate out-of-order exits (a span closed twice, or closed after
+        # its parent): drop it from wherever it sits in the stack.
+        if span in self._stack:
+            while self._stack and self._stack[-1] is not span:
+                self._stack.pop()
+            if self._stack:
+                self._stack.pop()
+        self.spans.append(span)
+
+    # ------------------------------------------------------------------
+    @property
+    def current_span(self) -> Optional[Span]:
+        return self._stack[-1] if self._stack else None
+
+    def event(self, name: str, **attributes: Any) -> None:
+        """Attach an event to the active span (or record it standalone)."""
+        current = self.current_span
+        if current is not None:
+            current.add_event(name, **attributes)
+        else:
+            self.orphan_events.append((self._clock(), name, attributes))
+
+    def clear(self) -> None:
+        """Drop all finished spans and orphan events (keep ids monotonic)."""
+        self.spans = []
+        self.orphan_events = []
+
+
+class _NoopSpan:
+    """The do-nothing span; one shared instance, zero per-call allocation."""
+
+    __slots__ = ()
+
+    name = ""
+    span_id = None
+    parent_id = None
+    status = _OK
+    error = ""
+    duration = None
+    attributes: Dict[str, Any] = {}
+    events: List[Tuple[float, str, Dict[str, Any]]] = []
+
+    def set_attribute(self, key: str, value: Any) -> "_NoopSpan":
+        return self
+
+    def add_event(self, name: str, **attributes: Any) -> "_NoopSpan":
+        return self
+
+    def record_error(self, error) -> "_NoopSpan":
+        return self
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class NoopTracer:
+    """Tracer stand-in that allocates no spans; the default everywhere."""
+
+    enabled = False
+    spans: Tuple[()] = ()
+    orphan_events: Tuple[()] = ()
+    current_span = None
+
+    def span(self, name: str, **attributes: Any) -> _NoopSpan:
+        return NOOP_SPAN
+
+    def event(self, name: str, **attributes: Any) -> None:
+        return None
+
+    def clear(self) -> None:
+        return None
+
+
+NOOP_TRACER = NoopTracer()

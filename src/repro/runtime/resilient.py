@@ -11,15 +11,25 @@ still means a clean 404) but turns flaky hosts into dependable ones:
 * every attempt, retry, trip and rejection is counted in a shared
   :class:`~repro.runtime.stats.RuntimeStats`.
 
+Pass a :class:`~repro.obs.Tracer` / :class:`~repro.obs.MetricsRegistry` for
+structured visibility: each fetch becomes a ``fetch`` span carrying the URL
+and attempt count (retries are span events), per-attempt latency lands in the
+``fetch_latency_seconds{host=…}`` histogram, and every breaker state change
+emits a ``breaker_transitions_total{host=…,from=…,to=…}`` counter increment
+plus a ``breaker_transition`` trace event — so "which host tripped, when,
+how often" is one registry query.
+
 On exhaustion it raises a **permanent** ``FetchError`` so callers (the
 crawler) can skip the URL and move on.
 """
 
 from __future__ import annotations
 
+import time
 from typing import Callable, Dict, Optional
 from urllib.parse import urlsplit
 
+from ..obs import NOOP_REGISTRY, NOOP_TRACER
 from .errors import FetchError
 from .retry import CircuitBreaker, RetryPolicy
 from .stats import RuntimeStats
@@ -37,10 +47,24 @@ class ResilientHost:
         stats: Optional[RuntimeStats] = None,
         sleep: Optional[Callable[[float], None]] = None,
         breaker_factory: Optional[Callable[[], CircuitBreaker]] = None,
+        tracer=None,
+        registry=None,
     ) -> None:
         self.host = host
         self.policy = policy if policy is not None else RetryPolicy()
         self.stats = stats if stats is not None else RuntimeStats()
+        self.tracer = tracer if tracer is not None else NOOP_TRACER
+        self.registry = registry if registry is not None else NOOP_REGISTRY
+        self._observing = bool(self.tracer.enabled or self.registry.enabled)
+        self._fetch_latency = self.registry.histogram(
+            "fetch_latency_seconds", help="per-attempt fetch latency, by host"
+        )
+        self._retry_counter = self.registry.counter(
+            "fetch_retries_total", help="retries beyond the first attempt, by host"
+        )
+        self._transition_counter = self.registry.counter(
+            "breaker_transitions_total", help="circuit state changes, by host and edge"
+        )
         self._sleep = sleep
         self._breaker_factory = breaker_factory
         self._breakers: Dict[str, CircuitBreaker] = {}
@@ -55,45 +79,76 @@ class ResilientHost:
         netloc = urlsplit(url).netloc or "<local>"
         breaker = self._breakers.get(netloc)
         if breaker is None:
+            on_transition = self._transition_observer(netloc)
             if self._breaker_factory is not None:
                 breaker = self._breaker_factory()
                 breaker._on_trip = self._count_trip
+                breaker._on_transition = on_transition
             else:
-                breaker = CircuitBreaker(on_trip=self._count_trip)
+                breaker = CircuitBreaker(on_trip=self._count_trip, on_transition=on_transition)
             self._breakers[netloc] = breaker
         return breaker
 
     def _count_trip(self) -> None:
         self.stats.inc("breaker_trips")
 
+    def _transition_observer(self, netloc: str) -> Callable[[str, str], None]:
+        def observe(old_state: str, new_state: str) -> None:
+            self._transition_counter.inc(
+                host=netloc, **{"from": old_state, "to": new_state}
+            )
+            self.tracer.event(
+                "breaker_transition", host=netloc, from_state=old_state, to_state=new_state
+            )
+
+        return observe
+
     # ------------------------------------------------------------------
     def fetch(self, url: str) -> Optional[str]:
         breaker = self.breaker_for(url)
         delays = self.policy.delays()
         last: Optional[FetchError] = None
-        for attempt in range(self.policy.max_attempts):
-            if not breaker.allow():
-                self.stats.inc("breaker_rejections")
-                raise FetchError(f"circuit open for {url}", url=url, transient=False) from last
-            if attempt:
-                self.stats.inc("fetch_retries")
-                if self._sleep is not None:
-                    self._sleep(next(delays))
-                else:
-                    next(delays, None)
-            self.stats.inc("fetch_attempts")
-            try:
-                html = self.host.fetch(url)
-            except FetchError as exc:
-                breaker.record_failure()
-                last = exc
-                if not exc.transient:
-                    raise
-                continue
-            breaker.record_success()
-            return html
-        raise FetchError(
-            f"retries exhausted after {self.policy.max_attempts} attempts for {url}",
-            url=url,
-            transient=False,
-        ) from last
+        netloc = urlsplit(url).netloc or "<local>"
+        with self.tracer.span("fetch", url=url) as span:
+            for attempt in range(self.policy.max_attempts):
+                if not breaker.allow():
+                    self.stats.inc("breaker_rejections")
+                    span.record_error("circuit open")
+                    span.set_attribute("attempts", attempt)
+                    raise FetchError(
+                        f"circuit open for {url}", url=url, transient=False
+                    ) from last
+                if attempt:
+                    self.stats.inc("fetch_retries")
+                    self._retry_counter.inc(host=netloc)
+                    span.add_event("retry", attempt=attempt, error=str(last))
+                    if self._sleep is not None:
+                        self._sleep(next(delays))
+                    else:
+                        next(delays, None)
+                self.stats.inc("fetch_attempts")
+                start = time.perf_counter() if self._observing else 0.0
+                try:
+                    html = self.host.fetch(url)
+                except FetchError as exc:
+                    if self._observing:
+                        self._fetch_latency.observe(time.perf_counter() - start, host=netloc)
+                    breaker.record_failure()
+                    last = exc
+                    if not exc.transient:
+                        span.record_error(exc)
+                        span.set_attribute("attempts", attempt + 1)
+                        raise
+                    continue
+                if self._observing:
+                    self._fetch_latency.observe(time.perf_counter() - start, host=netloc)
+                breaker.record_success()
+                span.set_attribute("attempts", attempt + 1)
+                return html
+            span.record_error("retries exhausted")
+            span.set_attribute("attempts", self.policy.max_attempts)
+            raise FetchError(
+                f"retries exhausted after {self.policy.max_attempts} attempts for {url}",
+                url=url,
+                transient=False,
+            ) from last

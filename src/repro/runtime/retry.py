@@ -112,6 +112,7 @@ class CircuitBreaker:
         recovery_time: float = 10.0,
         clock: Optional[Callable[[], float]] = None,
         on_trip: Optional[Callable[[], None]] = None,
+        on_transition: Optional[Callable[[str, str], None]] = None,
     ) -> None:
         if failure_threshold < 1:
             raise ValueError("failure_threshold must be >= 1")
@@ -119,24 +120,31 @@ class CircuitBreaker:
         self.recovery_time = recovery_time
         self._clock = clock if clock is not None else StepClock()
         self._on_trip = on_trip
+        #: observer for every state change, called as ``(old_state, new_state)``.
+        self._on_transition = on_transition
         self.state = _CLOSED
         self.trips = 0
         self._consecutive_failures = 0
         self._opened_at = 0.0
+
+    def _set_state(self, new_state: str) -> None:
+        old_state, self.state = self.state, new_state
+        if old_state != new_state and self._on_transition is not None:
+            self._on_transition(old_state, new_state)
 
     # ------------------------------------------------------------------
     def allow(self) -> bool:
         """May a request proceed right now?"""
         if self.state == _OPEN:
             if self._clock() - self._opened_at >= self.recovery_time:
-                self.state = _HALF_OPEN
+                self._set_state(_HALF_OPEN)
                 return True
             return False
         return True
 
     def record_success(self) -> None:
         self._consecutive_failures = 0
-        self.state = _CLOSED
+        self._set_state(_CLOSED)
 
     def record_failure(self) -> None:
         self._consecutive_failures += 1
@@ -145,7 +153,7 @@ class CircuitBreaker:
 
     # ------------------------------------------------------------------
     def _trip(self) -> None:
-        self.state = _OPEN
+        self._set_state(_OPEN)
         self.trips += 1
         self._consecutive_failures = 0
         self._opened_at = self._clock()

@@ -1,0 +1,115 @@
+"""Exporters: span JSON-lines and Prometheus text round-trips."""
+
+import io
+import json
+import math
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    parse_prometheus_text,
+    render_prometheus,
+    write_prometheus,
+    write_spans_jsonl,
+    write_trace_jsonl,
+)
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        self.now += 1.0
+        return self.now
+
+
+def _traced():
+    tracer = Tracer(clock=FakeClock())
+    with tracer.span("outer", doc_id="page-1"):
+        with tracer.span("inner") as inner:
+            inner.add_event("retry", attempt=1)
+    tracer.event("orphan", host="a.example")
+    return tracer
+
+
+def test_write_spans_jsonl_one_object_per_line():
+    tracer = _traced()
+    buffer = io.StringIO()
+    written = write_spans_jsonl(tracer.spans, buffer)
+    lines = [json.loads(line) for line in buffer.getvalue().splitlines()]
+    assert written == len(lines) == 2
+    assert [record["name"] for record in lines] == ["inner", "outer"]
+    assert all(record["kind"] == "span" for record in lines)
+    inner = lines[0]
+    assert inner["parent_id"] == lines[1]["span_id"]
+    assert inner["events"][0]["name"] == "retry"
+
+
+def test_write_trace_jsonl_includes_orphan_events():
+    buffer = io.StringIO()
+    written = write_trace_jsonl(_traced(), buffer)
+    records = [json.loads(line) for line in buffer.getvalue().splitlines()]
+    assert written == 3
+    kinds = [record["kind"] for record in records]
+    assert kinds == ["span", "span", "event"]
+    assert records[-1]["name"] == "orphan"
+    assert records[-1]["attributes"] == {"host": "a.example"}
+
+
+def _registry():
+    registry = MetricsRegistry()
+    registry.counter("fetch_retries_total", help="retries per host").inc(
+        2, host="a.example"
+    )
+    registry.gauge("train_loss").set(0.25, split="dev")
+    histogram = registry.histogram("latency_seconds", buckets=(0.1, 1.0))
+    histogram.observe(0.05)
+    histogram.observe(5.0)
+    return registry
+
+
+def test_render_prometheus_shape():
+    text = render_prometheus(_registry().snapshot())
+    assert "# HELP fetch_retries_total retries per host" in text
+    assert "# TYPE fetch_retries_total counter" in text
+    assert 'fetch_retries_total{host="a.example"} 2' in text
+    assert 'train_loss{split="dev"} 0.25' in text
+    # Histogram buckets are cumulative, with the +Inf catch-all.
+    assert 'latency_seconds_bucket{le="0.1"} 1' in text
+    assert 'latency_seconds_bucket{le="1"} 1' in text
+    assert 'latency_seconds_bucket{le="+Inf"} 2' in text
+    assert "latency_seconds_sum 5.05" in text
+    assert "latency_seconds_count 2" in text
+
+
+def test_prometheus_round_trip():
+    buffer = io.StringIO()
+    write_prometheus(_registry().snapshot(), buffer)
+    samples = parse_prometheus_text(buffer.getvalue())
+    assert samples['fetch_retries_total{host="a.example"}'] == 2
+    assert samples['train_loss{split="dev"}'] == pytest.approx(0.25)
+    assert samples['latency_seconds_bucket{le="+Inf"}'] == 2
+    assert samples["latency_seconds_count"] == 2
+
+
+def test_parse_prometheus_handles_inf_and_rejects_garbage():
+    assert parse_prometheus_text('x_bucket{le="+Inf"} +Inf')[
+        'x_bucket{le="+Inf"}'
+    ] == math.inf
+    with pytest.raises(ValueError, match="bad value"):
+        parse_prometheus_text("series not-a-number")
+
+
+def test_label_values_are_escaped():
+    registry = MetricsRegistry()
+    registry.counter("c").inc(url='a"b\\c')
+    text = render_prometheus(registry.snapshot())
+    assert 'c{url="a\\"b\\\\c"} 1' in text
+
+
+def test_empty_snapshot_renders_empty():
+    assert render_prometheus(MetricsRegistry().snapshot()) == ""
+    assert parse_prometheus_text("") == {}

@@ -1,0 +1,98 @@
+"""ForwardProfiler: per-layer timing hooks install cleanly and remove fully."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.obs import ForwardProfiler
+
+
+class TinyBlock(nn.Module):
+    def __init__(self, rng) -> None:
+        super().__init__()
+        self.dense = nn.Dense(4, 4, rng=rng)
+
+    def forward(self, x):
+        return self.dense(x)
+
+
+class TinyNet(nn.Module):
+    def __init__(self, rng) -> None:
+        super().__init__()
+        self.block = TinyBlock(rng)
+        self.head = nn.Dense(4, 2, rng=rng)
+
+    def forward(self, x):
+        return self.head(self.block(x))
+
+
+def _net():
+    return TinyNet(np.random.default_rng(0))
+
+
+def test_profiler_attributes_calls_per_layer():
+    net = _net()
+    x = nn.Tensor(np.ones((1, 4)))
+    profiler = ForwardProfiler()
+    with profiler.install(net):
+        net(x)
+        net(x)
+    timings = profiler.timings
+    assert timings["model"].calls == 2
+    assert timings["model.block"].calls == 2
+    assert timings["model.block.dense"].calls == 2
+    assert timings["model.head"].calls == 2
+    # Inclusive timing: the root's time contains its children's.
+    assert timings["model"].seconds >= timings["model.block"].seconds
+
+
+def test_profiler_remove_restores_original_forward():
+    net = _net()
+    x = nn.Tensor(np.ones((1, 4)))
+    expected = net(x).data.copy()
+    profiler = ForwardProfiler()
+    profiler.install(net)
+    assert "forward" in net.__dict__  # instance shadow in place
+    profiler.remove()
+    assert "forward" not in net.__dict__
+    assert "forward" not in net.block.__dict__
+    np.testing.assert_allclose(net(x).data, expected)
+    assert not profiler.installed
+
+
+def test_profiler_output_unchanged_while_installed():
+    net = _net()
+    x = nn.Tensor(np.ones((1, 4)))
+    expected = net(x).data.copy()
+    with ForwardProfiler().install(net):
+        np.testing.assert_allclose(net(x).data, expected)
+
+
+def test_double_install_is_an_error():
+    net = _net()
+    profiler = ForwardProfiler()
+    profiler.install(net)
+    try:
+        with pytest.raises(RuntimeError, match="already installed"):
+            profiler.install(net)
+    finally:
+        profiler.remove()
+
+
+def test_by_class_rolls_up_and_fake_clock_is_deterministic():
+    ticks = iter(range(1000))
+    profiler = ForwardProfiler(clock=lambda: float(next(ticks)))
+    net = _net()
+    with profiler.install(net):
+        net(nn.Tensor(np.ones((1, 4))))
+    rollup = profiler.by_class()
+    assert rollup["Dense"].calls == 2  # block.dense + head
+    assert rollup["Dense"].seconds > 0
+    assert set(profiler.as_dict()) == {
+        "model",
+        "model.block",
+        "model.block.dense",
+        "model.head",
+    }
+    table = profiler.format()
+    assert "Dense" in table and "calls" in table

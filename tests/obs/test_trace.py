@@ -1,0 +1,126 @@
+"""Tracer/span behaviour under a fake clock (fully deterministic)."""
+
+import pytest
+
+from repro.obs import NOOP_SPAN, NOOP_TRACER, Tracer
+
+
+class FakeClock:
+    """Monotonic clock advancing a fixed step per call."""
+
+    def __init__(self, step: float = 1.0) -> None:
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self) -> float:
+        value = self.now
+        self.now += self.step
+        return value
+
+
+def test_span_nesting_records_parent_ids():
+    tracer = Tracer(clock=FakeClock())
+    with tracer.span("outer") as outer:
+        with tracer.span("middle") as middle:
+            with tracer.span("inner") as inner:
+                pass
+    assert outer.parent_id is None
+    assert middle.parent_id == outer.span_id
+    assert inner.parent_id == middle.span_id
+    # Children finish before parents.
+    assert [s.name for s in tracer.spans] == ["inner", "middle", "outer"]
+    assert len({s.span_id for s in tracer.spans}) == 3
+
+
+def test_siblings_share_a_parent():
+    tracer = Tracer(clock=FakeClock())
+    with tracer.span("batch") as batch:
+        with tracer.span("first") as first:
+            pass
+        with tracer.span("second") as second:
+            pass
+    assert first.parent_id == batch.span_id
+    assert second.parent_id == batch.span_id
+
+
+def test_fake_clock_makes_durations_deterministic():
+    tracer = Tracer(clock=FakeClock(step=1.0))
+    with tracer.span("work"):  # clock: start=0, __exit__ reads 1
+        pass
+    (span,) = tracer.spans
+    assert span.start == 0.0
+    assert span.duration == 1.0
+    assert span.finished
+
+
+def test_exception_flips_status_and_propagates():
+    tracer = Tracer(clock=FakeClock())
+    with pytest.raises(RuntimeError, match="boom"):
+        with tracer.span("fails"):
+            raise RuntimeError("boom")
+    (span,) = tracer.spans
+    assert span.status == "error"
+    assert span.error == "RuntimeError: boom"
+    assert span.finished  # finished even on the error path
+
+
+def test_record_error_without_raising():
+    tracer = Tracer(clock=FakeClock())
+    with tracer.span("degraded") as span:
+        span.record_error("render -> empty_brief")
+    assert tracer.spans[0].status == "error"
+    assert tracer.spans[0].error == "render -> empty_brief"
+
+
+def test_events_attach_to_active_span_or_tracer():
+    clock = FakeClock()
+    tracer = Tracer(clock=clock)
+    with tracer.span("fetch"):
+        tracer.event("retry", attempt=1)
+    tracer.event("breaker_transition", host="a.example")  # no active span
+    (span,) = tracer.spans
+    assert [(name, attrs) for _, name, attrs in span.events] == [("retry", {"attempt": 1})]
+    assert [(name, attrs) for _, name, attrs in tracer.orphan_events] == [
+        ("breaker_transition", {"host": "a.example"})
+    ]
+
+
+def test_attributes_at_creation_and_after():
+    tracer = Tracer(clock=FakeClock())
+    with tracer.span("brief", doc_id="page-3") as span:
+        span.set_attribute("cache_hits", 2)
+    assert tracer.spans[0].attributes == {"doc_id": "page-3", "cache_hits": 2}
+
+
+def test_clear_keeps_ids_monotonic():
+    tracer = Tracer(clock=FakeClock())
+    with tracer.span("first"):
+        pass
+    first_id = tracer.spans[0].span_id
+    tracer.clear()
+    assert tracer.spans == []
+    with tracer.span("second"):
+        pass
+    assert tracer.spans[0].span_id > first_id
+
+
+def test_noop_tracer_allocates_no_spans():
+    # The disabled path hands out the one shared singleton: no per-call
+    # allocation, nothing retained.
+    spans = [NOOP_TRACER.span("anything", key="value") for _ in range(3)]
+    assert all(span is NOOP_SPAN for span in spans)
+    with NOOP_TRACER.span("outer") as outer:
+        with NOOP_TRACER.span("inner") as inner:
+            assert outer is inner is NOOP_SPAN
+    NOOP_TRACER.event("ignored")
+    assert NOOP_TRACER.spans == ()
+    assert NOOP_TRACER.orphan_events == ()
+    assert not NOOP_TRACER.enabled
+
+
+def test_noop_span_api_is_chainable_and_inert():
+    assert NOOP_SPAN.set_attribute("k", 1) is NOOP_SPAN
+    assert NOOP_SPAN.add_event("e") is NOOP_SPAN
+    assert NOOP_SPAN.record_error(ValueError("x")) is NOOP_SPAN
+    assert NOOP_SPAN.attributes == {}
+    assert NOOP_SPAN.status == "ok"

@@ -81,3 +81,85 @@ def test_train_then_brief_roundtrip(tmp_path, capsys):
     ]) == 0
     out = capsys.readouterr().out
     assert "Topic:" in out
+
+
+def test_parser_obs_arguments_on_observable_commands():
+    for argv in (
+        ["brief", "page.html", "--trace", "t.jsonl", "--metrics", "m.prom"],
+        ["train", "--save", "m.npz", "--trace", "t.jsonl", "--metrics", "m.prom"],
+        ["health", "--trace", "t.jsonl", "--metrics", "m.prom"],
+        ["bench", "--trace", "t.jsonl", "--metrics", "m.prom"],
+        ["metrics", "--trace", "t.jsonl", "--metrics", "m.prom"],
+    ):
+        args = build_parser().parse_args(argv)
+        assert args.trace == "t.jsonl"
+        assert args.metrics == "m.prom"
+    # Defaults keep the no-op observability path.
+    args = build_parser().parse_args(["bench"])
+    assert args.trace is None and args.metrics is None
+
+
+def test_metrics_command_output_shape(capsys):
+    from repro.obs import parse_prometheus_text
+
+    assert main(["metrics"]) == 0
+    out = capsys.readouterr().out
+    samples = parse_prometheus_text(out)  # must be well-formed exposition text
+    assert samples['fetch_retries_total{host="metrics.example"}'] == 2
+    transitions = 'breaker_transitions_total{from="closed",host="metrics.example",to="open"}'
+    assert samples[transitions] == 1
+    assert samples['serving_cache_requests_total{result="hit"}'] == 1
+    assert samples['serving_cache_requests_total{result="miss"}'] == 2
+    assert samples["runtime_breaker_trips"] == 1
+    assert samples["runtime_fetch_retries"] == 2
+    # HELP/TYPE headers present for every family.
+    assert "# TYPE breaker_transitions_total counter" in out
+    assert "# HELP fetch_retries_total" in out
+
+
+def test_metrics_command_writes_trace_and_metrics_files(tmp_path, capsys):
+    import json
+
+    from repro.obs import parse_prometheus_text
+
+    trace_path = tmp_path / "trace.jsonl"
+    metrics_path = tmp_path / "metrics.prom"
+    assert main([
+        "metrics", "--trace", str(trace_path), "--metrics", str(metrics_path),
+    ]) == 0
+    capsys.readouterr()
+
+    records = [json.loads(line) for line in trace_path.read_text().splitlines()]
+    assert records, "trace file is empty"
+    names = {record["name"] for record in records if record["kind"] == "span"}
+    assert {"retry_demo", "breaker_demo", "cache_demo"} <= names
+    samples = parse_prometheus_text(metrics_path.read_text())
+    assert samples["runtime_fetch_attempts"] == 3
+
+
+def test_health_command_with_observability(tmp_path, capsys):
+    import json
+
+    from repro.obs import parse_prometheus_text
+
+    trace_path = tmp_path / "trace.jsonl"
+    metrics_path = tmp_path / "metrics.prom"
+    assert main([
+        "health", "--seed", "7", "--pages", "4",
+        "--trace", str(trace_path), "--metrics", str(metrics_path),
+    ]) == 0
+    capsys.readouterr()
+
+    records = [json.loads(line) for line in trace_path.read_text().splitlines()]
+    names = {record["name"] for record in records if record["kind"] == "span"}
+    assert {"crawl", "page", "fetch", "brief"} <= names
+    # One snapshot carries the retry / chaos / cache / degradation story
+    # (breaker families exist even when nothing tripped).
+    samples = parse_prometheus_text(metrics_path.read_text())
+    text = metrics_path.read_text()
+    assert samples["runtime_fetch_retries"] > 0
+    assert samples["runtime_faults_injected"] > 0
+    assert samples["runtime_cache_hits"] >= 1
+    assert samples["runtime_degradations"] >= 1
+    assert "# TYPE runtime_breaker_trips counter" in text
+    assert "# TYPE breaker_transitions_total counter" in text
