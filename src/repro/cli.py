@@ -26,7 +26,17 @@ Commands
     write docs/sec, latency percentiles, cache hit rate, per-stage timings
     and per-layer forward times to a JSON report.  ``--smoke`` runs a tiny
     corpus and exits nonzero if batched outputs diverge from sequential or
-    the cache never hits.
+    the cache never hits.  ``--concurrency N`` switches to the concurrent
+    serving comparison instead: per-request single-worker serving vs an
+    N-worker scheduler with micro-batching, throughput recorded per pool
+    size under the report's ``concurrency`` key.
+``serve-many [page.html ...] [--workers N]``
+    Brief many pages through the concurrent serving layer
+    (:class:`~repro.core.serving.ConcurrentBriefingPipeline`): bounded
+    admission queue, micro-batching scheduler, N briefing workers over
+    shared sharded caches.  With no files, synthesizes a ``--pages``-page
+    stream.  Prints one topic line per page plus the merged worker-pool
+    counters.
 ``metrics``
     Exercise the runtime (retries, a circuit breaker, the brief cache) with
     deterministic faults and print the resulting metrics registry in
@@ -108,7 +118,32 @@ def build_parser() -> argparse.ArgumentParser:
                        help="run batched inference under float32")
     bench.add_argument("--smoke", action="store_true",
                        help="tiny corpus; exit 1 on output mismatch or cold cache")
+    bench.add_argument("--concurrency", type=int, default=0, metavar="N",
+                       help="benchmark the concurrent serving layer with N workers "
+                            "instead of the sequential-vs-batched comparison")
+    bench.add_argument("--max-wait-ms", type=float, default=2.0,
+                       help="scheduler micro-batch straggler wait (concurrency mode)")
     _add_obs_args(bench)
+
+    serve = sub.add_parser(
+        "serve-many", help="brief many pages through the concurrent worker pool"
+    )
+    serve.add_argument("html_files", nargs="*",
+                       help="HTML files to brief (omit to synthesize --pages pages)")
+    serve.add_argument("--workers", type=int, default=2, help="worker pool size")
+    serve.add_argument("--pages", type=int, default=12,
+                       help="synthetic pages when no files are given")
+    serve.add_argument("--max-batch", type=int, default=8,
+                       help="micro-batch size the scheduler collects per dispatch")
+    serve.add_argument("--max-wait-ms", type=float, default=2.0,
+                       help="how long a worker waits for micro-batch stragglers")
+    serve.add_argument("--queue-size", type=int, default=256,
+                       help="bounded admission queue capacity (backpressure)")
+    serve.add_argument("--model", help="checkpoint saved by `repro train`")
+    serve.add_argument("--topics", type=int, default=3)
+    serve.add_argument("--epochs", type=int, default=10)
+    serve.add_argument("--seed", type=int, default=7)
+    _add_obs_args(serve)
 
     metrics = sub.add_parser(
         "metrics", help="exercise the runtime and print its Prometheus metrics"
@@ -297,10 +332,30 @@ def _command_health(args) -> int:
 
 
 def _command_bench(args) -> int:
-    from .core import run_serving_bench
+    from .core import run_concurrency_bench, run_serving_bench
 
     tracer, registry = _make_obs(args)
     num_pages = min(args.pages, 12) if args.smoke else args.pages
+    if args.concurrency:
+        result = run_concurrency_bench(
+            num_pages=num_pages,
+            seed=args.seed,
+            workers=args.concurrency,
+            max_batch=args.batch_size,
+            beam_size=args.beam_size,
+            max_wait_ms=args.max_wait_ms,
+            dtype=np.float32 if args.float32 else None,
+            output_path=args.output or None,
+        )
+        print(result.format())
+        if args.output:
+            print(f"\nwrote {args.output}")
+        _write_obs(args, tracer, registry)
+        if args.smoke:
+            ok = result.outputs_match and result.conserved and not result.queue_rejections
+            print(f"smoke: {'ok' if ok else 'FAILED'}")
+            return 0 if ok else 1
+        return 0
     result = run_serving_bench(
         num_pages=num_pages,
         seed=args.seed,
@@ -319,6 +374,66 @@ def _command_bench(args) -> int:
         ok = result.outputs_match and result.cache_hit_rate > 0
         print(f"smoke: {'ok' if ok else 'FAILED'}")
         return 0 if ok else 1
+    return 0
+
+
+def _command_serve_many(args) -> int:
+    from .core import ConcurrentBriefingPipeline
+    from .core.bench import synthesize_serving_corpus
+
+    observe = bool(getattr(args, "trace", None) or getattr(args, "metrics", None))
+    corpus, _, model = _build_model(args.topics, 6, args.seed)
+    if args.model:
+        model.load(args.model)
+    else:
+        print("No checkpoint given; training a small model first...", file=sys.stderr)
+        _train(model, corpus, args.epochs, args.seed)
+
+    if args.html_files:
+        pages = []
+        for path in args.html_files:
+            with open(path) as handle:
+                pages.append((path, handle.read()))
+    else:
+        pages = synthesize_serving_corpus(args.pages, seed=args.seed)
+
+    server = ConcurrentBriefingPipeline(
+        model,
+        num_workers=args.workers,
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        max_queue=args.queue_size,
+        observe=observe,
+    )
+    briefs = server.brief_many(pages)
+    server.shutdown()
+
+    for (doc_id, _), brief in zip(pages, briefs):
+        topic = " ".join(brief.topic) or "(empty)"
+        line = f"{doc_id}: {topic}"
+        if not brief.complete:
+            line += f"   [degraded: {', '.join(brief.degraded_stages)}]"
+        print(line)
+    merged = server.merged_stats()
+    print(f"\nworkers: {server.num_workers}   "
+          f"batches: {merged.batches_dispatched}   "
+          f"cache: {merged.cache_hits} hits / {merged.cache_misses} misses   "
+          f"rejections: {merged.queue_rejections}   "
+          f"degradations: {merged.degradations}")
+
+    if getattr(args, "trace", None):
+        from .obs import write_spans_jsonl
+
+        spans = server.trace_spans()
+        with open(args.trace, "w") as handle:
+            written = write_spans_jsonl(spans, handle)
+        print(f"wrote {written} spans to {args.trace}", file=sys.stderr)
+    if getattr(args, "metrics", None):
+        from .obs import write_prometheus
+
+        with open(args.metrics, "w") as handle:
+            write_prometheus(server.metrics_snapshot(), handle)
+        print(f"wrote metrics snapshot to {args.metrics}", file=sys.stderr)
     return 0
 
 
@@ -394,6 +509,7 @@ _COMMANDS = {
     "tables": _command_tables,
     "health": _command_health,
     "bench": _command_bench,
+    "serve-many": _command_serve_many,
     "metrics": _command_metrics,
 }
 

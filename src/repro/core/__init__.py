@@ -1,7 +1,13 @@
 """``repro.core`` — the WB task API: briefing, training, evaluation, stats."""
 
 from .batched import BatchedBriefingPipeline, BriefCache, content_hash
-from .bench import BenchResult, run_serving_bench, synthesize_serving_corpus
+from .bench import (
+    BenchResult,
+    ConcurrencyBenchResult,
+    run_concurrency_bench,
+    run_serving_bench,
+    synthesize_serving_corpus,
+)
 from .briefing import Brief, Degradation, PartialBrief
 from .evaluation import (
     ExtractionMetrics,
@@ -15,6 +21,12 @@ from .evaluation import (
 from .hierarchy import HierarchicalBrief, HierarchicalBriefer, train_name_classifier
 from .human_eval import PanelResult, human_evaluation, simulate_ratings, underlying_quality
 from .pipeline import BriefingPipeline, document_from_raw_html
+from .serving import (
+    ConcurrentBriefingPipeline,
+    RequestScheduler,
+    ShardedBriefCache,
+    WorkerPool,
+)
 from .significance import ModelComparison, compare_generation_models
 from .sensitivity import MixtureResult, content_sensitivity, make_mixture, topic_affinity
 from .stats import McNemarResult, cohen_kappa, mcnemar, pairwise_kappa_summary
@@ -32,9 +44,15 @@ __all__ = [
     "BriefingPipeline",
     "BatchedBriefingPipeline",
     "BriefCache",
+    "ShardedBriefCache",
+    "RequestScheduler",
+    "WorkerPool",
+    "ConcurrentBriefingPipeline",
     "content_hash",
     "BenchResult",
+    "ConcurrencyBenchResult",
     "run_serving_bench",
+    "run_concurrency_bench",
     "synthesize_serving_corpus",
     "document_from_raw_html",
     "ExtractionMetrics",

@@ -27,6 +27,7 @@ degradation ladder for that batch.
 from __future__ import annotations
 
 import hashlib
+import threading
 import time
 from collections import OrderedDict
 from contextlib import nullcontext
@@ -72,6 +73,14 @@ class BriefCache:
     matches a stored entry but whose content differs counts as a miss, so a
     weak (or adversarial) ``hash_fn`` can cost performance but never serves
     the wrong page's value.  ``capacity=0`` disables the cache entirely.
+
+    Every operation (including the hit/miss counters) runs under one
+    per-instance lock, so a cache shared by concurrent serving workers stays
+    consistent: the LRU ``move_to_end``/evict pair can otherwise race an
+    eviction and raise ``KeyError``, and the ``+=`` counter updates silently
+    lose increments.  For a pool under real contention, prefer
+    :class:`repro.core.serving.ShardedBriefCache`, which stripes this lock
+    across hash-picked shards.
     """
 
     def __init__(self, capacity: int, hash_fn: Optional[Callable[[str], Hashable]] = None) -> None:
@@ -82,38 +91,46 @@ class BriefCache:
         #: lookups served from the cache / lookups that fell through.
         self.hits = 0
         self.misses = 0
+        self._lock = threading.Lock()
         self._entries: "OrderedDict[Hashable, Tuple[str, object]]" = OrderedDict()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, content: str) -> bool:
-        entry = self._entries.get(self.hash_fn(content))
-        return entry is not None and entry[0] == content
+        key = self.hash_fn(content)
+        with self._lock:
+            entry = self._entries.get(key)
+            return entry is not None and entry[0] == content
 
     def keys(self) -> List[Hashable]:
         """Cache keys, least- to most-recently used (for tests/introspection)."""
-        return list(self._entries)
+        with self._lock:
+            return list(self._entries)
 
     def get(self, content: str):
         """Value cached for ``content``, or ``None``; refreshes recency."""
         key = self.hash_fn(content)
-        entry = self._entries.get(key)
-        if entry is None or entry[0] != content:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return entry[1]
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None or entry[0] != content:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry[1]
 
     def put(self, content: str, value) -> None:
         """Insert (or refresh) an entry, evicting the least recently used."""
         if self.capacity == 0:
             return
-        self._entries[self.hash_fn(content)] = (content, value)
-        self._entries.move_to_end(self.hash_fn(content))
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
+        key = self.hash_fn(content)
+        with self._lock:
+            self._entries[key] = (content, value)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
 
 
 class BatchedBriefingPipeline:
@@ -139,6 +156,8 @@ class BatchedBriefingPipeline:
         dtype=None,
         tracer=None,
         registry=None,
+        brief_cache=None,
+        render_cache=None,
     ) -> None:
         self.model = model
         self.beam_size = beam_size
@@ -159,8 +178,16 @@ class BatchedBriefingPipeline:
             help="pages per brief_many call",
             buckets=(1, 2, 4, 8, 16, 32, 64, 128, 256),
         )
-        self.brief_cache = BriefCache(brief_cache_size, hash_fn=hash_fn)
-        self.render_cache = BriefCache(render_cache_size, hash_fn=hash_fn)
+        # Pre-built caches (e.g. the sharded, lock-striped ones shared by a
+        # worker pool) take precedence over the size knobs.
+        self.brief_cache = (
+            brief_cache if brief_cache is not None else BriefCache(brief_cache_size, hash_fn=hash_fn)
+        )
+        self.render_cache = (
+            render_cache
+            if render_cache is not None
+            else BriefCache(render_cache_size, hash_fn=hash_fn)
+        )
         self._fallback = BriefingPipeline(
             model,
             beam_size=beam_size,

@@ -30,7 +30,13 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-__all__ = ["BenchResult", "run_serving_bench", "synthesize_serving_corpus"]
+__all__ = [
+    "BenchResult",
+    "ConcurrencyBenchResult",
+    "run_serving_bench",
+    "run_concurrency_bench",
+    "synthesize_serving_corpus",
+]
 
 
 def synthesize_serving_corpus(
@@ -371,6 +377,252 @@ def run_serving_bench(
         phases=phases,
         layers=layers,
         observability_overhead=overhead,
+    )
+    if output_path is not None:
+        result.save(output_path)
+    return result
+
+
+# ----------------------------------------------------------------------
+# Concurrent serving benchmark (repro bench --concurrency N)
+# ----------------------------------------------------------------------
+@dataclass
+class ConcurrencyBenchResult:
+    """Throughput-vs-workers for the concurrent serving layer.
+
+    The baseline is a *single worker serving the stream one request at a
+    time* through the per-request :class:`BriefingPipeline` — no
+    cross-request micro-batching, no serving-layer caches; what a
+    deployment gets by pointing a request stream at ``brief_html`` before
+    this subsystem existed.  The same timed loop doubles as the output
+    ground truth.  ``per_request_batched_*`` records the intermediate
+    option for transparency: single-worker ``brief_many`` fed one request
+    per call, which keeps the content cache but still can't batch across
+    requests.  The concurrent side submits the same stream to a
+    :class:`~repro.core.serving.ConcurrentBriefingPipeline`, whose
+    scheduler coalesces concurrent requests into micro-batches for
+    ``predict_batch``, so ``speedup`` measures the serving layer as a
+    whole (micro-batching + sharded cache + single-flight dedup).
+    ``outputs_match`` compares every concurrent run (all worker counts)
+    against the sequential ground truth; ``conserved`` checks
+    ``cache_hits + cache_misses == num_pages`` for every run — the
+    invariant the determinism test harness enforces.
+    """
+
+    num_pages: int
+    unique_pages: int
+    workers: int
+    max_batch: int
+    single_worker_seconds: float
+    single_worker_docs_per_second: float
+    per_request_batched_seconds: float
+    per_request_batched_docs_per_second: float
+    concurrent_seconds: float
+    concurrent_docs_per_second: float
+    speedup: float
+    #: docs/sec with micro-batching at each pool size, e.g. {1: ..., 2: ...}.
+    throughput_by_workers: Dict[int, float] = field(default_factory=dict)
+    outputs_match: bool = True
+    mismatches: List[str] = field(default_factory=list)
+    cache_hits: int = 0
+    cache_misses: int = 0
+    conserved: bool = True
+    queue_rejections: int = 0
+    batches_dispatched: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "num_pages": self.num_pages,
+            "unique_pages": self.unique_pages,
+            "workers": self.workers,
+            "max_batch": self.max_batch,
+            "single_worker": {
+                "seconds": self.single_worker_seconds,
+                "docs_per_second": self.single_worker_docs_per_second,
+            },
+            "per_request_batched": {
+                "seconds": self.per_request_batched_seconds,
+                "docs_per_second": self.per_request_batched_docs_per_second,
+            },
+            "concurrent": {
+                "seconds": self.concurrent_seconds,
+                "docs_per_second": self.concurrent_docs_per_second,
+            },
+            "speedup": self.speedup,
+            "throughput_by_workers": {
+                str(workers): rate for workers, rate in sorted(self.throughput_by_workers.items())
+            },
+            "outputs_match": self.outputs_match,
+            "mismatches": list(self.mismatches),
+            "cache": {
+                "hits": self.cache_hits,
+                "misses": self.cache_misses,
+                "conserved": self.conserved,
+            },
+            "queue_rejections": self.queue_rejections,
+            "batches_dispatched": self.batches_dispatched,
+        }
+
+    def save(self, path: str) -> None:
+        """Merge this run under ``"concurrency"`` in the JSON report.
+
+        ``repro bench`` and ``repro bench --concurrency N`` share
+        ``BENCH_serving.json``; merging (rather than overwriting) lets the
+        two modes coexist in one report.
+        """
+        try:
+            with open(path) as handle:
+                report = json.load(handle)
+            if not isinstance(report, dict):
+                report = {}
+        except (OSError, ValueError):
+            report = {}
+        report["concurrency"] = self.to_dict()
+        with open(path, "w") as handle:
+            json.dump(report, handle, indent=2)
+            handle.write("\n")
+
+    def format(self) -> str:
+        lines = [
+            f"pages: {self.num_pages} ({self.unique_pages} unique), "
+            f"max_batch {self.max_batch}",
+            f"single worker (per-request pipeline): "
+            f"{self.single_worker_docs_per_second:6.2f} docs/s",
+            f"single worker (brief_many, batches of one): "
+            f"{self.per_request_batched_docs_per_second:6.2f} docs/s",
+            f"concurrent ({self.workers} workers, micro-batched): "
+            f"{self.concurrent_docs_per_second:6.2f} docs/s",
+            f"speedup: {self.speedup:.2f}x",
+            "throughput by workers:",
+        ]
+        for workers, rate in sorted(self.throughput_by_workers.items()):
+            lines.append(f"  {workers:>2} workers: {rate:6.2f} docs/s")
+        lines.append(
+            f"cache: {self.cache_hits} hits / {self.cache_misses} misses "
+            f"(conserved: {self.conserved})   "
+            f"rejections: {self.queue_rejections}   "
+            f"batches: {self.batches_dispatched}"
+        )
+        lines.append(
+            f"outputs match: {self.outputs_match}"
+            + (f" ({len(self.mismatches)} mismatches)" if self.mismatches else "")
+        )
+        return "\n".join(lines)
+
+
+def _briefs_differ(left, right) -> bool:
+    return (
+        left.topic != right.topic
+        or left.attributes != right.attributes
+        or left.informative_sentences != right.informative_sentences
+    )
+
+
+def run_concurrency_bench(
+    num_pages: int = 64,
+    seed: int = 7,
+    workers: int = 4,
+    max_batch: int = 16,
+    beam_size: int = 2,
+    max_wait_ms: float = 2.0,
+    duplicate_fraction: float = 0.25,
+    dtype=None,
+    output_path: Optional[str] = None,
+    model=None,
+) -> ConcurrencyBenchResult:
+    """Benchmark concurrent serving against per-request single-worker serving.
+
+    Times three things on the same synthesized stream: the sequential
+    :class:`BriefingPipeline` loop (the throughput baseline *and* the
+    output ground truth — one request at a time, no serving layer), a
+    single-threaded per-request ``brief_many`` loop (recorded for
+    transparency), and a :class:`~repro.core.serving.ConcurrentBriefingPipeline`
+    at pool sizes ``{1, 2, workers}``.  Every concurrent run's briefs must
+    be bit-identical to the sequential ground truth and conserve
+    ``cache_hits + cache_misses == num_pages``.
+    """
+    from .batched import BatchedBriefingPipeline
+    from .pipeline import BriefingPipeline
+    from .serving import ConcurrentBriefingPipeline
+
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    pages = synthesize_serving_corpus(
+        num_pages, seed=seed, duplicate_fraction=duplicate_fraction
+    )
+    unique_pages = len({html for _, html in pages})
+    if model is None:
+        model = _build_bench_model(topics=2, pages=3, seed=seed)
+
+    # Baseline: one worker, one request at a time through the per-request
+    # pipeline — the pre-serving-layer deployment.  Doubles as ground truth.
+    sequential = BriefingPipeline(model, beam_size=beam_size)
+    start = time.perf_counter()
+    expected = [sequential.brief_html(html, doc_id=doc_id) for doc_id, html in pages]
+    single_seconds = time.perf_counter() - start
+
+    # Transparency figure: brief_many fed one request per call keeps the
+    # content cache but still can't micro-batch across requests.
+    single = BatchedBriefingPipeline(model, beam_size=beam_size, batch_size=1, dtype=dtype)
+    start = time.perf_counter()
+    for doc_id, html in pages:
+        single.brief_many([(doc_id, html)])
+    per_request_seconds = time.perf_counter() - start
+
+    mismatches: List[str] = []
+    conserved = True
+    throughput: Dict[int, float] = {}
+    queue_rejections = 0
+    batches_dispatched = 0
+    cache_hits = cache_misses = 0
+    concurrent_seconds = float("nan")
+    for pool_size in sorted({1, min(2, workers), workers}):
+        server = ConcurrentBriefingPipeline(
+            model,
+            num_workers=pool_size,
+            beam_size=beam_size,
+            max_batch=max_batch,
+            max_wait_ms=max_wait_ms,
+            max_queue=max(2 * len(pages), 64),
+            dtype=dtype,
+        )
+        start = time.perf_counter()
+        briefs = server.brief_many(pages)
+        elapsed = time.perf_counter() - start
+        server.shutdown()
+        throughput[pool_size] = len(pages) / elapsed
+        merged = server.merged_stats()
+        if merged.cache_hits + merged.cache_misses != len(pages):
+            conserved = False
+        for (doc_id, _), left, right in zip(pages, expected, briefs):
+            if _briefs_differ(left, right):
+                mismatches.append(f"workers={pool_size}:{doc_id}")
+        if pool_size == workers:
+            concurrent_seconds = elapsed
+            cache_hits, cache_misses = merged.cache_hits, merged.cache_misses
+            queue_rejections = merged.queue_rejections
+            batches_dispatched = merged.batches_dispatched
+
+    result = ConcurrencyBenchResult(
+        num_pages=len(pages),
+        unique_pages=unique_pages,
+        workers=workers,
+        max_batch=max_batch,
+        single_worker_seconds=single_seconds,
+        single_worker_docs_per_second=len(pages) / single_seconds,
+        per_request_batched_seconds=per_request_seconds,
+        per_request_batched_docs_per_second=len(pages) / per_request_seconds,
+        concurrent_seconds=concurrent_seconds,
+        concurrent_docs_per_second=len(pages) / concurrent_seconds,
+        speedup=single_seconds / concurrent_seconds,
+        throughput_by_workers=throughput,
+        outputs_match=not mismatches,
+        mismatches=mismatches,
+        cache_hits=cache_hits,
+        cache_misses=cache_misses,
+        conserved=conserved,
+        queue_rejections=queue_rejections,
+        batches_dispatched=batches_dispatched,
     )
     if output_path is not None:
         result.save(output_path)

@@ -1,0 +1,578 @@
+"""Concurrent serving: sharded caches, a micro-batching scheduler, worker pool.
+
+This module scales :class:`~repro.core.batched.BatchedBriefingPipeline` from
+one thread to a pool, without giving up the two contracts the serving stack
+already guarantees: *never raise* (faults degrade to
+:class:`~repro.core.briefing.PartialBrief`) and *bit-identical outputs*
+(concurrent briefs match the sequential pipeline's exactly — the test suite's
+``DeterminismHarness`` proves worker-count invariance).
+
+Layers, bottom up:
+
+* :class:`ShardedBriefCache` — the LRU brief/render cache split into
+  lock-striped shards (per-shard ``threading.Lock``, shard picked by content
+  hash), so concurrent cache hits touch different locks instead of
+  serialising the whole pool behind one.
+* :class:`RequestScheduler` — a bounded admission queue with micro-batching:
+  a worker asking for work receives up to ``max_batch`` pending requests,
+  waiting at most ``max_wait_ms`` for stragglers, so one
+  ``predict_batch`` call amortises the encoder across concurrent requests.
+  A full queue rejects with :class:`~repro.runtime.errors.QueueFull`
+  (backpressure); ``close()`` starts a clean drain — queued work is always
+  served, new work is rejected, workers exit once the queue is empty.
+* :class:`WorkerPool` — N briefing workers over *shared read-only model
+  weights* and the shared caches, each with its **own**
+  :class:`~repro.runtime.stats.RuntimeStats`, tracer and metrics registry
+  (none of which are thread-safe to share); the per-worker state merges on
+  read via ``RuntimeStats.merge`` and the associative
+  :meth:`~repro.obs.metrics.MetricsSnapshot.merge`.
+* :class:`ConcurrentBriefingPipeline` — the facade: thread-safe
+  ``submit``/``brief_many``, front-door cache hits (served without touching
+  the queue), and a single-flight in-flight map so concurrent requests for
+  the same content run the model exactly once — followers wait on the
+  leader's future and receive defensive copies.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from typing import Callable, Dict, Hashable, Iterable, List, Optional
+
+from ..models.joint_wb import JointWBModel
+from ..obs import NOOP_REGISTRY, NOOP_TRACER, MetricsRegistry, MetricsSnapshot, Tracer
+from ..runtime.errors import QueueFull
+from ..runtime.stats import RuntimeStats
+from .batched import BatchedBriefingPipeline, BriefCache, Page, _copy_brief
+from .briefing import Degradation, PartialBrief
+from .pipeline import _reason
+
+__all__ = [
+    "ShardedBriefCache",
+    "RequestScheduler",
+    "WorkerPool",
+    "ConcurrentBriefingPipeline",
+]
+
+
+class ShardedBriefCache:
+    """A :class:`BriefCache` striped across ``num_shards`` locked shards.
+
+    Each shard is an ordinary ``BriefCache`` (which carries its own lock);
+    the shard for a piece of content is picked by hashing the content, so
+    two concurrent lookups for different pages almost always take different
+    locks.  The per-shard LRU means eviction order is *per shard* rather
+    than global — with capacity split evenly this changes which entry is
+    evicted under pressure, never correctness (a miss just recomputes).
+
+    The cache-level ``hits``/``misses`` totals sum the shard counters, so
+    the external counter contract matches ``BriefCache``.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        num_shards: int = 8,
+        hash_fn: Optional[Callable[[str], Hashable]] = None,
+    ) -> None:
+        if capacity < 0:
+            raise ValueError(f"cache capacity must be >= 0, got {capacity}")
+        if num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+        self.capacity = capacity
+        self.num_shards = num_shards
+        # Ceil-split so total shard capacity is never below the requested
+        # capacity; capacity=0 keeps every shard disabled.
+        per_shard = -(-capacity // num_shards) if capacity else 0
+        self._shards = [BriefCache(per_shard, hash_fn=hash_fn) for _ in range(num_shards)]
+
+    def _shard(self, content: str) -> BriefCache:
+        # Python's str hash is salted per process but stable within it, which
+        # is all shard picking needs (no cross-process key stability).
+        return self._shards[hash(content) % self.num_shards]
+
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self._shards)
+
+    def __contains__(self, content: str) -> bool:
+        return content in self._shard(content)
+
+    @property
+    def hits(self) -> int:
+        return sum(shard.hits for shard in self._shards)
+
+    @property
+    def misses(self) -> int:
+        return sum(shard.misses for shard in self._shards)
+
+    def keys(self) -> List[Hashable]:
+        """All cached keys, grouped by shard (for tests/introspection)."""
+        keys: List[Hashable] = []
+        for shard in self._shards:
+            keys.extend(shard.keys())
+        return keys
+
+    def get(self, content: str):
+        return self._shard(content).get(content)
+
+    def put(self, content: str, value) -> None:
+        self._shard(content).put(content, value)
+
+
+class RequestScheduler:
+    """Bounded admission queue with micro-batching and drain-on-close.
+
+    ``submit`` enqueues one request (any object) or raises
+    :class:`~repro.runtime.errors.QueueFull` when the queue holds
+    ``max_queue`` pending requests or the scheduler is closed — backpressure
+    instead of unbounded memory.  ``next_batch`` is the worker side: it
+    blocks for work, then collects up to ``max_batch`` requests, waiting at
+    most ``max_wait_ms`` for stragglers once it holds at least one, and
+    returns the batch.  After :meth:`close`, queued requests keep being
+    handed out (a drain never drops admitted work) and ``next_batch``
+    returns ``None`` once the queue is empty — the worker exit signal.
+
+    ``clock`` is any zero-argument monotonic callable (default
+    ``time.monotonic``); inject a fake one to make the ``max_wait_ms`` flush
+    deterministic in tests, mirroring :class:`repro.obs.trace.Tracer`.
+    """
+
+    def __init__(
+        self,
+        max_queue: int = 256,
+        max_batch: int = 8,
+        max_wait_ms: float = 2.0,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        if max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got {max_queue}")
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if max_wait_ms < 0:
+            raise ValueError(f"max_wait_ms must be >= 0, got {max_wait_ms}")
+        self.max_queue = max_queue
+        self.max_batch = max_batch
+        self.max_wait_ms = max_wait_ms
+        self._clock = clock if clock is not None else time.monotonic
+        self._items: deque = deque()
+        self._cond = threading.Condition()
+        self._closed = False
+
+    @property
+    def depth(self) -> int:
+        """Requests currently queued (admitted, not yet handed to a worker)."""
+        with self._cond:
+            return len(self._items)
+
+    @property
+    def closed(self) -> bool:
+        with self._cond:
+            return self._closed
+
+    def submit(self, request) -> None:
+        """Admit one request, or raise :class:`QueueFull` (backpressure)."""
+        with self._cond:
+            if self._closed:
+                raise QueueFull("scheduler is shut down")
+            if len(self._items) >= self.max_queue:
+                raise QueueFull(f"admission queue full ({self.max_queue} pending)")
+            self._items.append(request)
+            self._cond.notify()
+
+    def next_batch(self) -> Optional[list]:
+        """Block for the next micro-batch; ``None`` once closed and drained."""
+        with self._cond:
+            while not self._items:
+                if self._closed:
+                    return None
+                self._cond.wait(timeout=0.1)
+            batch = [self._items.popleft()]
+            if self.max_batch == 1:
+                return batch
+            deadline = self._clock() + self.max_wait_ms / 1000.0
+            while len(batch) < self.max_batch:
+                if self._items:
+                    batch.append(self._items.popleft())
+                    continue
+                if self._closed:
+                    break  # draining — no stragglers are coming
+                remaining = deadline - self._clock()
+                if remaining <= 0:
+                    break
+                # Bounded real wait even under a fake clock: poll in small
+                # slices and re-check the (possibly injected) deadline.
+                self._cond.wait(timeout=min(remaining, 0.05))
+                if not self._items and self._clock() >= deadline:
+                    break
+            return batch
+
+    def close(self) -> None:
+        """Stop admitting; wake every waiter so workers can drain and exit."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+
+class _Request:
+    """One admitted briefing request: payload plus its resolution future."""
+
+    __slots__ = ("doc_id", "html", "future")
+
+    def __init__(self, doc_id: str, html: str, future: "Future[PartialBrief]") -> None:
+        self.doc_id = doc_id
+        self.html = html
+        self.future = future
+
+
+class _Worker:
+    """One pool member: a private pipeline plus private observability state."""
+
+    __slots__ = ("index", "pipeline", "stats", "tracer", "registry", "thread")
+
+    def __init__(self, index: int, pipeline: BatchedBriefingPipeline, stats: RuntimeStats,
+                 tracer, registry) -> None:
+        self.index = index
+        self.pipeline = pipeline
+        self.stats = stats
+        self.tracer = tracer
+        self.registry = registry
+        self.thread: Optional[threading.Thread] = None
+
+
+class WorkerPool:
+    """N briefing workers draining one :class:`RequestScheduler`.
+
+    All workers share the (read-only) model weights and the sharded caches;
+    everything mutable — ``RuntimeStats``, tracer, metrics registry, the
+    fallback pipeline — is per-worker, because none of those are safe to
+    share across threads.  ``merged_stats()`` / ``metrics_snapshot()`` /
+    ``trace_spans()`` combine the per-worker state on read (metric merging
+    is associative, so the result is worker-order independent).
+    """
+
+    def __init__(
+        self,
+        model: JointWBModel,
+        scheduler: RequestScheduler,
+        num_workers: int = 2,
+        *,
+        beam_size: int = 4,
+        batch_size: int = 8,
+        brief_cache=None,
+        render_cache=None,
+        hash_fn: Optional[Callable[[str], Hashable]] = None,
+        dtype=None,
+        observe: bool = False,
+    ) -> None:
+        if num_workers < 1:
+            raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+        self.scheduler = scheduler
+        self.observe = observe
+        self._workers: List[_Worker] = []
+        for index in range(num_workers):
+            stats = RuntimeStats()
+            tracer = Tracer() if observe else NOOP_TRACER
+            registry = MetricsRegistry() if observe else NOOP_REGISTRY
+            pipeline = BatchedBriefingPipeline(
+                model,
+                beam_size=beam_size,
+                stats=stats,
+                batch_size=batch_size,
+                hash_fn=hash_fn,
+                dtype=dtype,
+                tracer=tracer,
+                registry=registry,
+                brief_cache=brief_cache,
+                render_cache=render_cache,
+            )
+            self._workers.append(_Worker(index, pipeline, stats, tracer, registry))
+
+    @property
+    def num_workers(self) -> int:
+        return len(self._workers)
+
+    def start(self) -> None:
+        """Spawn one daemon thread per worker (idempotent)."""
+        for worker in self._workers:
+            if worker.thread is not None:
+                continue
+            thread = threading.Thread(
+                target=self._run, args=(worker,), name=f"brief-worker-{worker.index}",
+                daemon=True,
+            )
+            worker.thread = thread
+            thread.start()
+
+    def join(self, timeout: Optional[float] = None) -> None:
+        """Wait for every started worker to exit (scheduler must be closed)."""
+        for worker in self._workers:
+            if worker.thread is not None:
+                worker.thread.join(timeout=timeout)
+
+    def _run(self, worker: _Worker) -> None:
+        while True:
+            batch: Optional[List[_Request]] = self.scheduler.next_batch()
+            if batch is None:
+                return
+            worker.stats.inc("batches_dispatched")
+            pages = [(request.doc_id, request.html) for request in batch]
+            try:
+                briefs = worker.pipeline.brief_many(pages)
+            except BaseException as exc:  # brief_many never raises; last resort
+                briefs = [
+                    PartialBrief(
+                        topic=[],
+                        attributes=[],
+                        degradations=[Degradation("serve", "empty_brief", _reason(exc))],
+                    )
+                    for _ in batch
+                ]
+            for request, brief in zip(batch, briefs):
+                request.future.set_result(brief)
+
+    # ------------------------------------------------------------------
+    def merged_stats(self) -> RuntimeStats:
+        """Element-wise sum of every worker's counters."""
+        merged = RuntimeStats()
+        for worker in self._workers:
+            merged = merged.merge(worker.stats)
+        return merged
+
+    def metrics_snapshot(self) -> MetricsSnapshot:
+        """Associative merge of every worker's registry snapshot."""
+        merged = MetricsSnapshot()
+        for worker in self._workers:
+            merged = merged.merge(worker.registry.snapshot())
+        return merged
+
+    def trace_spans(self) -> list:
+        """Finished spans from every worker tracer (ids unique per worker)."""
+        spans = []
+        for worker in self._workers:
+            for span in worker.tracer.spans:
+                span.attributes.setdefault("worker", worker.index)
+                spans.append(span)
+        return spans
+
+
+class _Flight:
+    """Single-flight record: the leader's future plus waiting followers."""
+
+    __slots__ = ("leader", "followers")
+
+    def __init__(self, leader: "Future[PartialBrief]") -> None:
+        self.leader = leader
+        self.followers: List["Future[PartialBrief]"] = []
+
+
+class ConcurrentBriefingPipeline:
+    """Thread-safe HTML → brief serving over a scheduler + worker pool.
+
+    Drop-in for :meth:`BatchedBriefingPipeline.brief_many` semantics —
+    results align with input order, faults degrade, nothing raises — but
+    requests may be served by any of ``num_workers`` threads, coalesced into
+    micro-batches by the scheduler, and deduplicated in flight: while one
+    request for a page is being computed, further requests for the same
+    content wait on the first one's future instead of re-running the model.
+
+    Request lifecycle::
+
+        submit(html) ──▶ brief cache? ──hit──▶ resolved future (copy)
+                           │ miss
+                           ▼
+                        in-flight? ──yes──▶ follower future (copy on publish)
+                           │ no (leader)
+                           ▼
+                        scheduler.submit ──QueueFull──▶ degraded PartialBrief
+                           │ admitted
+                           ▼
+                        worker micro-batch ─▶ brief_many ─▶ future resolved
+
+    ``submit`` never blocks and the returned future always completes, so
+    ``brief_many`` (submit all, then wait) cannot deadlock.  Use as a
+    context manager, or call :meth:`shutdown` — close admission, drain the
+    queue, join the workers.
+    """
+
+    def __init__(
+        self,
+        model: JointWBModel,
+        num_workers: int = 2,
+        *,
+        beam_size: int = 4,
+        max_batch: int = 8,
+        max_wait_ms: float = 2.0,
+        max_queue: int = 256,
+        brief_cache_size: int = 256,
+        render_cache_size: int = 256,
+        num_shards: int = 8,
+        hash_fn: Optional[Callable[[str], Hashable]] = None,
+        dtype=None,
+        stats: Optional[RuntimeStats] = None,
+        observe: bool = False,
+        clock: Optional[Callable[[], float]] = None,
+        start: bool = True,
+    ) -> None:
+        self.stats = stats if stats is not None else RuntimeStats()
+        self.brief_cache = ShardedBriefCache(brief_cache_size, num_shards, hash_fn=hash_fn)
+        self.render_cache = ShardedBriefCache(render_cache_size, num_shards, hash_fn=hash_fn)
+        self.scheduler = RequestScheduler(
+            max_queue=max_queue, max_batch=max_batch, max_wait_ms=max_wait_ms, clock=clock
+        )
+        self.pool = WorkerPool(
+            model,
+            self.scheduler,
+            num_workers,
+            beam_size=beam_size,
+            batch_size=max_batch,
+            brief_cache=self.brief_cache,
+            render_cache=self.render_cache,
+            hash_fn=hash_fn,
+            dtype=dtype,
+            observe=observe,
+        )
+        self.registry = MetricsRegistry() if observe else NOOP_REGISTRY
+        self._request_counter = self.registry.counter(
+            "serving_requests_total", help="front-door requests, by outcome"
+        )
+        self._queue_depth = self.registry.gauge(
+            "serving_queue_depth", help="admission queue depth sampled at submit"
+        )
+        # One lock guards the in-flight map *and* the frontend counters —
+        # submissions are cheap, so contention here is negligible next to a
+        # model pass.
+        self._lock = threading.Lock()
+        self._inflight: Dict[str, _Flight] = {}
+        self._shutdown = False
+        if start:
+            self.pool.start()
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "ConcurrentBriefingPipeline":
+        self.pool.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.shutdown()
+        return False
+
+    @property
+    def num_workers(self) -> int:
+        return self.pool.num_workers
+
+    def shutdown(self, timeout: Optional[float] = None) -> None:
+        """Close admission, drain every queued request, join the workers.
+
+        Admitted work is never dropped: workers keep pulling batches until
+        the queue is empty, and only then observe the exit signal.  Requests
+        submitted after shutdown are rejected as degraded briefs.
+        """
+        with self._lock:
+            self._shutdown = True
+        self.scheduler.close()
+        self.pool.join(timeout=timeout)
+
+    # ------------------------------------------------------------------
+    def _degraded(self, exc: BaseException) -> PartialBrief:
+        return PartialBrief(
+            topic=[],
+            attributes=[],
+            degradations=[Degradation("admission", "rejected", _reason(exc))],
+        )
+
+    def _publish(self, html: str, leader: "Future[PartialBrief]") -> None:
+        """Leader finished: release the in-flight entry, feed the followers."""
+        with self._lock:
+            flight = self._inflight.pop(html, None)
+        if flight is None:
+            return
+        result = leader.result()
+        for follower in flight.followers:
+            follower.set_result(_copy_brief(result))
+
+    def submit(self, html: str, doc_id: str = "adhoc") -> "Future[PartialBrief]":
+        """Admit one page; returns a future that always completes.
+
+        Cache hits resolve immediately; duplicates of an in-flight page
+        attach to the leader's computation; a full (or shut down) queue
+        resolves the future with a degraded ``admission → rejected`` brief
+        rather than raising.
+        """
+        future: "Future[PartialBrief]" = Future()
+        cached = self.brief_cache.get(html)
+        if cached is not None:
+            with self._lock:
+                self.stats.inc("cache_hits")
+            self._request_counter.inc(outcome="cache_hit")
+            future.set_result(_copy_brief(cached))
+            return future
+        with self._lock:
+            flight = self._inflight.get(html)
+            if flight is not None:
+                flight.followers.append(future)
+                self.stats.inc("cache_hits")
+                self._request_counter.inc(outcome="coalesced")
+                return future
+            leader: "Future[PartialBrief]" = future
+            self._inflight[html] = _Flight(leader)
+        leader.add_done_callback(lambda done, html=html: self._publish(html, done))
+        request = _Request(doc_id, html, leader)
+        try:
+            self.scheduler.submit(request)
+        except QueueFull as exc:
+            with self._lock:
+                self.stats.inc("queue_rejections")
+            self._request_counter.inc(outcome="rejected")
+            # Resolving the leader fires _publish, which also serves any
+            # followers that attached while we were trying to enqueue.
+            leader.set_result(self._degraded(exc))
+            return leader
+        self._request_counter.inc(outcome="admitted")
+        self._queue_depth.set(self.scheduler.depth)
+        return leader
+
+    # ------------------------------------------------------------------
+    def brief_html(self, html: str, doc_id: str = "adhoc") -> PartialBrief:
+        """Single-page convenience wrapper; blocks until the brief is ready."""
+        return self.submit(html, doc_id=doc_id).result()
+
+    def brief_many(self, pages: Iterable[Page]) -> List[PartialBrief]:
+        """Brief many pages concurrently; results align with input order.
+
+        Submits everything up front (so the scheduler can micro-batch
+        aggressively), then waits.  Never raises: parse faults, model
+        faults and queue rejections all surface as degraded briefs.
+        """
+        futures: List["Future[PartialBrief]"] = []
+        for position, page in enumerate(pages):
+            if isinstance(page, str):
+                doc_id, html = f"page-{position}", page
+            else:
+                doc_id, html = page
+            futures.append(self.submit(html, doc_id=doc_id))
+        return [future.result() for future in futures]
+
+    # ------------------------------------------------------------------
+    def merged_stats(self) -> RuntimeStats:
+        """Frontend + every worker's counters, element-wise summed.
+
+        On a fault-free stream ``cache_hits + cache_misses`` equals the
+        number of requests served: the front door counts hits and coalesced
+        followers, each leader's miss is counted by exactly one worker.
+        """
+        return self.stats.merge(self.pool.merged_stats())
+
+    def metrics_snapshot(self) -> MetricsSnapshot:
+        """Frontend registry merged with every worker's, order-independent."""
+        return self.registry.snapshot().merge(self.pool.metrics_snapshot())
+
+    def trace_spans(self) -> list:
+        """Worker spans (tagged with their worker index), for export."""
+        return self.pool.trace_spans()
+
+    def in_flight(self) -> int:
+        """Distinct page contents currently being computed (for tests)."""
+        with self._lock:
+            return len(self._inflight)

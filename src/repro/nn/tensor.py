@@ -20,6 +20,7 @@ Design notes
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -41,90 +42,107 @@ __all__ = [
 Scalar = Union[int, float]
 TensorLike = Union["Tensor", np.ndarray, Scalar, Sequence]
 
-_GRAD_ENABLED = True
-
-#: When set (e.g. ``np.float32``), every tensor created without an explicit
-#: ``dtype`` is cast to it.  When ``None`` (the default), floating-point numpy
-#: inputs keep their dtype and everything else is cast to float64, preserving
-#: the historical gradient-checking-friendly default.
-_DTYPE_OVERRIDE: Optional[np.dtype] = None
+#: Per-thread autograd/dtype mode.  ``no_grad`` and ``default_dtype`` scope
+#: their effect to the thread that entered them, so a serving worker pool can
+#: run inference under ``no_grad`` while other threads keep training — a
+#: process-wide flag would let one thread's ``__exit__`` corrupt another's
+#: in-flight forward pass.
+_MODE = threading.local()
 
 _FLOAT_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))
+
+#: Process-wide dtype override set by :func:`set_default_dtype`; new threads
+#: start from it, while ``default_dtype`` blocks shadow it thread-locally.
+_PROCESS_DTYPE_OVERRIDE: Optional[np.dtype] = None
+
+_UNSET = object()
+
+
+def _grad_enabled() -> bool:
+    return getattr(_MODE, "grad_enabled", True)
+
+
+def _dtype_override() -> Optional[np.dtype]:
+    local = getattr(_MODE, "dtype_override", _UNSET)
+    return _PROCESS_DTYPE_OVERRIDE if local is _UNSET else local
+
+
+def _check_dtype(dtype) -> np.dtype:
+    dtype = np.dtype(dtype)
+    if dtype not in _FLOAT_DTYPES:
+        raise ValueError(f"unsupported tensor dtype {dtype} (use float32 or float64)")
+    return dtype
 
 
 def set_default_dtype(dtype) -> None:
     """Set (or with ``None`` clear) the process-wide tensor dtype override."""
-    global _DTYPE_OVERRIDE
-    if dtype is None:
-        _DTYPE_OVERRIDE = None
-        return
-    dtype = np.dtype(dtype)
-    if dtype not in _FLOAT_DTYPES:
-        raise ValueError(f"unsupported tensor dtype {dtype} (use float32 or float64)")
-    _DTYPE_OVERRIDE = dtype
+    global _PROCESS_DTYPE_OVERRIDE
+    _PROCESS_DTYPE_OVERRIDE = None if dtype is None else _check_dtype(dtype)
 
 
 def get_default_dtype() -> np.dtype:
     """The dtype new tensors receive when neither they nor their input fix one."""
-    return _DTYPE_OVERRIDE if _DTYPE_OVERRIDE is not None else np.dtype(np.float64)
+    override = _dtype_override()
+    return override if override is not None else np.dtype(np.float64)
 
 
 class default_dtype:
-    """Context manager scoping the tensor dtype override.
+    """Context manager scoping the tensor dtype override to this thread.
 
     ``with default_dtype(np.float32): ...`` makes every tensor created inside
     the block float32 — the inference-time precision knob (training keeps the
     float64 default, which finite-difference gradient checking relies on).
+    The override is thread-local: concurrent serving workers can each pick a
+    precision without racing the process-wide default.
     """
 
     def __init__(self, dtype) -> None:
         self._dtype = dtype
 
     def __enter__(self) -> "default_dtype":
-        self._prev = _DTYPE_OVERRIDE
-        set_default_dtype(self._dtype)
+        self._prev = getattr(_MODE, "dtype_override", _UNSET)
+        _MODE.dtype_override = None if self._dtype is None else _check_dtype(self._dtype)
         return self
 
     def __exit__(self, *exc) -> None:
-        global _DTYPE_OVERRIDE
-        _DTYPE_OVERRIDE = self._prev
+        if self._prev is _UNSET:
+            del _MODE.dtype_override
+        else:
+            _MODE.dtype_override = self._prev
 
 
 def _resolve_dtype(data, dtype) -> np.dtype:
     if dtype is not None:
-        dtype = np.dtype(dtype)
-        if dtype not in _FLOAT_DTYPES:
-            raise ValueError(f"unsupported tensor dtype {dtype} (use float32 or float64)")
-        return dtype
-    if _DTYPE_OVERRIDE is not None:
-        return _DTYPE_OVERRIDE
+        return _check_dtype(dtype)
+    override = _dtype_override()
+    if override is not None:
+        return override
     if isinstance(data, np.ndarray) and data.dtype in _FLOAT_DTYPES:
         return data.dtype
     return np.dtype(np.float64)
 
 
 class no_grad:
-    """Context manager that disables gradient recording.
+    """Context manager that disables gradient recording on this thread.
 
     Mirrors ``torch.no_grad``.  While active, newly created result tensors do
     not require gradients and no backward functions are recorded, which makes
-    inference cheaper.
+    inference cheaper.  The flag is thread-local, so concurrent inference
+    threads never re-enable gradients under each other's feet.
     """
 
     def __enter__(self) -> "no_grad":
-        global _GRAD_ENABLED
-        self._prev = _GRAD_ENABLED
-        _GRAD_ENABLED = False
+        self._prev = _grad_enabled()
+        _MODE.grad_enabled = False
         return self
 
     def __exit__(self, *exc) -> None:
-        global _GRAD_ENABLED
-        _GRAD_ENABLED = self._prev
+        _MODE.grad_enabled = self._prev
 
 
 def is_grad_enabled() -> bool:
     """Return whether operations are currently recorded for autograd."""
-    return _GRAD_ENABLED
+    return _grad_enabled()
 
 
 def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
@@ -164,7 +182,7 @@ class Tensor:
             data = data.data
         self.data = np.asarray(data, dtype=_resolve_dtype(data, dtype))
         self.grad: Optional[np.ndarray] = None
-        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self.requires_grad = bool(requires_grad) and _grad_enabled()
         self._backward: Optional[Callable[[np.ndarray], None]] = None
         self._parents: Tuple["Tensor", ...] = ()
         self.name = name
@@ -228,7 +246,7 @@ class Tensor:
         backward: Callable[[np.ndarray], None],
     ) -> "Tensor":
         out = Tensor(data)
-        if _GRAD_ENABLED and any(p.requires_grad for p in parents):
+        if _grad_enabled() and any(p.requires_grad for p in parents):
             out.requires_grad = True
             out._parents = tuple(p for p in parents if p.requires_grad)
             out._backward = backward

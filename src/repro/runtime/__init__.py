@@ -22,7 +22,7 @@ The package depends only on the standard library — it sits *below*
 """
 
 from .chaos import ChaosConfig, ChaosHost, ChaosModel
-from .errors import BriefingError, FetchError, ModelError, ParseError, RenderError
+from .errors import BriefingError, FetchError, ModelError, ParseError, QueueFull, RenderError
 from .resilient import ResilientHost
 from .retry import CircuitBreaker, RetryPolicy, StepClock
 from .stats import RuntimeStats
@@ -33,6 +33,7 @@ __all__ = [
     "ParseError",
     "RenderError",
     "ModelError",
+    "QueueFull",
     "RetryPolicy",
     "CircuitBreaker",
     "StepClock",

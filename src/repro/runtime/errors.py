@@ -10,6 +10,9 @@ a typed exception carrying machine-readable context instead of a bare
 * :class:`RenderError` — the DOM rendered to no usable visible text (also a
   ``ValueError`` for backwards compatibility with the seed API);
 * :class:`ModelError` — a model stage (topic / attributes / sections) failed;
+* :class:`QueueFull` — the serving admission queue rejected a request
+  (backpressure); transient by definition — the same request may be admitted
+  a moment later once workers drain the queue;
 * :class:`BriefingError` — the common base, so callers can catch the whole
   family with one clause.
 
@@ -22,7 +25,14 @@ from __future__ import annotations
 
 from typing import Optional
 
-__all__ = ["BriefingError", "FetchError", "ParseError", "RenderError", "ModelError"]
+__all__ = [
+    "BriefingError",
+    "FetchError",
+    "ParseError",
+    "RenderError",
+    "ModelError",
+    "QueueFull",
+]
 
 
 class BriefingError(Exception):
@@ -67,3 +77,17 @@ class ModelError(BriefingError):
     """A model inference stage (topic / attributes / sections) failed."""
 
     stage = "model"
+
+
+class QueueFull(BriefingError):
+    """The serving admission queue rejected a request (backpressure).
+
+    Raised by :meth:`repro.core.serving.RequestScheduler.submit` when the
+    bounded queue is at capacity or the scheduler has been closed.  Always
+    transient: the same request may succeed once workers drain the backlog.
+    """
+
+    stage = "admission"
+
+    def __init__(self, message: str = "", *, url: Optional[str] = None, transient: bool = True):
+        super().__init__(message, url=url, transient=transient)

@@ -44,6 +44,10 @@ class RuntimeStats:
     cache_hits: int = 0
     #: cache lookups that missed and fell through to real work.
     cache_misses: int = 0
+    #: requests rejected by the bounded admission queue (backpressure).
+    queue_rejections: int = 0
+    #: micro-batches handed to a serving worker by the request scheduler.
+    batches_dispatched: int = 0
 
     def inc(self, name: str, amount: int = 1) -> None:
         """Increment a named counter (typos raise ``AttributeError``)."""

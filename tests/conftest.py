@@ -6,6 +6,15 @@ import pytest
 from repro.data import Vocabulary, build_jasmine_corpus
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--regen-golden",
+        action="store_true",
+        default=False,
+        help="rewrite the golden fixtures under tests/serving/golden/ from current outputs",
+    )
+
+
 @pytest.fixture(scope="session")
 def small_corpus():
     """A tiny but fully-formed corpus (3 topics, crawled + rendered)."""

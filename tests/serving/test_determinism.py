@@ -1,0 +1,41 @@
+"""Worker-count invariance: concurrent briefs are bit-identical to sequential."""
+
+
+def test_batched_matches_sequential(harness):
+    harness.assert_identical(harness.run_batched(), "batched")
+
+
+def test_one_worker_matches_sequential(harness):
+    briefs, stats = harness.run_concurrent(1)
+    harness.assert_identical(briefs, "workers=1")
+    harness.assert_conserved(stats)
+
+
+def test_two_workers_match_sequential(harness):
+    briefs, stats = harness.run_concurrent(2)
+    harness.assert_identical(briefs, "workers=2")
+    harness.assert_conserved(stats)
+
+
+def test_eight_workers_match_sequential(harness):
+    briefs, stats = harness.run_concurrent(8)
+    harness.assert_identical(briefs, "workers=8")
+    harness.assert_conserved(stats)
+
+
+def test_duplicates_are_served_without_extra_model_work(harness):
+    """The stream repeats content; repeats must surface as hits, not misses."""
+    unique = len({html for _, html in harness.pages})
+    briefs, stats = harness.run_concurrent(2)
+    assert stats.cache_misses == unique
+    assert stats.cache_hits == len(harness.pages) - unique
+    assert stats.queue_rejections == 0
+    assert stats.batches_dispatched >= 1
+
+
+def test_max_batch_does_not_change_outputs(harness):
+    """Micro-batch geometry is a throughput knob, never a correctness one."""
+    for max_batch in (1, 3, 64):
+        briefs, stats = harness.run_concurrent(2, max_batch=max_batch)
+        harness.assert_identical(briefs, f"max_batch={max_batch}")
+        harness.assert_conserved(stats)

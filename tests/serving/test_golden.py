@@ -1,0 +1,55 @@
+"""Golden-brief fixtures: concurrent serving output pinned to checked-in JSON.
+
+Regenerate after an intentional model/pipeline change with::
+
+    PYTHONPATH=src python -m pytest tests/serving/test_golden.py --regen-golden
+"""
+
+import json
+from pathlib import Path
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+GOLDEN_BRIEFS = GOLDEN_DIR / "briefs.json"
+
+
+def _serialize(pages, briefs):
+    records = [
+        {
+            "doc_id": doc_id,
+            "topic": brief.topic,
+            "attributes": brief.attributes,
+            "informative_sentences": brief.informative_sentences,
+            "complete": brief.complete,
+        }
+        for (doc_id, _), brief in zip(pages, briefs)
+    ]
+    # Round-trip through JSON so tuples/ints normalise to what the file holds.
+    return json.loads(json.dumps(records))
+
+
+def test_concurrent_briefs_match_golden(harness, regen_golden):
+    briefs, stats = harness.run_concurrent(2)
+    harness.assert_conserved(stats)
+    got = _serialize(harness.pages, briefs)
+
+    if regen_golden:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        GOLDEN_BRIEFS.write_text(json.dumps(got, indent=2) + "\n")
+
+    assert GOLDEN_BRIEFS.exists(), (
+        "golden fixture missing — run: python -m pytest tests/serving/test_golden.py --regen-golden"
+    )
+    want = json.loads(GOLDEN_BRIEFS.read_text())
+    assert len(got) == len(want)
+    for index, (got_record, want_record) in enumerate(zip(got, want)):
+        assert got_record == want_record, (
+            f"brief {index} ({got_record['doc_id']}) diverged from golden; if the "
+            f"model or pipeline changed intentionally, regenerate with --regen-golden"
+        )
+
+
+def test_golden_covers_full_stream(harness):
+    """The fixture stays in lockstep with the harness stream definition."""
+    want = json.loads(GOLDEN_BRIEFS.read_text())
+    assert [record["doc_id"] for record in want] == [doc_id for doc_id, _ in harness.pages]
+    assert all(record["complete"] for record in want)

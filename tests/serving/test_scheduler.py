@@ -1,0 +1,140 @@
+"""RequestScheduler edge cases: fake-clock flushes, drains, backpressure."""
+
+import threading
+import time
+
+import pytest
+
+from repro.core import RequestScheduler
+from repro.runtime import BriefingError, QueueFull
+
+
+class FakeClock:
+    """Injectable monotonic clock (mirrors the repro.obs.trace pattern).
+
+    Each call returns the current time and then advances it by ``step``, so
+    a scheduler polling the clock marches toward its deadline without any
+    real waiting.
+    """
+
+    def __init__(self, step=0.0):
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self):
+        current = self.now
+        self.now += self.step
+        return current
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def test_max_wait_flushes_partial_batch_with_fake_clock():
+    """A partial batch dispatches once max_wait_ms elapses, not before max_batch."""
+    scheduler = RequestScheduler(max_batch=8, max_wait_ms=5.0, clock=FakeClock(step=0.01))
+    for request in ("a", "b", "c"):
+        scheduler.submit(request)
+    assert scheduler.next_batch() == ["a", "b", "c"]
+    assert scheduler.depth == 0
+
+
+def test_zero_wait_skips_straggler_wait():
+    """With max_wait_ms=0 a lone request dispatches without waiting for more."""
+    scheduler = RequestScheduler(max_batch=8, max_wait_ms=0.0, clock=FakeClock())
+    scheduler.submit("a")
+    assert scheduler.next_batch() == ["a"]
+
+
+def test_already_queued_requests_batch_even_with_zero_wait():
+    """Queued work is not a straggler: it joins the batch regardless of wait."""
+    scheduler = RequestScheduler(max_batch=8, max_wait_ms=0.0, clock=FakeClock())
+    scheduler.submit("a")
+    scheduler.submit("b")
+    assert scheduler.next_batch() == ["a", "b"]
+
+
+def test_full_batch_dispatches_without_waiting():
+    clock = FakeClock()  # never advances: a straggler wait would hang forever
+    scheduler = RequestScheduler(max_batch=2, max_wait_ms=60_000.0, clock=clock)
+    for request in ("a", "b", "c", "d"):
+        scheduler.submit(request)
+    assert scheduler.next_batch() == ["a", "b"]
+    assert scheduler.next_batch() == ["c", "d"]
+
+
+def test_deadline_honours_clock_advance():
+    clock = FakeClock()
+    scheduler = RequestScheduler(max_batch=4, max_wait_ms=10.0, clock=clock)
+    scheduler.submit("a")
+    collector = {}
+
+    def worker():
+        collector["batch"] = scheduler.next_batch()
+
+    thread = threading.Thread(target=worker)
+    thread.start()
+    time.sleep(0.2)  # let the worker compute its deadline and start polling
+    clock.advance(1.0)  # far past the 10 ms deadline
+    thread.join(timeout=10)
+    assert not thread.is_alive(), "next_batch ignored the injected deadline"
+    assert collector["batch"] == ["a"]
+
+
+def test_shutdown_drains_queue_never_drops():
+    scheduler = RequestScheduler(max_batch=2, max_wait_ms=60_000.0, clock=FakeClock())
+    for request in range(5):
+        scheduler.submit(request)
+    scheduler.close()
+    assert scheduler.closed
+    # Queued work keeps flowing after close — only then the exit signal.
+    assert scheduler.next_batch() == [0, 1]
+    assert scheduler.next_batch() == [2, 3]
+    assert scheduler.next_batch() == [4]
+    assert scheduler.next_batch() is None
+    assert scheduler.next_batch() is None  # exit signal is idempotent
+
+
+def test_close_wakes_blocked_worker():
+    scheduler = RequestScheduler()
+    collector = {}
+
+    def worker():
+        collector["batch"] = scheduler.next_batch()
+
+    thread = threading.Thread(target=worker)
+    thread.start()
+    scheduler.close()
+    thread.join(timeout=10)
+    assert not thread.is_alive()
+    assert collector["batch"] is None
+
+
+def test_submit_after_close_raises_queue_full():
+    scheduler = RequestScheduler()
+    scheduler.close()
+    with pytest.raises(QueueFull):
+        scheduler.submit("late")
+
+
+def test_bounded_queue_rejects_with_queue_full():
+    scheduler = RequestScheduler(max_queue=2)
+    scheduler.submit("a")
+    scheduler.submit("b")
+    with pytest.raises(QueueFull) as excinfo:
+        scheduler.submit("c")
+    # QueueFull slots into the runtime error taxonomy: admission stage,
+    # transient (retryable once the queue drains).
+    assert isinstance(excinfo.value, BriefingError)
+    assert excinfo.value.stage == "admission"
+    assert excinfo.value.transient
+    assert scheduler.depth == 2
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        RequestScheduler(max_queue=0)
+    with pytest.raises(ValueError):
+        RequestScheduler(max_batch=0)
+    with pytest.raises(ValueError):
+        RequestScheduler(max_wait_ms=-1.0)

@@ -1,0 +1,82 @@
+"""Single-flight dedup: N threads hammering one URL run the model exactly once."""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.core import ConcurrentBriefingPipeline
+
+
+class CountingModel:
+    """Delegating wrapper that counts ``predict_batch`` calls thread-safely."""
+
+    def __init__(self, model):
+        self._model = model
+        self._lock = threading.Lock()
+        self.calls = 0
+
+    def predict_batch(self, documents, beam_size=4, batch_size=8):
+        with self._lock:
+            self.calls += 1
+        return self._model.predict_batch(documents, beam_size=beam_size, batch_size=batch_size)
+
+    def __getattr__(self, name):
+        return getattr(self._model, name)
+
+
+def test_barrier_stress_single_flight(serving_model):
+    """100 rounds of 16 threads requesting one fresh URL: one model pass each.
+
+    Every round all 16 threads release from a barrier at once and submit the
+    same (never-seen) page.  Whichever thread wins becomes the leader; the
+    rest must attach as followers or hit the cache after publication — if
+    dedup ever races, the model runs more than once for that round and the
+    call count gives it away.
+    """
+    rounds, num_threads = 100, 16
+    counting = CountingModel(serving_model)
+    server = ConcurrentBriefingPipeline(counting, num_workers=4, beam_size=2, max_batch=4)
+    barrier = threading.Barrier(num_threads)
+
+    def hammer(html):
+        barrier.wait(timeout=30)
+        return server.submit(html, doc_id="stress").result(timeout=30)
+
+    try:
+        with ThreadPoolExecutor(max_workers=num_threads) as pool:
+            for round_index in range(rounds):
+                html = (
+                    f"<html><body><p>stress round {round_index} briefing</p>"
+                    f"<p>the price is {round_index}</p></body></html>"
+                )
+                briefs = list(pool.map(hammer, [html] * num_threads))
+                first = briefs[0]
+                for brief in briefs[1:]:
+                    assert brief.topic == first.topic
+                    assert brief.attributes == first.attributes
+                    assert brief.informative_sentences == first.informative_sentences
+                assert counting.calls == round_index + 1, (
+                    f"round {round_index}: model ran {counting.calls - round_index} times"
+                )
+    finally:
+        server.shutdown(timeout=30)
+
+    assert counting.calls == rounds
+    merged = server.merged_stats()
+    # Every request accounted for: 1 miss per round, the rest hits.
+    assert merged.cache_misses == rounds
+    assert merged.cache_hits == rounds * (num_threads - 1)
+
+
+def test_followers_receive_defensive_copies(serving_model):
+    """Coalesced requests get independent brief objects, not shared ones."""
+    server = ConcurrentBriefingPipeline(serving_model, num_workers=1, beam_size=2)
+    html = "<html><body><p>copy semantics page</p><p>the price is 9</p></body></html>"
+    try:
+        first = server.brief_html(html, doc_id="a")
+        second = server.brief_html(html, doc_id="b")
+    finally:
+        server.shutdown(timeout=30)
+    assert first.topic == second.topic
+    assert first is not second
+    first.topic.append("mutated")
+    assert first.topic != second.topic
