@@ -1,0 +1,48 @@
+"""Benchmark: vectorized decode fast path vs the scalar beam-search loop.
+
+Shape asserted: batching every live hypothesis of every page into one fused
+step per depth beats the per-hypothesis Python loop (the acceptance bar is
+2x at beam >= 8 on the 64-page stream; locally ~15x), while decoding exactly
+the same topics.  Absolute times depend on the host, so only the ordering
+(with slack) and the equality invariants are pinned.
+"""
+
+import pytest
+
+from repro.core import run_decode_bench
+
+
+@pytest.mark.benchmark(group="serving")
+def test_decode_bench(benchmark):
+    report = benchmark.pedantic(
+        run_decode_bench,
+        kwargs={"num_pages": 64, "seed": 7, "beam_size": 8, "max_depth": 8},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(
+        f"decode (beam {report['beam_size']}, {report['num_pages']} pages): "
+        f"scalar {report['scalar_seconds'] * 1000:.0f} ms  "
+        f"batched {report['batched_seconds'] * 1000:.0f} ms  "
+        f"speedup {report['speedup']:.2f}x"
+    )
+
+    assert report["outputs_match"] is True, f"decode diverged: {report['mismatches']}"
+    assert report["num_pages"] == 64
+    assert report["unique_pages"] < report["num_pages"]  # duplicates share memories
+    # Acceptance criterion: >= 2x at beam >= 8 on the 64-page stream.
+    assert report["speedup"] >= 2.0
+
+
+@pytest.mark.benchmark(group="serving")
+def test_decode_bench_wide_beam(benchmark):
+    """The win grows with beam width — the scalar loop is O(beams) steps."""
+    report = benchmark.pedantic(
+        run_decode_bench,
+        kwargs={"num_pages": 16, "seed": 7, "beam_size": 32, "max_depth": 8},
+        rounds=1,
+        iterations=1,
+    )
+    assert report["outputs_match"] is True, f"decode diverged: {report['mismatches']}"
+    assert report["speedup"] >= 2.0

@@ -50,9 +50,18 @@ def test_serving_bench(benchmark, tmp_path):
         "phases",
         "layers",
         "observability_overhead",
+        "decode",
         "outputs_match",
         "mismatches",
     }
+
+    # Decode micro-benchmark: the vectorized fast path must reproduce the
+    # scalar decoder's topics exactly and beat it (locally ~15x; slack for
+    # noisy CI boxes — the acceptance bar is 2x).
+    decode = report["decode"]
+    assert decode["outputs_match"] is True, f"decode diverged: {decode['mismatches']}"
+    assert decode["beam_size"] >= 8
+    assert decode["speedup"] > 1.5
 
     # Observability attribution: every batched stage timed, model layers
     # attributed, and the cache block consistent with the summary rate.

@@ -24,7 +24,12 @@ Commands
     Serving benchmark: time the same page stream through the sequential and
     the batched briefing pipelines, check the briefs are identical, and
     write docs/sec, latency percentiles, cache hit rate, per-stage timings
-    and per-layer forward times to a JSON report.  ``--smoke`` runs a tiny
+    and per-layer forward times to a JSON report.  The report also carries a
+    ``decode`` section timing the scalar reference decoder against the
+    vectorized batched beam search on the same encoded pages.
+    ``--profile-kernels`` prints the per-layer call-count/seconds table (the
+    report's ``layers`` section) so decode-path regressions are visible from
+    the CLI.  ``--smoke`` runs a tiny
     corpus and exits nonzero if batched outputs diverge from sequential or
     the cache never hits.  ``--concurrency N`` switches to the concurrent
     serving comparison instead: per-request single-worker serving vs an
@@ -118,6 +123,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="run batched inference under float32")
     bench.add_argument("--smoke", action="store_true",
                        help="tiny corpus; exit 1 on output mismatch or cold cache")
+    bench.add_argument("--profile-kernels", action="store_true",
+                       help="print the per-layer call-count/seconds table "
+                            "(the report's 'layers' section)")
     bench.add_argument("--concurrency", type=int, default=0, metavar="N",
                        help="benchmark the concurrent serving layer with N workers "
                             "instead of the sequential-vs-batched comparison")
@@ -367,11 +375,17 @@ def _command_bench(args) -> int:
         registry=registry if registry.enabled else None,
     )
     print(result.format())
+    if args.profile_kernels:
+        print(result.format_kernel_profile())
     if args.output:
         print(f"\nwrote {args.output}")
     _write_obs(args, tracer, registry)
     if args.smoke:
-        ok = result.outputs_match and result.cache_hit_rate > 0
+        ok = (
+            result.outputs_match
+            and result.cache_hit_rate > 0
+            and (result.decode is None or result.decode["outputs_match"])
+        )
         print(f"smoke: {'ok' if ok else 'FAILED'}")
         return 0 if ok else 1
     return 0

@@ -5,6 +5,7 @@ from .bench import (
     BenchResult,
     ConcurrencyBenchResult,
     run_concurrency_bench,
+    run_decode_bench,
     run_serving_bench,
     synthesize_serving_corpus,
 )
@@ -53,6 +54,7 @@ __all__ = [
     "ConcurrencyBenchResult",
     "run_serving_bench",
     "run_concurrency_bench",
+    "run_decode_bench",
     "synthesize_serving_corpus",
     "document_from_raw_html",
     "ExtractionMetrics",

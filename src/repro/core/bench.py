@@ -33,6 +33,7 @@ import numpy as np
 __all__ = [
     "BenchResult",
     "ConcurrencyBenchResult",
+    "run_decode_bench",
     "run_serving_bench",
     "run_concurrency_bench",
     "synthesize_serving_corpus",
@@ -114,6 +115,10 @@ class BenchResult:
     #: (traced seconds / un-traced seconds) - 1 for the same stream;
     #: ``None`` when the bench ran with ``observe=False``.
     observability_overhead: Optional[float] = None
+    #: scalar-vs-batched decode micro-benchmark (:func:`run_decode_bench`):
+    #: ``{num_pages, unique_pages, beam_size, max_depth, scalar_seconds,
+    #: batched_seconds, speedup, outputs_match, mismatches}``.
+    decode: Optional[dict] = None
 
     def to_dict(self) -> dict:
         return {
@@ -142,6 +147,7 @@ class BenchResult:
             "phases": {stage: dict(data) for stage, data in self.phases.items()},
             "layers": {cls: dict(data) for cls, data in self.layers.items()},
             "observability_overhead": self.observability_overhead,
+            "decode": dict(self.decode) if self.decode is not None else None,
             "outputs_match": self.outputs_match,
             "mismatches": list(self.mismatches),
         }
@@ -176,16 +182,42 @@ class BenchResult:
                     f"{data['total_seconds'] * 1000:8.1f} ms total  "
                     f"p50 {data['p50_ms']:6.2f} ms  p95 {data['p95_ms']:6.2f} ms"
                 )
-        if self.layers:
-            lines.append("per-layer forward time (profiled pass):")
-            for cls, data in sorted(
-                self.layers.items(), key=lambda kv: kv[1]["seconds"], reverse=True
-            ):
-                lines.append(
-                    f"  {cls:<24} {data['calls']:>6} calls  {data['seconds'] * 1000:8.1f} ms"
-                )
+        if self.decode:
+            lines.append(
+                f"decode (beam {self.decode['beam_size']}, "
+                f"{self.decode['num_pages']} pages): "
+                f"scalar {self.decode['scalar_seconds'] * 1000:.0f} ms  "
+                f"batched {self.decode['batched_seconds'] * 1000:.0f} ms  "
+                f"speedup {self.decode['speedup']:.2f}x  "
+                f"outputs match: {self.decode['outputs_match']}"
+            )
         if self.observability_overhead is not None:
             lines.append(f"observability overhead: {self.observability_overhead:+.1%}")
+        return "\n".join(lines)
+
+    def format_kernel_profile(self) -> str:
+        """Per-layer call-count / seconds table (``repro bench --profile-kernels``).
+
+        Renders the ``layers`` section — the :class:`~repro.obs.ForwardProfiler`
+        attribution pass — so decode-path regressions (e.g. the scalar
+        per-hypothesis loop sneaking back in as hundreds of ``LSTMCell`` /
+        ``BilinearAttention`` calls) are visible straight from the CLI.
+        """
+        if not self.layers:
+            return "kernel profile: not collected (bench ran with observe=False)"
+        lines = ["per-layer forward time (profiled pass):"]
+        lines.append(f"  {'layer':<24} {'calls':>6}  {'total ms':>9}  {'ms/call':>8}")
+        for cls, data in sorted(
+            self.layers.items(), key=lambda kv: kv[1]["seconds"], reverse=True
+        ):
+            per_call = data["seconds"] / data["calls"] * 1000.0 if data["calls"] else 0.0
+            lines.append(
+                f"  {cls:<24} {data['calls']:>6}  {data['seconds'] * 1000:9.1f}  "
+                f"{per_call:8.3f}"
+            )
+        total_calls = sum(data["calls"] for data in self.layers.values())
+        total_seconds = sum(data["seconds"] for data in self.layers.values())
+        lines.append(f"  {'total':<24} {total_calls:>6}  {total_seconds * 1000:9.1f}")
         return "\n".join(lines)
 
 
@@ -218,6 +250,83 @@ def _run_batched_stream(pipeline, pages: List[Tuple[str, str]], batch_size: int)
     return time.perf_counter() - start
 
 
+def run_decode_bench(
+    model=None,
+    num_pages: int = 64,
+    seed: int = 7,
+    beam_size: int = 8,
+    max_depth: int = 8,
+    pages: Optional[List[Tuple[str, str]]] = None,
+    duplicate_fraction: float = 0.25,
+) -> dict:
+    """Time scalar vs batched topic decode over an encoded page stream.
+
+    Encodes each unique page once (duplicates share the encoded memory, the
+    way the serving cache shares briefs), then decodes every page of the
+    stream twice: through the scalar reference loop — one
+    ``generator.generate`` beam search per page, one model call per
+    hypothesis per step — and through the vectorized
+    ``generator.generate_batch`` fast path, which advances every live beam
+    of every page in one fused step per depth.  The decoded topics must be
+    identical; the returned dict is the ``decode`` section of
+    ``BENCH_serving.json``.
+    """
+    from .. import nn
+    from .pipeline import document_from_raw_html
+
+    if pages is None:
+        pages = synthesize_serving_corpus(
+            num_pages, seed=seed, duplicate_fraction=duplicate_fraction
+        )
+    if model is None:
+        model = _build_bench_model(topics=2, pages=3, seed=seed)
+
+    doc_ids: List[str] = []
+    memories: List = []
+    memory_by_html: Dict[str, object] = {}
+    with nn.no_grad():
+        for doc_id, html in pages:
+            if html not in memory_by_html:
+                try:
+                    document = document_from_raw_html(html, doc_id=doc_id)
+                except Exception:
+                    continue
+                _, _, _, c_g_dual = model._inference_states(document)
+                memory_by_html[html] = c_g_dual
+            doc_ids.append(doc_id)
+            memories.append(memory_by_html[html])
+
+        start = time.perf_counter()
+        scalar_topics = [
+            model.generator.generate(memory, beam_size=beam_size, max_depth=max_depth)
+            for memory in memories
+        ]
+        scalar_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        batched_topics = model.generator.generate_batch(
+            memories, beam_size=beam_size, max_depth=max_depth
+        )
+        batched_seconds = time.perf_counter() - start
+
+    mismatches = [
+        doc_id
+        for doc_id, left, right in zip(doc_ids, scalar_topics, batched_topics)
+        if left != right
+    ]
+    return {
+        "num_pages": len(memories),
+        "unique_pages": len(memory_by_html),
+        "beam_size": beam_size,
+        "max_depth": max_depth,
+        "scalar_seconds": scalar_seconds,
+        "batched_seconds": batched_seconds,
+        "speedup": scalar_seconds / batched_seconds if batched_seconds else float("inf"),
+        "outputs_match": not mismatches,
+        "mismatches": mismatches,
+    }
+
+
 def run_serving_bench(
     num_pages: int = 64,
     seed: int = 7,
@@ -230,6 +339,7 @@ def run_serving_bench(
     observe: bool = True,
     tracer=None,
     registry=None,
+    decode_beam_size: int = 8,
 ) -> BenchResult:
     """Time sequential vs batched briefing on a synthesized page stream.
 
@@ -242,6 +352,11 @@ def run_serving_bench(
     per-stage timings, per-layer profile); pass your own ``tracer`` /
     ``registry`` to keep the spans and metrics they produce (the CLI's
     ``--trace`` / ``--metrics`` do exactly that).
+
+    The report always includes a ``decode`` section
+    (:func:`run_decode_bench` at ``decode_beam_size`` over the same stream)
+    isolating the scalar-vs-batched decode speedup from the rest of the
+    pipeline.
     """
     from ..obs import ForwardProfiler, MetricsRegistry, Tracer, bridge_runtime_stats
     from .batched import BatchedBriefingPipeline
@@ -355,6 +470,10 @@ def run_serving_bench(
                 for cls, timing in profiler.by_class().items()
             }
 
+    decode = run_decode_bench(
+        model=model, pages=pages, seed=seed, beam_size=decode_beam_size
+    )
+
     lookups = batched.stats.cache_hits + batched.stats.cache_misses
     result = BenchResult(
         num_pages=len(pages),
@@ -377,6 +496,7 @@ def run_serving_bench(
         phases=phases,
         layers=layers,
         observability_overhead=overhead,
+        decode=decode,
     )
     if output_path is not None:
         result.save(output_path)

@@ -13,7 +13,13 @@ The module exposes:
   (``Q`` feeds Joint-WB's integrated topic representation and the
   distillation losses);
 * :meth:`generate` — beam-search inference (§IV-A5 uses beam search with
-  depth 4).
+  depth 4);
+* :meth:`generate_batch` / :meth:`greedy_hidden_batch` — the vectorized
+  decode fast path: every live hypothesis of every page in a micro-batch is
+  one row of a fused no-grad step (cached attention key projections,
+  :meth:`~repro.nn.LSTMCell.step_inference` gate kernel), so decode costs
+  ``max_depth`` step calls per batch instead of one Python-level model call
+  per hypothesis per step.
 """
 
 from __future__ import annotations
@@ -165,3 +171,146 @@ class TopicGenerator(nn.Module):
         if best and best[-1] == self.vocabulary.eos_id:
             best = best[:-1]
         return self.vocabulary.decode(best, skip_special=True)
+
+    # ------------------------------------------------------------------
+    # Vectorized decode fast path
+    # ------------------------------------------------------------------
+    def _batched_decode_buffers(
+        self, memories: Sequence[nn.Tensor]
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Per-batch decode state shared by every step and beam.
+
+        Pads the per-page memories into one ``(P, M, 2h)`` block with a key
+        mask, projects the attention keys **once** per page (reused by every
+        decoder step of every hypothesis — the per-page key cache), and
+        computes the initial decoder states exactly like
+        :meth:`_initial_state` does per page (mean summary → tanh dense).
+        Returns raw numpy ``(padded, mask, proj_keys, h0, c0)``.
+        """
+        mems = [nn.as_tensor(memory).data for memory in memories]
+        num_pages = len(mems)
+        width = max(m.shape[0] for m in mems)
+        padded = np.zeros((num_pages, width, mems[0].shape[1]), dtype=mems[0].dtype)
+        mask = np.zeros((num_pages, width), dtype=bool)
+        for i, m in enumerate(mems):
+            padded[i, : m.shape[0]] = m
+            mask[i, : m.shape[0]] = True
+        proj_keys = self.attention.precompute_keys(padded)
+        # Mean over real rows only; padded rows are exact zeros so the sum is
+        # bit-identical to the unpadded per-page sum.
+        counts = mask.sum(axis=1)
+        summaries = padded.sum(axis=1) * (1.0 / counts).astype(padded.dtype)[:, None]
+        h0 = self.state_init(nn.Tensor(summaries)).data
+        c0 = np.zeros_like(h0)
+        return padded, mask, proj_keys, h0, c0
+
+    def _batched_raw_step(
+        self,
+        token_ids: np.ndarray,
+        h: np.ndarray,
+        c: np.ndarray,
+        pages: np.ndarray,
+        padded: np.ndarray,
+        mask: np.ndarray,
+        proj_keys: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """One fused decode step for ``N`` hypotheses → (logits, h_new, c_new).
+
+        Raw numpy mirror of :meth:`_step` — same arithmetic per row (cached
+        key projections replace the re-projected bilinear form, and the
+        masked softmax gives padded key rows exactly zero weight, which
+        matches the unpadded softmax bitwise) — without autograd nodes.
+        ``pages`` routes each hypothesis row to its page's memory block.
+        """
+        scores = self.attention.scores_from_keys(h, proj_keys[pages])  # (N, M)
+        keep = mask[pages]
+        neg_inf = np.array(-np.inf, dtype=scores.dtype)
+        row_max = np.where(keep, scores, neg_inf).max(axis=-1, keepdims=True)
+        row_max = np.where(np.isfinite(row_max), row_max, 0.0)
+        exp = np.where(keep, np.exp(scores - row_max), 0.0)
+        total = exp.sum(axis=-1, keepdims=True)
+        weights = exp / np.where(total == 0.0, 1.0, total)
+        context = np.matmul(weights[:, None, :], padded[pages])[:, 0, :]  # (N, 2h)
+        embedded = self.embedding.weight.data[np.asarray(token_ids, dtype=np.int64)]
+        cell_in = np.concatenate([embedded, context], axis=-1)
+        h_new, c_new = self.cell.step_inference(cell_in, (h, c))
+        logits = (
+            np.concatenate([h_new, context], axis=-1) @ self.output.weight.data
+            + self.output.bias.data
+        )
+        return logits, h_new, c_new
+
+    def generate_batch(
+        self,
+        memories: Sequence[nn.Tensor],
+        beam_size: int = 4,
+        max_depth: int = 8,
+    ) -> List[List[str]]:
+        """Beam-search topic phrases for many pages with fused per-depth steps.
+
+        Equivalent to ``[self.generate(m, beam_size, max_depth) for m in
+        memories]`` — same top hypothesis per page — but every live beam of
+        every page advances in one :meth:`_batched_raw_step` call per depth.
+        """
+        memories = list(memories)
+        if not memories:
+            return []
+        with nn.no_grad():
+            padded, mask, proj_keys, h0, c0 = self._batched_decode_buffers(memories)
+
+            def step_fn(token_ids, state):
+                h, c, pages = state
+                logits, h_new, c_new = self._batched_raw_step(
+                    token_ids, h, c, pages, padded, mask, proj_keys
+                )
+                shifted = logits - logits.max(axis=-1, keepdims=True)
+                log_probs = shifted - np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
+                return log_probs, (h_new, c_new, pages)
+
+            results = nn.batched_beam_search_many(
+                step_fn,
+                (h0, c0, np.arange(len(memories), dtype=np.intp)),
+                start_id=self.vocabulary.bos_id,
+                end_id=self.vocabulary.eos_id,
+                num_sequences=len(memories),
+                beam_size=beam_size,
+                max_depth=max_depth,
+            )
+        decoded: List[List[str]] = []
+        for hypotheses in results:
+            best = hypotheses[0].tokens[1:]
+            if best and best[-1] == self.vocabulary.eos_id:
+                best = best[:-1]
+            decoded.append(self.vocabulary.decode(best, skip_special=True))
+        return decoded
+
+    def greedy_hidden_batch(
+        self, memories: Sequence[nn.Tensor], max_depth: int = 8
+    ) -> List[nn.Tensor]:
+        """Greedy decode collecting decoder hidden states, batched over pages.
+
+        Per-page equivalent of ``JointWBModel._greedy_topic_hidden`` (hidden
+        states appended each step *including* the EOS-producing one); one
+        fused step per depth drives every still-live page.
+        """
+        memories = list(memories)
+        if not memories:
+            return []
+        with nn.no_grad():
+            padded, mask, proj_keys, h, c = self._batched_decode_buffers(memories)
+            num_pages = len(memories)
+            pages = np.arange(num_pages, dtype=np.intp)
+            tokens = np.full(num_pages, self.vocabulary.bos_id, dtype=np.int64)
+            hiddens: List[List[np.ndarray]] = [[] for _ in range(num_pages)]
+            for _ in range(max_depth):
+                logits, h, c = self._batched_raw_step(
+                    tokens, h, c, pages, padded, mask, proj_keys
+                )
+                for row, page in enumerate(pages):
+                    hiddens[page].append(h[row])
+                tokens = logits.argmax(axis=-1)
+                live = tokens != self.vocabulary.eos_id
+                if not live.any():
+                    break
+                pages, tokens, h, c = pages[live], tokens[live], h[live], c[live]
+            return [nn.Tensor(np.stack(rows, axis=0)) for rows in hiddens]

@@ -369,9 +369,13 @@ class JointWBModel(nn.Module):
         the encoder and both Bi-LSTM heads run once per batch (one Python
         loop over T for the whole bucket), and — unlike the sequential
         ``predict_*`` trio, which re-encodes the document for every head —
-        each document is encoded exactly once.  Results are returned in input
-        order and are numerically equivalent to the sequential path (identical
-        spans / topic tokens / section decisions).
+        each document is encoded exactly once.  Topic decoding also batches
+        across pages: one :meth:`TopicGenerator.generate_batch` beam search
+        and one :meth:`TopicGenerator.greedy_hidden_batch` greedy pass per
+        bucket advance every page's hypotheses together, instead of one
+        scalar decode per document.  Results are returned in input order and
+        are numerically equivalent to the sequential path (identical spans /
+        topic tokens / section decisions).
         """
         documents = list(documents)
         results: List[Optional[BriefPrediction]] = [None] * len(documents)
@@ -386,32 +390,38 @@ class JointWBModel(nn.Module):
                 encs = self.encoder.encode_batch(docs)
                 c_e_list = self.extractor.hidden_batch([enc.token_states for enc in encs])
                 c_g_list = self.generator.encode_batch([enc.sentence_states for enc in encs])
-                for index, document, enc, c_e, c_g in zip(
-                    indices, docs, encs, c_e_list, c_g_list
+                probs_list = [
+                    self.section.probabilities(enc.sentence_states) if self.section else None
+                    for enc in encs
+                ]
+                c_g_duals = []
+                for c_e, c_g, probs in zip(c_e_list, c_g_list, probs_list):
+                    e_pool = (
+                        self.attr_pool(c_e.mean(axis=0).reshape(1, -1))
+                        if self.config.attr_to_generator != "none"
+                        else None
+                    )
+                    c_g_duals.append(self._update_generator_hidden(c_g, e_pool, probs))
+                topics = self.generator.generate_batch(c_g_duals, beam_size=beam_size)
+                topic_hiddens = self.generator.greedy_hidden_batch(c_g_duals)
+                for index, document, enc, c_e, probs, topic, topic_hidden in zip(
+                    indices, docs, encs, c_e_list, probs_list, topics, topic_hiddens
                 ):
-                    results[index] = self._predict_from_states(
-                        document, enc, c_e, c_g, beam_size
+                    results[index] = self._finish_prediction(
+                        document, enc, c_e, probs, topic, topic_hidden
                     )
         return results
 
-    def _predict_from_states(
+    def _finish_prediction(
         self,
         document: Document,
         enc: EncoderOutput,
         c_e: nn.Tensor,
-        c_g: nn.Tensor,
-        beam_size: int,
+        probs: Optional[nn.Tensor],
+        topic: List[str],
+        topic_hidden: nn.Tensor,
     ) -> BriefPrediction:
-        """Cheap per-document heads on top of batch-computed hidden states."""
-        probs = self.section.probabilities(enc.sentence_states) if self.section else None
-        e_pool = (
-            self.attr_pool(c_e.mean(axis=0).reshape(1, -1))
-            if self.config.attr_to_generator != "none"
-            else None
-        )
-        c_g_dual = self._update_generator_hidden(c_g, e_pool, probs)
-        topic = self.generator.generate(c_g_dual, beam_size=beam_size)
-        topic_hidden = self._greedy_topic_hidden(c_g_dual)
+        """Per-document extractor tail on top of batch-decoded topic signals."""
         c_e_dual = self._update_extractor_hidden(
             c_e, topic_hidden, probs, enc.token_sentence_index
         )

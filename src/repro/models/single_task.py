@@ -163,7 +163,11 @@ class SingleTaskGenerator(nn.Module):
     def predict_batch(
         self, documents: Sequence[Document], beam_size: int = 4, batch_size: int = 8
     ) -> List[List[str]]:
-        """Generate topics for many documents via padded batched encoding."""
+        """Generate topics for many documents via padded batched encoding.
+
+        Decoding also batches: one :meth:`TopicGenerator.generate_batch` beam
+        search per bucket drives every document's hypotheses together.
+        """
         documents = list(documents)
         results: List[Optional[List[str]]] = [None] * len(documents)
         with nn.no_grad():
@@ -186,6 +190,7 @@ class SingleTaskGenerator(nn.Module):
                 memories = self.generator.encode_batch(
                     [enc.sentence_states for enc in encs], extras=extras
                 )
-                for (index, _), memory in zip(batch, memories):
-                    results[index] = self.generator.generate(memory, beam_size=beam_size)
+                topics = self.generator.generate_batch(memories, beam_size=beam_size)
+                for (index, _), topic in zip(batch, topics):
+                    results[index] = topic
         return results

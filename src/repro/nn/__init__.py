@@ -7,7 +7,14 @@ paper's warm-up schedule, and beam search.
 """
 
 from .attention import BilinearAttention, MultiHeadSelfAttention, attend, masked_softmax
-from .beam import BeamHypothesis, beam_search, greedy_decode
+from .beam import (
+    BeamHypothesis,
+    batched_beam_search,
+    batched_beam_search_many,
+    beam_search,
+    gather_beam_state,
+    greedy_decode,
+)
 from .layers import Activation, Dense, Dropout, Embedding, LayerNorm, Sequential
 from .losses import (
     binary_cross_entropy,
@@ -77,5 +84,8 @@ __all__ = [
     "clip_grad_value",
     "BeamHypothesis",
     "beam_search",
+    "batched_beam_search",
+    "batched_beam_search_many",
+    "gather_beam_state",
     "greedy_decode",
 ]

@@ -74,6 +74,29 @@ class BilinearAttention(Module):
         keys = as_tensor(keys)
         return (queries @ self.weight) @ keys.transpose()
 
+    def precompute_keys(self, keys: np.ndarray) -> np.ndarray:
+        """Project the key side once: ``K W^T``, reusable across queries.
+
+        ``H W K^T == H (K W^T)^T``, so projecting an encoded page's keys once
+        lets every decoder step and beam score against the cached projection
+        with a single small matmul instead of re-running the bilinear form.
+        Raw numpy in, raw numpy out — this is an inference fast path and does
+        not build autograd nodes.  Accepts ``(m, key_dim)`` or any batched
+        ``(..., m, key_dim)`` stack of key sets.
+        """
+        keys = keys.data if isinstance(keys, Tensor) else np.asarray(keys)
+        return keys @ self.weight.data.T
+
+    def scores_from_keys(self, queries: np.ndarray, projected_keys: np.ndarray) -> np.ndarray:
+        """Raw bilinear scores against keys cached by :meth:`precompute_keys`.
+
+        ``queries`` of shape ``(..., query_dim)`` against ``projected_keys``
+        of shape ``(..., m, query_dim)`` (batch axes broadcasting) yields
+        scores of shape ``(..., m)``.  Raw numpy, no autograd.
+        """
+        queries = queries.data if isinstance(queries, Tensor) else np.asarray(queries)
+        return np.einsum("...d,...md->...m", queries, projected_keys)
+
     def forward(
         self, queries: Tensor, keys: Tensor, mask: Optional[np.ndarray] = None
     ) -> Tensor:

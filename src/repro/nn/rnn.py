@@ -61,7 +61,39 @@ class LSTMCell(Module):
 
     def initial_state(self, batch_shape: Tuple[int, ...] = ()) -> Tuple[Tensor, Tensor]:
         shape = tuple(batch_shape) + (self.hidden_dim,)
-        return Tensor(np.zeros(shape)), Tensor(np.zeros(shape))
+        # Zeros in the parameters' dtype so a float32 cell does not silently
+        # upcast its first step; an active nn.default_dtype override still
+        # wins (the Tensor constructor applies it).
+        dtype = self.w_x.data.dtype
+        return Tensor(np.zeros(shape, dtype=dtype)), Tensor(np.zeros(shape, dtype=dtype))
+
+    def step_inference(
+        self,
+        x: Optional[np.ndarray],
+        state: Tuple[np.ndarray, np.ndarray],
+        xw: Optional[np.ndarray] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """One fused no-grad step on raw numpy arrays.
+
+        Computes the same arithmetic as :meth:`forward` — gate sum order
+        ``(x·Wx) + h·Wh + b`` preserved — but without building autograd graph
+        nodes, which is the decode hot path's per-step cost.  Callers that
+        already hold the input projection (e.g. :class:`LSTM` hoists
+        ``X @ w_x`` for all timesteps as one GEMM) pass it via ``xw`` and may
+        leave ``x`` as ``None``.  Returns the raw ``(h_new, c_new)`` pair.
+        """
+        h_prev, c_prev = state
+        if xw is None:
+            xw = x @ self.w_x.data
+        hd = self.hidden_dim
+        gates = xw + h_prev @ self.w_h.data + self.bias.data
+        i_gate = _sigmoid(gates[..., 0:hd])
+        f_gate = _sigmoid(gates[..., hd : 2 * hd])
+        g_gate = np.tanh(gates[..., 2 * hd : 3 * hd])
+        o_gate = _sigmoid(gates[..., 3 * hd : 4 * hd])
+        c_new = f_gate * c_prev + i_gate * g_gate
+        h_new = o_gate * np.tanh(c_new)
+        return h_new, c_new
 
 
 class LSTM(Module):
@@ -138,7 +170,6 @@ class LSTM(Module):
         """Inference fast path: same recurrence on plain numpy arrays."""
         cell = self.cell
         hd = cell.hidden_dim
-        w_x, w_h, bias = cell.w_x.data, cell.w_h.data, cell.bias.data
         data = x.data
         seq_len = data.shape[-2]
         batch_shape = data.shape[:-2]
@@ -150,17 +181,11 @@ class LSTM(Module):
             c = np.array(initial_state[1].data, copy=True)
         # One fused matmul for the input contribution of every timestep; the
         # per-step sum order (x·Wx + h·Wh + b) matches the autograd path.
-        xw = data @ w_x
+        xw = data @ cell.w_x.data
         outputs = np.empty(batch_shape + (seq_len, hd), dtype=xw.dtype)
         indices = range(seq_len - 1, -1, -1) if reverse else range(seq_len)
         for t in indices:
-            gates = xw[..., t, :] + h @ w_h + bias
-            i_gate = _sigmoid(gates[..., 0:hd])
-            f_gate = _sigmoid(gates[..., hd : 2 * hd])
-            g_gate = np.tanh(gates[..., 2 * hd : 3 * hd])
-            o_gate = _sigmoid(gates[..., 3 * hd : 4 * hd])
-            c_new = f_gate * c + i_gate * g_gate
-            h_new = o_gate * np.tanh(c_new)
+            h_new, c_new = cell.step_inference(None, (h, c), xw=xw[..., t, :])
             if mask is not None:
                 keep = mask[..., t : t + 1]
                 h = np.where(keep, h_new, h)

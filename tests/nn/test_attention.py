@@ -59,3 +59,39 @@ def test_multihead_mask_blocks_positions(rng):
     perturbed[3] += 100.0
     out_perturbed = mha(nn.Tensor(perturbed), mask=mask)
     assert np.allclose(out_masked.data[:3], out_perturbed.data[:3], atol=1e-8)
+
+
+def test_precompute_keys_matches_bilinear_scores(rng):
+    """q @ (K W^T)^T must equal the reference (q @ W) @ K^T per row."""
+    attn = nn.BilinearAttention(6, 4, rng)
+    queries = rng.normal(size=(5, 6))
+    keys = rng.normal(size=(3, 4))
+    reference = attn.scores(nn.Tensor(queries), nn.Tensor(keys)).data
+    projected = attn.precompute_keys(keys)
+    assert projected.shape == (3, 6)
+    fast = attn.scores_from_keys(queries, projected)
+    assert np.allclose(fast, reference, atol=1e-12)
+
+
+def test_precompute_keys_batched_pages(rng):
+    """A stacked (P, m, key_dim) key block projects per page in one call."""
+    attn = nn.BilinearAttention(6, 4, rng)
+    key_block = rng.normal(size=(3, 5, 4))
+    projected = attn.precompute_keys(key_block)
+    assert projected.shape == (3, 5, 6)
+    queries = rng.normal(size=(3, 6))
+    scores = attn.scores_from_keys(queries, projected)
+    assert scores.shape == (3, 5)
+    for page in range(3):
+        reference = attn.scores(
+            nn.Tensor(queries[page].reshape(1, -1)), nn.Tensor(key_block[page])
+        ).data.reshape(-1)
+        assert np.allclose(scores[page], reference, atol=1e-12)
+
+
+def test_precompute_keys_accepts_tensor_input(rng):
+    attn = nn.BilinearAttention(6, 4, rng)
+    keys = rng.normal(size=(3, 4))
+    assert np.array_equal(
+        attn.precompute_keys(nn.Tensor(keys)), attn.precompute_keys(keys)
+    )

@@ -91,3 +91,49 @@ def test_deterministic_construction():
     out_a, _ = a(x)
     out_b, _ = b(x)
     assert np.allclose(out_a.data, out_b.data)
+
+
+def test_step_inference_matches_autograd_forward(rng):
+    """The fused no-grad kernel computes the exact same floats as forward()."""
+    cell = nn.LSTMCell(5, 4, rng)
+    x = rng.normal(size=(3, 5))
+    h_prev, c_prev = rng.normal(size=(3, 4)), rng.normal(size=(3, 4))
+    with nn.no_grad():
+        h_ref, (_, c_ref) = cell(nn.Tensor(x), (nn.Tensor(h_prev), nn.Tensor(c_prev)))
+    h_fast, c_fast = cell.step_inference(x, (h_prev, c_prev))
+    assert np.array_equal(h_ref.data, h_fast)
+    assert np.array_equal(c_ref.data, c_fast)
+
+
+def test_step_inference_accepts_hoisted_projection(rng):
+    """Passing a precomputed x @ w_x must equal projecting inside the step."""
+    cell = nn.LSTMCell(5, 4, rng)
+    x = rng.normal(size=(2, 5))
+    state = (rng.normal(size=(2, 4)), rng.normal(size=(2, 4)))
+    direct = cell.step_inference(x, state)
+    hoisted = cell.step_inference(None, state, xw=x @ cell.w_x.data)
+    assert np.array_equal(direct[0], hoisted[0])
+    assert np.array_equal(direct[1], hoisted[1])
+
+
+def test_initial_state_respects_parameter_dtype(rng):
+    """Regression: a float32 cell must not hand out float64 zero states."""
+    cell = nn.LSTMCell(5, 4, rng)
+    cell.astype(np.float32)
+    h, c = cell.initial_state((2,))
+    assert h.data.dtype == np.float32
+    assert c.data.dtype == np.float32
+    # The first step therefore stays in float32 end to end.
+    h_new, c_new = cell.step_inference(
+        rng.normal(size=(2, 5)).astype(np.float32), (h.data, c.data)
+    )
+    assert h_new.dtype == np.float32 and c_new.dtype == np.float32
+
+
+def test_initial_state_respects_default_dtype_override(rng):
+    cell = nn.LSTMCell(5, 4, rng)
+    with nn.default_dtype(np.float32):
+        h, c = cell.initial_state()
+    assert h.data.dtype == np.float32 and c.data.dtype == np.float32
+    h64, c64 = cell.initial_state()
+    assert h64.data.dtype == np.float64 and c64.data.dtype == np.float64
