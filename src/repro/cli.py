@@ -34,14 +34,22 @@ Commands
     the cache never hits.  ``--concurrency N`` switches to the concurrent
     serving comparison instead: per-request single-worker serving vs an
     N-worker scheduler with micro-batching, throughput recorded per pool
-    size under the report's ``concurrency`` key.
-``serve-many [page.html ...] [--workers N]``
+    size under the report's ``concurrency`` key.  ``--chaos`` switches to
+    the resilience run instead: a Zipfian request stream served while a
+    seeded :class:`~repro.runtime.ChaosWorker` stalls, fails and kills
+    workers; asserts every future resolves and shutdown does not deadlock,
+    and records p50/p99-under-chaos plus shed/restart/quarantine counts
+    under the report's ``resilience`` key (``--soak-rounds N`` replays the
+    stream N times against the same pipeline).
+``serve-many [page.html ...] [--workers N] [--deadline-ms B]``
     Brief many pages through the concurrent serving layer
     (:class:`~repro.core.serving.ConcurrentBriefingPipeline`): bounded
     admission queue, micro-batching scheduler, N briefing workers over
-    shared sharded caches.  With no files, synthesizes a ``--pages``-page
-    stream.  Prints one topic line per page plus the merged worker-pool
-    counters.
+    shared sharded caches, governor load shedding and worker supervision.
+    With no files, synthesizes a ``--pages``-page stream.  ``--deadline-ms``
+    gives every request an absolute budget; expired requests resolve to
+    typed ``DeadlineExceeded`` briefs instead of hanging.  Prints one topic
+    line per page plus the merged worker-pool counters.
 ``metrics``
     Exercise the runtime (retries, a circuit breaker, the brief cache) with
     deterministic faults and print the resulting metrics registry in
@@ -131,6 +139,22 @@ def build_parser() -> argparse.ArgumentParser:
                             "instead of the sequential-vs-batched comparison")
     bench.add_argument("--max-wait-ms", type=float, default=2.0,
                        help="scheduler micro-batch straggler wait (concurrency mode)")
+    bench.add_argument("--chaos", action="store_true",
+                       help="chaos/soak mode: replay a Zipfian stream with injected "
+                            "worker stalls/exceptions/deaths and assert conservation")
+    bench.add_argument("--chaos-workers", type=int, default=4,
+                       help="worker pool size in chaos mode")
+    bench.add_argument("--chaos-exception-rate", type=float, default=0.08,
+                       help="per-batch probability of an injected transient failure")
+    bench.add_argument("--chaos-stall-rate", type=float, default=0.05,
+                       help="per-batch probability of an injected stall")
+    bench.add_argument("--chaos-death-rate", type=float, default=0.03,
+                       help="per-batch probability an injected crash kills the worker")
+    bench.add_argument("--soak-rounds", type=int, default=1,
+                       help="replay the chaos stream this many times against the "
+                            "same pipeline (soak mode)")
+    bench.add_argument("--deadline-ms", type=float, default=None,
+                       help="per-request deadline budget (chaos mode)")
     _add_obs_args(bench)
 
     serve = sub.add_parser(
@@ -147,6 +171,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="how long a worker waits for micro-batch stragglers")
     serve.add_argument("--queue-size", type=int, default=256,
                        help="bounded admission queue capacity (backpressure)")
+    serve.add_argument("--deadline-ms", type=float, default=None,
+                       help="absolute per-request deadline; expired requests "
+                            "resolve to typed DeadlineExceeded briefs")
     serve.add_argument("--model", help="checkpoint saved by `repro train`")
     serve.add_argument("--topics", type=int, default=3)
     serve.add_argument("--epochs", type=int, default=10)
@@ -340,10 +367,36 @@ def _command_health(args) -> int:
 
 
 def _command_bench(args) -> int:
-    from .core import run_concurrency_bench, run_serving_bench
+    from .core import run_chaos_bench, run_concurrency_bench, run_serving_bench
 
     tracer, registry = _make_obs(args)
     num_pages = min(args.pages, 12) if args.smoke else args.pages
+    if args.chaos:
+        result = run_chaos_bench(
+            num_requests=num_pages,
+            unique_pages=max(4, num_pages // 4),
+            seed=args.seed,
+            workers=args.chaos_workers,
+            max_batch=args.batch_size,
+            beam_size=args.beam_size,
+            max_wait_ms=args.max_wait_ms,
+            exception_rate=args.chaos_exception_rate,
+            stall_rate=args.chaos_stall_rate,
+            death_rate=args.chaos_death_rate,
+            deadline_ms=args.deadline_ms,
+            rounds=args.soak_rounds,
+            dtype=np.float32 if args.float32 else None,
+            output_path=args.output or None,
+        )
+        print(result.format())
+        if args.output:
+            print(f"\nwrote {args.output}")
+        _write_obs(args, tracer, registry)
+        if args.smoke:
+            ok = result.conserved and not result.deadlocked
+            print(f"smoke: {'ok' if ok else 'FAILED'}")
+            return 0 if ok else 1
+        return 0 if result.conserved and not result.deadlocked else 1
     if args.concurrency:
         result = run_concurrency_bench(
             num_pages=num_pages,
@@ -417,6 +470,7 @@ def _command_serve_many(args) -> int:
         max_batch=args.max_batch,
         max_wait_ms=args.max_wait_ms,
         max_queue=args.queue_size,
+        default_deadline_ms=args.deadline_ms,
         observe=observe,
     )
     briefs = server.brief_many(pages)
@@ -433,6 +487,9 @@ def _command_serve_many(args) -> int:
           f"batches: {merged.batches_dispatched}   "
           f"cache: {merged.cache_hits} hits / {merged.cache_misses} misses   "
           f"rejections: {merged.queue_rejections}   "
+          f"shed: {merged.requests_shed}   "
+          f"expired: {merged.deadline_expirations}   "
+          f"restarts: {merged.worker_restarts}   "
           f"degradations: {merged.degradations}")
 
     if getattr(args, "trace", None):

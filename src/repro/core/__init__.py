@@ -4,10 +4,13 @@ from .batched import BatchedBriefingPipeline, BriefCache, content_hash
 from .bench import (
     BenchResult,
     ConcurrencyBenchResult,
+    ResilienceBenchResult,
+    run_chaos_bench,
     run_concurrency_bench,
     run_decode_bench,
     run_serving_bench,
     synthesize_serving_corpus,
+    synthesize_zipf_stream,
 )
 from .briefing import Brief, Degradation, PartialBrief
 from .evaluation import (
@@ -25,8 +28,10 @@ from .pipeline import BriefingPipeline, document_from_raw_html
 from .serving import (
     ConcurrentBriefingPipeline,
     RequestScheduler,
+    ServingGovernor,
     ShardedBriefCache,
     WorkerPool,
+    WorkerSupervisor,
 )
 from .significance import ModelComparison, compare_generation_models
 from .sensitivity import MixtureResult, content_sensitivity, make_mixture, topic_affinity
@@ -47,15 +52,20 @@ __all__ = [
     "BriefCache",
     "ShardedBriefCache",
     "RequestScheduler",
+    "ServingGovernor",
     "WorkerPool",
+    "WorkerSupervisor",
     "ConcurrentBriefingPipeline",
     "content_hash",
     "BenchResult",
     "ConcurrencyBenchResult",
+    "ResilienceBenchResult",
     "run_serving_bench",
     "run_concurrency_bench",
+    "run_chaos_bench",
     "run_decode_bench",
     "synthesize_serving_corpus",
+    "synthesize_zipf_stream",
     "document_from_raw_html",
     "ExtractionMetrics",
     "GenerationMetrics",

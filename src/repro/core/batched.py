@@ -39,7 +39,7 @@ from .. import nn
 from ..data.corpus import Document
 from ..models.joint_wb import BriefPrediction, JointWBModel
 from ..obs import NOOP_REGISTRY, NOOP_TRACER
-from ..runtime.errors import BriefingError
+from ..runtime.errors import BriefingError, DeadlineExceeded
 from ..runtime.stats import RuntimeStats
 from .briefing import Degradation, PartialBrief
 from .pipeline import BriefingPipeline, _reason, document_from_raw_html
@@ -210,6 +210,17 @@ class BatchedBriefingPipeline:
             degradations=[Degradation(stage, "empty_brief", _reason(exc))],
         )
 
+    def _deadline_brief(self, stage: str) -> PartialBrief:
+        """Typed ``DeadlineExceeded`` degradation for a request whose budget ran out."""
+        self.stats.inc("deadline_expirations")
+        exc = DeadlineExceeded(f"deadline expired before {stage}")
+        self.tracer.event("degradation", stage="deadline", fallback="expired", reason=_reason(exc))
+        return PartialBrief(
+            topic=[],
+            attributes=[],
+            degradations=[Degradation("deadline", "expired", _reason(exc))],
+        )
+
     @staticmethod
     def _brief_from_prediction(prediction: BriefPrediction) -> PartialBrief:
         informative = [int(i) for i in np.nonzero(prediction.sections)[0]]
@@ -251,13 +262,28 @@ class BatchedBriefingPipeline:
         """Single-page convenience wrapper over :meth:`brief_many`."""
         return self.brief_many([(doc_id, html)])[0]
 
-    def brief_many(self, pages: Iterable[Page]) -> List[PartialBrief]:
+    def brief_many(
+        self,
+        pages: Iterable[Page],
+        *,
+        deadlines: Optional[List[Optional[float]]] = None,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> List[PartialBrief]:
         """Brief many pages; results align with the input order.
 
         Cache lookups and in-flight coalescing of duplicate content both
         count as ``cache_hits``; first sightings count as ``cache_misses``.
         Only complete briefs are cached, so degraded pages (corrupt HTML,
         model faults) are re-briefed in full on their next request.
+
+        ``deadlines`` (aligned with ``pages``) carries each request's
+        absolute deadline on ``clock`` (default ``time.monotonic``); the
+        remaining budget is re-checked *per pipeline stage* — before a page
+        is parsed/rendered, and again just before the batched model call —
+        so a request whose deadline expires mid-pipeline degrades to a typed
+        ``deadline → expired`` brief instead of burning model time on an
+        answer nobody is waiting for.  Cache hits are served regardless
+        (they are effectively free).
         """
         page_list: List[Tuple[str, str]] = []
         for position, page in enumerate(pages):
@@ -266,6 +292,22 @@ class BatchedBriefingPipeline:
             else:
                 doc_id, html = page
                 page_list.append((doc_id, html))
+        if deadlines is None:
+            deadline_list: List[Optional[float]] = [None] * len(page_list)
+        else:
+            deadline_list = list(deadlines)
+            if len(deadline_list) != len(page_list):
+                raise ValueError(
+                    f"deadlines length {len(deadline_list)} != pages length {len(page_list)}"
+                )
+        read_clock = clock if clock is not None else time.monotonic
+        any_deadline = any(deadline is not None for deadline in deadline_list)
+
+        def expired(index: int, now: Optional[float] = None) -> bool:
+            deadline = deadline_list[index]
+            if deadline is None:
+                return False
+            return (read_clock() if now is None else now) >= deadline
 
         with self.tracer.span("brief_many", pages=len(page_list)) as batch_span:
             hits_before, misses_before = self.stats.cache_hits, self.stats.cache_misses
@@ -284,6 +326,9 @@ class BatchedBriefingPipeline:
                     self._cache_counter.inc(result="hit")
                     briefs[index] = _copy_brief(cached)
                     continue
+                if expired(index):
+                    briefs[index] = self._deadline_brief("render")
+                    continue
                 self.stats.inc("cache_misses")
                 self._cache_counter.inc(result="miss")
                 document = self.render_cache.get(html)
@@ -300,6 +345,22 @@ class BatchedBriefingPipeline:
                         continue
                     self.render_cache.put(html, document)
                 pending[html] = (document, [index])
+
+            if pending and any_deadline:
+                # Budget re-check at the model-stage boundary: indices whose
+                # deadline lapsed during render drop out; a unique page only
+                # skips the model when *every* request for it has expired.
+                now = read_clock()
+                for content in list(pending):
+                    document, indices = pending[content]
+                    live = [i for i in indices if not expired(i, now)]
+                    for index in indices:
+                        if index not in live:
+                            briefs[index] = self._deadline_brief("predict_batch")
+                    if live:
+                        pending[content] = (document, live)
+                    else:
+                        del pending[content]
 
             if pending:
                 contents = list(pending)

@@ -20,17 +20,31 @@ Layers, bottom up:
   A full queue rejects with :class:`~repro.runtime.errors.QueueFull`
   (backpressure); ``close()`` starts a clean drain — queued work is always
   served, new work is rejected, workers exit once the queue is empty.
+  Requests that carry an absolute ``deadline`` are swept out of batches
+  before dispatch and resolved via the scheduler's ``on_expired`` hook.
+* :class:`ServingGovernor` — the overload ladder: watches queue depth,
+  in-flight count and an EWMA of batch latency and degrades in steps —
+  shrink the micro-batch straggler wait, reject low-priority requests
+  (``Overloaded``), shed everything non-cached to cache-only serving.
 * :class:`WorkerPool` — N briefing workers over *shared read-only model
   weights* and the shared caches, each with its **own**
   :class:`~repro.runtime.stats.RuntimeStats`, tracer and metrics registry
   (none of which are thread-safe to share); the per-worker state merges on
   read via ``RuntimeStats.merge`` and the associative
-  :meth:`~repro.obs.metrics.MetricsSnapshot.merge`.
+  :meth:`~repro.obs.metrics.MetricsSnapshot.merge`.  Workers heartbeat and
+  record the batch they hold, so a supervisor can spot dead/wedged ones.
+* :class:`WorkerSupervisor` — resurrects dead or wedged workers with fresh
+  per-worker state, re-queues the batch the dead worker held (at-most-once
+  re-dispatch: resolved futures are never double-set), and quarantines
+  *poison* requests — content that repeatedly kills workers — by bisecting
+  the blast radius down to a single request and tripping a serving-level
+  :class:`~repro.runtime.retry.CircuitBreaker`.
 * :class:`ConcurrentBriefingPipeline` — the facade: thread-safe
-  ``submit``/``brief_many``, front-door cache hits (served without touching
-  the queue), and a single-flight in-flight map so concurrent requests for
-  the same content run the model exactly once — followers wait on the
-  leader's future and receive defensive copies.
+  ``submit``/``brief_many`` with per-request deadlines and priorities,
+  front-door cache hits (served without touching the queue), and a
+  single-flight in-flight map so concurrent requests for the same content
+  run the model exactly once — followers wait on the leader's computation
+  and receive defensive copies, each checked against its *own* deadline.
 """
 
 from __future__ import annotations
@@ -38,23 +52,52 @@ from __future__ import annotations
 import threading
 import time
 from collections import deque
-from concurrent.futures import Future
-from typing import Callable, Dict, Hashable, Iterable, List, Optional
+from concurrent.futures import Future, InvalidStateError
+from typing import Callable, Dict, Hashable, Iterable, List, Optional, Set, Tuple
 
 from ..models.joint_wb import JointWBModel
 from ..obs import NOOP_REGISTRY, NOOP_TRACER, MetricsRegistry, MetricsSnapshot, Tracer
-from ..runtime.errors import QueueFull
+from ..runtime.chaos import WorkerDeath
+from ..runtime.errors import DeadlineExceeded, Overloaded, QueueFull
+from ..runtime.retry import CircuitBreaker
 from ..runtime.stats import RuntimeStats
-from .batched import BatchedBriefingPipeline, BriefCache, Page, _copy_brief
+from .batched import BatchedBriefingPipeline, BriefCache, Page, _copy_brief, content_hash
 from .briefing import Degradation, PartialBrief
 from .pipeline import _reason
 
 __all__ = [
     "ShardedBriefCache",
     "RequestScheduler",
+    "ServingGovernor",
     "WorkerPool",
+    "WorkerSupervisor",
     "ConcurrentBriefingPipeline",
 ]
+
+
+def _resolve(future: "Future[PartialBrief]", brief: PartialBrief) -> bool:
+    """Set a future's result exactly once; lose gracefully if already set.
+
+    The supervisor and the worker it replaces can race to resolve the same
+    request (a wedged worker may finish late, after its batch was re-queued).
+    Whoever gets there first wins; the loser is a no-op, so re-dispatch is
+    at-most-once from the caller's point of view.
+    """
+    try:
+        future.set_result(brief)
+        return True
+    except InvalidStateError:
+        return False
+
+
+def _deadline_partial(where: str) -> PartialBrief:
+    """The typed brief an expired request resolves to (never raises)."""
+    exc = DeadlineExceeded(f"deadline expired {where}")
+    return PartialBrief(
+        topic=[],
+        attributes=[],
+        degradations=[Degradation("deadline", "expired", _reason(exc))],
+    )
 
 
 class ShardedBriefCache:
@@ -134,9 +177,28 @@ class RequestScheduler:
     handed out (a drain never drops admitted work) and ``next_batch``
     returns ``None`` once the queue is empty — the worker exit signal.
 
+    Requests may carry three optional attributes the scheduler understands:
+
+    * ``deadline`` — absolute clock value after which the request is dead.
+      Expired requests are swept out while collecting a batch and handed to
+      the ``on_expired`` callback (fired *outside* the scheduler lock, so
+      the callback may resolve futures that fan out into other locks).
+    * ``batch_limit`` — cap on the size of any batch containing this
+      request.  The supervisor halves it on re-queued survivors of a worker
+      death, bisecting a poison batch down to the single bad request.
+    * (anything else is opaque to the scheduler.)
+
+    The idle wait is event-driven: a worker with an empty queue sleeps on
+    the condition with **no timeout** and is woken exactly by ``submit``,
+    ``requeue`` or ``close`` — no 100 ms polling spin.  ``idle_wakeups``
+    counts waits that returned with nothing to do (spurious wakeups); a
+    regression test pins it at zero for a quiet scheduler.
+
     ``clock`` is any zero-argument monotonic callable (default
     ``time.monotonic``); inject a fake one to make the ``max_wait_ms`` flush
     deterministic in tests, mirroring :class:`repro.obs.trace.Tracer`.
+    ``wait_scale`` is an optional zero-argument callable multiplying the
+    straggler wait (the governor's first ladder step shrinks it under load).
     """
 
     def __init__(
@@ -145,6 +207,8 @@ class RequestScheduler:
         max_batch: int = 8,
         max_wait_ms: float = 2.0,
         clock: Optional[Callable[[], float]] = None,
+        on_expired: Optional[Callable[[object], None]] = None,
+        wait_scale: Optional[Callable[[], float]] = None,
     ) -> None:
         if max_queue < 1:
             raise ValueError(f"max_queue must be >= 1, got {max_queue}")
@@ -156,6 +220,10 @@ class RequestScheduler:
         self.max_batch = max_batch
         self.max_wait_ms = max_wait_ms
         self._clock = clock if clock is not None else time.monotonic
+        self._on_expired = on_expired
+        self._wait_scale = wait_scale
+        #: idle waits that woke with no work and no close — spurious wakeups.
+        self.idle_wakeups = 0
         self._items: deque = deque()
         self._cond = threading.Condition()
         self._closed = False
@@ -181,20 +249,103 @@ class RequestScheduler:
             self._items.append(request)
             self._cond.notify()
 
-    def next_batch(self) -> Optional[list]:
-        """Block for the next micro-batch; ``None`` once closed and drained."""
+    def requeue(self, requests: Iterable[object]) -> None:
+        """Put re-dispatched requests back at the *front* of the queue.
+
+        Used by the supervisor for a dead worker's batch: the work was
+        admitted long ago, so it goes ahead of newer arrivals.  Works even
+        after :meth:`close` — a drain must still serve re-queued work.
+        """
+        items = list(requests)
+        if not items:
+            return
         with self._cond:
-            while not self._items:
-                if self._closed:
-                    return None
-                self._cond.wait(timeout=0.1)
-            batch = [self._items.popleft()]
-            if self.max_batch == 1:
+            for request in reversed(items):
+                self._items.appendleft(request)
+            self._cond.notify_all()
+
+    def drain(self) -> list:
+        """Remove and return everything still queued (shutdown sweeper)."""
+        with self._cond:
+            items = list(self._items)
+            self._items.clear()
+            return items
+
+    # ------------------------------------------------------------------
+    def _is_expired(self, item) -> bool:
+        deadline = getattr(item, "deadline", None)
+        return deadline is not None and self._clock() >= deadline
+
+    def _pop_live(self, expired: list):
+        """Pop queue items, diverting expired ones; None if none live."""
+        while self._items:
+            item = self._items.popleft()
+            if self._is_expired(item):
+                expired.append(item)
+                continue
+            return item
+        return None
+
+    def next_batch(self) -> Optional[list]:
+        """Block for the next micro-batch; ``None`` once closed and drained.
+
+        Expired requests never reach a worker: they are swept into the
+        ``on_expired`` callback (fired after the lock is released) both when
+        popped and when skipped over while batching.
+        """
+        while True:
+            batch, expired, done = self._collect()
+            if self._on_expired is not None:
+                for item in expired:
+                    try:
+                        self._on_expired(item)
+                    except Exception:  # callback faults must not kill workers
+                        pass
+            if done:
+                return None
+            if batch:
                 return batch
-            deadline = self._clock() + self.max_wait_ms / 1000.0
-            while len(batch) < self.max_batch:
+            # Everything popped this round was expired — go wait again.
+
+    def _collect(self) -> Tuple[list, list, bool]:
+        """One locked pass: (batch, expired items, exit signal)."""
+        expired: list = []
+        with self._cond:
+            first = None
+            while first is None:
+                first = self._pop_live(expired)
+                if first is not None:
+                    break
+                if expired:
+                    # Release the lock so expired futures resolve promptly
+                    # before we block again.
+                    return [], expired, False
+                if self._closed:
+                    return [], expired, True
+                # Event-driven idle wait: woken exactly by submit/requeue/
+                # close.  A wakeup that finds nothing is spurious.
+                self._cond.wait()
+                if not self._items and not self._closed:
+                    self.idle_wakeups += 1
+            batch = [first]
+            effective_max = min(self.max_batch, getattr(first, "batch_limit", self.max_batch))
+            if effective_max <= 1:
+                return batch, expired, False
+            scale = self._wait_scale() if self._wait_scale is not None else 1.0
+            deadline = self._clock() + (self.max_wait_ms * max(0.0, scale)) / 1000.0
+            while len(batch) < effective_max:
                 if self._items:
+                    nxt = self._items[0]
+                    if self._is_expired(nxt):
+                        expired.append(self._items.popleft())
+                        continue
+                    # A request's batch_limit caps the whole batch: stop
+                    # before adding it would exceed its cap, else tighten.
+                    limit = getattr(nxt, "batch_limit", self.max_batch)
+                    if limit < len(batch) + 1:
+                        break
                     batch.append(self._items.popleft())
+                    effective_max = min(effective_max, limit)
                     continue
                 if self._closed:
                     break  # draining — no stragglers are coming
@@ -206,7 +357,7 @@ class RequestScheduler:
                 self._cond.wait(timeout=min(remaining, 0.05))
                 if not self._items and self._clock() >= deadline:
                     break
-            return batch
+            return batch, expired, False
 
     def close(self) -> None:
         """Stop admitting; wake every waiter so workers can drain and exit."""
@@ -215,30 +366,223 @@ class RequestScheduler:
             self._cond.notify_all()
 
 
+class ServingGovernor:
+    """Overload ladder for the serving layer: observe pressure, degrade in steps.
+
+    Pressure is the admission-queue depth as a fraction of capacity (the
+    in-flight count is folded in at quarter weight), optionally bumped one
+    level when the EWMA of batch latency blows through ``latency_slo_ms``.
+    Levels, in order:
+
+    ==============  =====================================================
+    ``healthy``     everything admitted, full straggler wait
+    ``reduced_wait``  micro-batch straggler wait cut to 25 % (flush sooner)
+    ``shedding``    straggler wait zero; priorities below ``normal_priority``
+                    are rejected with :class:`Overloaded` (``low_priority``)
+    ``cache_only``  only cache hits are served; everything else is shed
+                    (``cache_only``)
+    ==============  =====================================================
+
+    Hysteresis: stepping *down* requires the pressure fraction to fall
+    ``recover_margin`` below the threshold that triggered the step up, and
+    only one level per observation, so the ladder cannot flap per request.
+    All methods are thread-safe (one small lock).
+    """
+
+    LEVELS = ("healthy", "reduced_wait", "shedding", "cache_only")
+
+    def __init__(
+        self,
+        max_queue: int,
+        *,
+        reduce_wait_at: float = 0.5,
+        shed_at: float = 0.75,
+        cache_only_at: float = 0.9,
+        recover_margin: float = 0.15,
+        ewma_alpha: float = 0.2,
+        latency_slo_ms: Optional[float] = None,
+        normal_priority: int = 1,
+    ) -> None:
+        if max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got {max_queue}")
+        if not 0.0 < reduce_wait_at <= shed_at <= cache_only_at <= 1.0:
+            raise ValueError(
+                "thresholds must satisfy 0 < reduce_wait_at <= shed_at <= cache_only_at <= 1"
+            )
+        if not 0.0 < ewma_alpha <= 1.0:
+            raise ValueError(f"ewma_alpha must be in (0, 1], got {ewma_alpha}")
+        self.max_queue = max_queue
+        self.thresholds = (reduce_wait_at, shed_at, cache_only_at)
+        self.recover_margin = recover_margin
+        self.ewma_alpha = ewma_alpha
+        self.latency_slo_ms = latency_slo_ms
+        self.normal_priority = normal_priority
+        self._lock = threading.Lock()
+        self._level = 0
+        self._ewma_ms: Optional[float] = None
+        self._last_frac = 0.0
+
+    @property
+    def level(self) -> int:
+        with self._lock:
+            return self._level
+
+    @property
+    def state(self) -> str:
+        return self.LEVELS[self.level]
+
+    @property
+    def ewma_latency_ms(self) -> Optional[float]:
+        with self._lock:
+            return self._ewma_ms
+
+    # ------------------------------------------------------------------
+    def observe_queue(self, depth: int, inflight: int = 0) -> None:
+        """Fold one queue-depth sample into the ladder (called at submit)."""
+        frac = (depth + 0.25 * inflight) / self.max_queue
+        with self._lock:
+            self._update(frac)
+
+    def observe_batch(self, seconds: float, batch_size: int) -> None:
+        """Fold one completed batch's latency into the EWMA."""
+        ms = seconds * 1000.0
+        with self._lock:
+            if self._ewma_ms is None:
+                self._ewma_ms = ms
+            else:
+                self._ewma_ms += self.ewma_alpha * (ms - self._ewma_ms)
+            # Latency pressure re-evaluates the ladder at the last depth
+            # sample; the SLO bump is applied inside _update.
+            self._update(self._last_frac)
+
+    def _update(self, frac: float) -> None:
+        self._last_frac = frac
+        target = 0
+        for index, threshold in enumerate(self.thresholds):
+            if frac >= threshold:
+                target = index + 1
+        if (
+            self.latency_slo_ms is not None
+            and self._ewma_ms is not None
+            and self._ewma_ms > self.latency_slo_ms
+        ):
+            target = min(len(self.LEVELS) - 1, target + 1)
+        if target > self._level:
+            self._level = target
+        elif target < self._level:
+            # Step down one level at a time, and only once pressure has
+            # fallen recover_margin below the current level's threshold.
+            threshold = self.thresholds[self._level - 1]
+            if frac <= threshold - self.recover_margin:
+                self._level -= 1
+
+    # ------------------------------------------------------------------
+    def admit(self, priority: int = 1) -> Optional[str]:
+        """``None`` to admit, else the shed reason for this request."""
+        with self._lock:
+            level = self._level
+        if level >= 3:
+            return "cache_only"
+        if level >= 2 and priority < self.normal_priority:
+            return "low_priority"
+        return None
+
+    def wait_scale(self) -> float:
+        """Multiplier for the scheduler's straggler wait at the current level."""
+        with self._lock:
+            level = self._level
+        if level == 0:
+            return 1.0
+        if level == 1:
+            return 0.25
+        return 0.0
+
+
 class _Request:
-    """One admitted briefing request: payload plus its resolution future."""
+    """One admitted briefing request: payload plus its resolution future.
 
-    __slots__ = ("doc_id", "html", "future")
+    ``future`` is the *computation* future — the single-flight leader that a
+    worker resolves; per-waiter futures live in the pipeline's ``_Flight``.
+    ``deadline`` is the effective deadline: the max over every waiter's
+    (``None`` = unbounded), so the scheduler/worker only drop the request
+    when *all* waiters have expired.  ``attempts`` counts worker deaths this
+    request survived; ``batch_limit`` caps the batch it may ride in
+    (halved by the supervisor to bisect poison batches).
+    """
 
-    def __init__(self, doc_id: str, html: str, future: "Future[PartialBrief]") -> None:
+    __slots__ = ("doc_id", "html", "future", "deadline", "priority", "attempts", "batch_limit")
+
+    def __init__(
+        self,
+        doc_id: str,
+        html: str,
+        future: "Future[PartialBrief]",
+        deadline: Optional[float] = None,
+        priority: int = 1,
+    ) -> None:
         self.doc_id = doc_id
         self.html = html
         self.future = future
+        self.deadline = deadline
+        self.priority = priority
+        self.attempts = 0
+        self.batch_limit = 1_000_000_000
+
+    def expired(self, now: float) -> bool:
+        return self.deadline is not None and now >= self.deadline
+
+    def extend_deadline(self, deadline: Optional[float]) -> None:
+        """A new waiter joined: the effective deadline is the max (None = ∞)."""
+        if self.deadline is None:
+            return
+        if deadline is None:
+            self.deadline = None
+        else:
+            self.deadline = max(self.deadline, deadline)
 
 
 class _Worker:
-    """One pool member: a private pipeline plus private observability state."""
+    """One pool member: a private pipeline plus private observability state.
 
-    __slots__ = ("index", "pipeline", "stats", "tracer", "registry", "thread")
+    ``heartbeat`` (a clock sample) and ``current_batch`` are the supervisor's
+    window into the worker: a live thread with a stale heartbeat and a held
+    batch is *wedged*; a dead thread with ``exited`` unset *died* mid-batch.
+    ``generation`` increments on every resurrection so restarted threads are
+    distinguishable.
+    """
+
+    __slots__ = (
+        "index",
+        "pipeline",
+        "stats",
+        "tracer",
+        "registry",
+        "thread",
+        "generation",
+        "heartbeat",
+        "current_batch",
+        "exited",
+        "handled",
+        "deadline_hist",
+    )
 
     def __init__(self, index: int, pipeline: BatchedBriefingPipeline, stats: RuntimeStats,
-                 tracer, registry) -> None:
+                 tracer, registry, generation: int = 0) -> None:
         self.index = index
         self.pipeline = pipeline
         self.stats = stats
         self.tracer = tracer
         self.registry = registry
         self.thread: Optional[threading.Thread] = None
+        self.generation = generation
+        self.heartbeat: Optional[float] = None
+        self.current_batch: Optional[List[_Request]] = None
+        self.exited = False
+        self.handled = False
+        self.deadline_hist = registry.histogram(
+            "request_deadline_remaining_seconds",
+            help="remaining deadline budget sampled at worker dispatch",
+        )
 
 
 class WorkerPool:
@@ -249,7 +593,13 @@ class WorkerPool:
     fallback pipeline — is per-worker, because none of those are safe to
     share across threads.  ``merged_stats()`` / ``metrics_snapshot()`` /
     ``trace_spans()`` combine the per-worker state on read (metric merging
-    is associative, so the result is worker-order independent).
+    is associative, so the result is worker-order independent), including
+    the state of *retired* workers (ones that died and were replaced), so
+    resurrection never loses counters.
+
+    ``chaos`` is an optional :class:`~repro.runtime.chaos.ChaosWorker`
+    invoked once per dispatched batch; ``governor`` (if given) receives
+    batch-latency observations.
     """
 
     def __init__(
@@ -265,106 +615,445 @@ class WorkerPool:
         hash_fn: Optional[Callable[[str], Hashable]] = None,
         dtype=None,
         observe: bool = False,
+        chaos=None,
+        clock: Optional[Callable[[], float]] = None,
+        governor: Optional[ServingGovernor] = None,
     ) -> None:
         if num_workers < 1:
             raise ValueError(f"num_workers must be >= 1, got {num_workers}")
         self.scheduler = scheduler
         self.observe = observe
-        self._workers: List[_Worker] = []
-        for index in range(num_workers):
-            stats = RuntimeStats()
-            tracer = Tracer() if observe else NOOP_TRACER
-            registry = MetricsRegistry() if observe else NOOP_REGISTRY
-            pipeline = BatchedBriefingPipeline(
-                model,
-                beam_size=beam_size,
-                stats=stats,
-                batch_size=batch_size,
-                hash_fn=hash_fn,
-                dtype=dtype,
-                tracer=tracer,
-                registry=registry,
-                brief_cache=brief_cache,
-                render_cache=render_cache,
-            )
-            self._workers.append(_Worker(index, pipeline, stats, tracer, registry))
+        self.chaos = chaos
+        self.governor = governor
+        self.clock = clock if clock is not None else time.monotonic
+        self._model = model
+        self._beam_size = beam_size
+        self._batch_size = batch_size
+        self._brief_cache = brief_cache
+        self._render_cache = render_cache
+        self._hash_fn = hash_fn
+        self._dtype = dtype
+        self._lock = threading.Lock()
+        self._retired: List[_Worker] = []
+        self._workers: List[_Worker] = [
+            self._make_worker(index, 0) for index in range(num_workers)
+        ]
+
+    def _make_worker(self, index: int, generation: int) -> _Worker:
+        stats = RuntimeStats()
+        tracer = Tracer() if self.observe else NOOP_TRACER
+        registry = MetricsRegistry() if self.observe else NOOP_REGISTRY
+        pipeline = BatchedBriefingPipeline(
+            self._model,
+            beam_size=self._beam_size,
+            stats=stats,
+            batch_size=self._batch_size,
+            hash_fn=self._hash_fn,
+            dtype=self._dtype,
+            tracer=tracer,
+            registry=registry,
+            brief_cache=self._brief_cache,
+            render_cache=self._render_cache,
+        )
+        return _Worker(index, pipeline, stats, tracer, registry, generation)
 
     @property
     def num_workers(self) -> int:
         return len(self._workers)
 
+    @property
+    def workers(self) -> List[_Worker]:
+        """Live worker records (for the supervisor; treat as read-only)."""
+        with self._lock:
+            return list(self._workers)
+
     def start(self) -> None:
         """Spawn one daemon thread per worker (idempotent)."""
-        for worker in self._workers:
+        with self._lock:
+            workers = list(self._workers)
+        for worker in workers:
             if worker.thread is not None:
                 continue
-            thread = threading.Thread(
-                target=self._run, args=(worker,), name=f"brief-worker-{worker.index}",
-                daemon=True,
-            )
-            worker.thread = thread
-            thread.start()
+            self._start_worker(worker)
 
-    def join(self, timeout: Optional[float] = None) -> None:
-        """Wait for every started worker to exit (scheduler must be closed)."""
-        for worker in self._workers:
-            if worker.thread is not None:
-                worker.thread.join(timeout=timeout)
+    def _start_worker(self, worker: _Worker) -> None:
+        thread = threading.Thread(
+            target=self._run,
+            args=(worker,),
+            name=f"brief-worker-{worker.index}-g{worker.generation}",
+            daemon=True,
+        )
+        worker.thread = thread
+        thread.start()
+
+    def restart_worker(self, worker: _Worker) -> Optional[_Worker]:
+        """Replace a dead/wedged worker with a fresh generation.
+
+        The old worker's stats/tracer/registry are retired (still counted in
+        merged reads); the replacement gets entirely fresh per-worker state,
+        so a crash can never leave a worker with corrupted internals.
+        Returns the replacement, or ``None`` if ``worker`` was already
+        replaced (two supervision passes racing).
+        """
+        with self._lock:
+            if self._workers[worker.index] is not worker:
+                return None
+            replacement = self._make_worker(worker.index, worker.generation + 1)
+            self._retired.append(worker)
+            self._workers[worker.index] = replacement
+        self._start_worker(replacement)
+        return replacement
+
+    def join(self, timeout: Optional[float] = None) -> List[str]:
+        """Wait for every started worker to exit (scheduler must be closed).
+
+        A single absolute deadline is shared across all joins — ``timeout``
+        bounds the *total* wall time, not each worker's.  Returns the names
+        of threads still alive when the deadline hit (empty on clean exit).
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            # Fresh snapshot each round: the supervisor may have swapped in
+            # replacement workers while we were joining the previous ones.
+            alive = [
+                worker.thread
+                for worker in self.workers
+                if worker.thread is not None and worker.thread.is_alive()
+            ]
+            if not alive:
+                return []
+            for thread in alive:
+                if deadline is None:
+                    thread.join()
+                else:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    thread.join(timeout=remaining)
+            if deadline is not None and time.monotonic() >= deadline:
+                return [thread.name for thread in alive if thread.is_alive()]
+
+    def stuck_workers(self) -> List[_Worker]:
+        """Workers whose thread is still alive after a failed join."""
+        return [
+            worker
+            for worker in self.workers
+            if worker.thread is not None and worker.thread.is_alive()
+        ]
 
     def _run(self, worker: _Worker) -> None:
         while True:
+            worker.heartbeat = self.clock()
             batch: Optional[List[_Request]] = self.scheduler.next_batch()
             if batch is None:
+                worker.exited = True
                 return
-            worker.stats.inc("batches_dispatched")
-            pages = [(request.doc_id, request.html) for request in batch]
+            worker.heartbeat = self.clock()
+            worker.current_batch = batch
             try:
-                briefs = worker.pipeline.brief_many(pages)
-            except BaseException as exc:  # brief_many never raises; last resort
-                briefs = [
-                    PartialBrief(
-                        topic=[],
-                        attributes=[],
-                        degradations=[Degradation("serve", "empty_brief", _reason(exc))],
-                    )
-                    for _ in batch
-                ]
-            for request, brief in zip(batch, briefs):
-                request.future.set_result(brief)
+                self._serve_batch(worker, batch)
+            except WorkerDeath:
+                # The injected crash: the thread terminates right here with
+                # ``exited`` unset and ``current_batch`` still held — the
+                # exact signature the supervisor scans for.  Returning (vs
+                # propagating) only silences the default excepthook noise.
+                return
+            # Only a normal completion clears the held batch: if the worker
+            # dies inside _serve_batch the supervisor finds the batch here.
+            worker.current_batch = None
+
+    def _serve_batch(self, worker: _Worker, batch: List[_Request]) -> None:
+        worker.stats.inc("batches_dispatched")
+        now = self.clock()
+        live: List[_Request] = []
+        for request in batch:
+            if request.expired(now):
+                worker.stats.inc("deadline_expirations")
+                _resolve(request.future, _deadline_partial("before dispatch"))
+            else:
+                if request.deadline is not None:
+                    worker.deadline_hist.observe(max(0.0, request.deadline - now))
+                live.append(request)
+        if not live:
+            return
+        if self.chaos is not None:
+            try:
+                self.chaos.on_batch(worker.index, len(live))
+            except Exception as exc:  # injected transient fault — degrade
+                self._degrade_batch(worker, live, exc)
+                return
+            # WorkerDeath is a BaseException and deliberately NOT caught:
+            # the thread dies holding the batch, for the supervisor to find.
+        started = self.clock()
+        try:
+            briefs = worker.pipeline.brief_many(
+                [(request.doc_id, request.html) for request in live],
+                deadlines=[request.deadline for request in live],
+                clock=self.clock,
+            )
+        except Exception as exc:  # brief_many never raises; last resort
+            self._degrade_batch(worker, live, exc)
+            return
+        if self.governor is not None:
+            self.governor.observe_batch(self.clock() - started, len(live))
+        for request, brief in zip(live, briefs):
+            _resolve(request.future, brief)
+
+    def _degrade_batch(self, worker: _Worker, batch: List[_Request], exc: BaseException) -> None:
+        for request in batch:
+            _resolve(
+                request.future,
+                PartialBrief(
+                    topic=[],
+                    attributes=[],
+                    degradations=[Degradation("serve", "empty_brief", _reason(exc))],
+                ),
+            )
 
     # ------------------------------------------------------------------
+    def _all_workers(self) -> List[_Worker]:
+        with self._lock:
+            return list(self._workers) + list(self._retired)
+
     def merged_stats(self) -> RuntimeStats:
-        """Element-wise sum of every worker's counters."""
+        """Element-wise sum of every worker's counters (retired included)."""
         merged = RuntimeStats()
-        for worker in self._workers:
+        for worker in self._all_workers():
             merged = merged.merge(worker.stats)
         return merged
 
     def metrics_snapshot(self) -> MetricsSnapshot:
         """Associative merge of every worker's registry snapshot."""
         merged = MetricsSnapshot()
-        for worker in self._workers:
+        for worker in self._all_workers():
             merged = merged.merge(worker.registry.snapshot())
         return merged
 
     def trace_spans(self) -> list:
         """Finished spans from every worker tracer (ids unique per worker)."""
         spans = []
-        for worker in self._workers:
+        for worker in self._all_workers():
             for span in worker.tracer.spans:
                 span.attributes.setdefault("worker", worker.index)
                 spans.append(span)
         return spans
 
 
+class WorkerSupervisor:
+    """Detect dead/wedged workers, resurrect them, re-queue their batches.
+
+    Runs a daemon loop (or is driven manually via :meth:`check` in tests)
+    over the pool's workers:
+
+    * a thread that is **dead** without having seen the exit signal died
+      mid-batch (e.g. :class:`~repro.runtime.chaos.WorkerDeath`);
+    * a thread that is **alive** but has held the same batch past
+      ``wedge_timeout`` seconds with a stale heartbeat is *wedged*.
+
+    Either way the worker is replaced via
+    :meth:`WorkerPool.restart_worker` (fresh stats/tracer/registry) and its
+    held batch is re-queued at the front of the scheduler.  Re-dispatch is
+    at-most-once per request: futures a late-finishing wedged worker already
+    resolved are skipped (:func:`_resolve` loses that race gracefully), and
+    the pipeline's content-hash cache makes a duplicated model pass
+    idempotent.
+
+    Poison handling: every re-queued request's ``attempts`` increments and
+    its ``batch_limit`` is halved (``max(1, len(batch) // 2)``), so a batch
+    that keeps killing workers bisects down to single-request batches.  A
+    request that dies *alone* ``poison_threshold`` times (or anyone at
+    ``max_attempts``) is quarantined — resolved with a
+    ``serve → quarantined`` degradation, reported to ``on_quarantine`` and
+    counted; repeated deaths also feed the serving-level ``breaker``.
+    """
+
+    def __init__(
+        self,
+        pool: WorkerPool,
+        scheduler: RequestScheduler,
+        *,
+        poll_interval: float = 0.02,
+        wedge_timeout: Optional[float] = None,
+        max_attempts: int = 5,
+        poison_threshold: int = 2,
+        breaker: Optional[CircuitBreaker] = None,
+        on_quarantine: Optional[Callable[[_Request], None]] = None,
+        stats: Optional[RuntimeStats] = None,
+        registry: Optional[MetricsRegistry] = None,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        if poison_threshold < 1:
+            raise ValueError(f"poison_threshold must be >= 1, got {poison_threshold}")
+        self.pool = pool
+        self.scheduler = scheduler
+        self.poll_interval = poll_interval
+        self.wedge_timeout = wedge_timeout
+        self.max_attempts = max_attempts
+        self.poison_threshold = poison_threshold
+        self.on_quarantine = on_quarantine
+        self.stats = stats if stats is not None else RuntimeStats()
+        self.registry = registry if registry is not None else NOOP_REGISTRY
+        self._clock = clock if clock is not None else pool.clock
+        self.breaker = breaker if breaker is not None else CircuitBreaker(
+            failure_threshold=3,
+            recovery_time=30.0,
+            clock=self._clock,
+            on_trip=lambda: self.stats.inc("breaker_trips"),
+        )
+        self._restarts = self.registry.counter(
+            "serving_worker_restarts_total", help="dead/wedged workers resurrected"
+        )
+        self._requeued = self.registry.counter(
+            "serving_batches_requeued_total", help="held batches re-queued after a death"
+        )
+        self._quarantined = self.registry.counter(
+            "serving_poison_quarantined_total", help="poison requests quarantined"
+        )
+        self._heartbeat_age = self.registry.gauge(
+            "serving_worker_heartbeat_age_seconds", help="per-worker heartbeat staleness"
+        )
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    def start(self) -> None:
+        """Spawn the supervision loop (idempotent)."""
+        if self._thread is not None:
+            return
+        self._thread = threading.Thread(target=self._loop, name="brief-supervisor", daemon=True)
+        self._thread.start()
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.poll_interval):
+            try:
+                self.check()
+            except Exception:  # supervision faults must not kill supervision
+                pass
+
+    def stop(self) -> None:
+        """Stop the loop; run one last pass that resolves instead of restarting."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+        # Final sweep: any worker that died right at shutdown still holds a
+        # batch; resolve those futures (degraded) rather than resurrecting.
+        self.check(restart=False)
+
+    # ------------------------------------------------------------------
+    def check(self, restart: bool = True) -> int:
+        """One supervision pass; returns the number of failures handled."""
+        handled = 0
+        now = self._clock()
+        for worker in self.pool.workers:
+            thread = worker.thread
+            if thread is None or worker.handled:
+                continue
+            if worker.heartbeat is not None:
+                self._heartbeat_age.set(
+                    max(0.0, now - worker.heartbeat), worker=str(worker.index)
+                )
+            if thread.is_alive():
+                if (
+                    self.wedge_timeout is not None
+                    and worker.current_batch is not None
+                    and worker.heartbeat is not None
+                    and now - worker.heartbeat >= self.wedge_timeout
+                ):
+                    worker.handled = True
+                    self._handle_failure(worker, "wedged", restart)
+                    handled += 1
+                continue
+            if not worker.exited:
+                worker.handled = True
+                self._handle_failure(worker, "died", restart)
+                handled += 1
+        return handled
+
+    def _handle_failure(self, worker: _Worker, kind: str, restart: bool) -> None:
+        batch = worker.current_batch or []
+        survivors: List[_Request] = []
+        repeat_death = False
+        for request in batch:
+            if request.future.done():
+                continue  # resolved before the crash — nothing to redo
+            request.attempts += 1
+            if request.attempts >= 2:
+                repeat_death = True
+            solo = len(batch) == 1
+            if (solo and request.attempts >= self.poison_threshold) or (
+                request.attempts >= self.max_attempts
+            ):
+                self._quarantine(request)
+                continue
+            if len(batch) > 1:
+                # Bisection: survivors of a multi-request death ride in
+                # batches at most half the size that died.
+                request.batch_limit = min(request.batch_limit, max(1, len(batch) // 2))
+            survivors.append(request)
+        if repeat_death:
+            self.breaker.record_failure()
+        if restart:
+            replacement = self.pool.restart_worker(worker)
+            if replacement is not None:
+                self.stats.inc("worker_restarts")
+                self._restarts.inc(reason=kind)
+            if survivors:
+                self.stats.inc("batches_requeued")
+                self._requeued.inc()
+                self.scheduler.requeue(survivors)
+        else:
+            # Shutdown path: no replacement worker is coming, so the held
+            # work resolves degraded instead of being re-queued.
+            exc = Overloaded("worker lost at shutdown", reason="shutdown")
+            for request in survivors:
+                _resolve(
+                    request.future,
+                    PartialBrief(
+                        topic=[],
+                        attributes=[],
+                        degradations=[Degradation("serve", "empty_brief", _reason(exc))],
+                    ),
+                )
+
+    def _quarantine(self, request: _Request) -> None:
+        self.stats.inc("poison_quarantined")
+        self._quarantined.inc()
+        self.breaker.record_failure()
+        exc = Overloaded(
+            f"request quarantined after {request.attempts} worker deaths", reason="poison"
+        )
+        _resolve(
+            request.future,
+            PartialBrief(
+                topic=[],
+                attributes=[],
+                degradations=[Degradation("serve", "quarantined", _reason(exc))],
+            ),
+        )
+        if self.on_quarantine is not None:
+            try:
+                self.on_quarantine(request)
+            except Exception:
+                pass
+
+
 class _Flight:
-    """Single-flight record: the leader's future plus waiting followers."""
+    """Single-flight record: the computation request plus waiting futures.
 
-    __slots__ = ("leader", "followers")
+    ``waiters`` holds ``(future, deadline)`` pairs — every submit for this
+    content, leader included.  The computation's result fans out to each
+    waiter at publish time, where each is checked against its *own*
+    deadline: a waiter whose deadline passed gets a ``DeadlineExceeded``
+    brief even though the shared computation finished (and was cached).
+    """
 
-    def __init__(self, leader: "Future[PartialBrief]") -> None:
-        self.leader = leader
-        self.followers: List["Future[PartialBrief]"] = []
+    __slots__ = ("request", "waiters")
+
+    def __init__(self, request: _Request) -> None:
+        self.request = request
+        self.waiters: List[Tuple["Future[PartialBrief]", Optional[float]]] = []
 
 
 class ConcurrentBriefingPipeline:
@@ -382,18 +1071,32 @@ class ConcurrentBriefingPipeline:
         submit(html) ──▶ brief cache? ──hit──▶ resolved future (copy)
                            │ miss
                            ▼
-                        in-flight? ──yes──▶ follower future (copy on publish)
+                        in-flight? ──yes──▶ waiter future (copy on publish)
                            │ no (leader)
+                           ▼
+                        governor.admit? ──shed──▶ degraded Overloaded brief
+                           │ admitted
                            ▼
                         scheduler.submit ──QueueFull──▶ degraded PartialBrief
                            │ admitted
                            ▼
                         worker micro-batch ─▶ brief_many ─▶ future resolved
 
+    Fault tolerance on top of the original contracts:
+
+    * ``deadline_ms`` per request (or ``default_deadline_ms``): expired
+      requests are dropped in the queue, at worker dispatch and per pipeline
+      stage, and resolve to typed ``DeadlineExceeded`` briefs — never hang.
+    * a :class:`ServingGovernor` sheds load in steps before the queue fills;
+    * a :class:`WorkerSupervisor` (``supervise=True``) resurrects dead or
+      wedged workers, re-queues their held batches and quarantines poison
+      content (whose hash is then shed at the front door).
+
     ``submit`` never blocks and the returned future always completes, so
     ``brief_many`` (submit all, then wait) cannot deadlock.  Use as a
     context manager, or call :meth:`shutdown` — close admission, drain the
-    queue, join the workers.
+    queue, join the workers; it returns (and records in ``stuck_workers``)
+    the names of workers that failed to exit in time.
     """
 
     def __init__(
@@ -414,12 +1117,32 @@ class ConcurrentBriefingPipeline:
         observe: bool = False,
         clock: Optional[Callable[[], float]] = None,
         start: bool = True,
+        default_deadline_ms: Optional[float] = None,
+        governor: Optional[ServingGovernor] = None,
+        supervise: bool = True,
+        supervisor_poll_ms: float = 20.0,
+        wedge_timeout_ms: Optional[float] = None,
+        chaos=None,
+        breaker: Optional[CircuitBreaker] = None,
     ) -> None:
         self.stats = stats if stats is not None else RuntimeStats()
+        self._clock = clock if clock is not None else time.monotonic
+        self._hash_fn = hash_fn if hash_fn is not None else content_hash
+        self.default_deadline_ms = default_deadline_ms
         self.brief_cache = ShardedBriefCache(brief_cache_size, num_shards, hash_fn=hash_fn)
         self.render_cache = ShardedBriefCache(render_cache_size, num_shards, hash_fn=hash_fn)
+        if governor is None:
+            governor = ServingGovernor(max_queue)
+        elif governor is False:
+            governor = None
+        self.governor = governor
         self.scheduler = RequestScheduler(
-            max_queue=max_queue, max_batch=max_batch, max_wait_ms=max_wait_ms, clock=clock
+            max_queue=max_queue,
+            max_batch=max_batch,
+            max_wait_ms=max_wait_ms,
+            clock=clock,
+            on_expired=self._on_queue_expired,
+            wait_scale=governor.wait_scale if governor is not None else None,
         )
         self.pool = WorkerPool(
             model,
@@ -432,6 +1155,9 @@ class ConcurrentBriefingPipeline:
             hash_fn=hash_fn,
             dtype=dtype,
             observe=observe,
+            chaos=chaos,
+            clock=clock,
+            governor=governor,
         )
         self.registry = MetricsRegistry() if observe else NOOP_REGISTRY
         self._request_counter = self.registry.counter(
@@ -440,18 +1166,43 @@ class ConcurrentBriefingPipeline:
         self._queue_depth = self.registry.gauge(
             "serving_queue_depth", help="admission queue depth sampled at submit"
         )
+        self._shed_counter = self.registry.counter(
+            "serving_shed_total", help="requests shed by the governor, by reason"
+        )
+        self._governor_level = self.registry.gauge(
+            "serving_governor_level", help="overload ladder level (0=healthy)"
+        )
+        self.supervisor: Optional[WorkerSupervisor] = None
+        if supervise:
+            self.supervisor = WorkerSupervisor(
+                self.pool,
+                self.scheduler,
+                poll_interval=supervisor_poll_ms / 1000.0,
+                wedge_timeout=None if wedge_timeout_ms is None else wedge_timeout_ms / 1000.0,
+                breaker=breaker,
+                on_quarantine=self._on_quarantine,
+                registry=self.registry,
+                clock=clock,
+            )
         # One lock guards the in-flight map *and* the frontend counters —
         # submissions are cheap, so contention here is negligible next to a
         # model pass.
         self._lock = threading.Lock()
         self._inflight: Dict[str, _Flight] = {}
+        self._poison: Set[Hashable] = set()
         self._shutdown = False
+        #: thread names that failed to exit during the last shutdown().
+        self.stuck_workers: List[str] = []
         if start:
             self.pool.start()
+            if self.supervisor is not None:
+                self.supervisor.start()
 
     # ------------------------------------------------------------------
     def __enter__(self) -> "ConcurrentBriefingPipeline":
         self.pool.start()
+        if self.supervisor is not None:
+            self.supervisor.start()
         return self
 
     def __exit__(self, exc_type, exc, tb) -> bool:
@@ -462,17 +1213,48 @@ class ConcurrentBriefingPipeline:
     def num_workers(self) -> int:
         return self.pool.num_workers
 
-    def shutdown(self, timeout: Optional[float] = None) -> None:
+    def shutdown(self, timeout: Optional[float] = None) -> List[str]:
         """Close admission, drain every queued request, join the workers.
 
         Admitted work is never dropped: workers keep pulling batches until
         the queue is empty, and only then observe the exit signal.  Requests
-        submitted after shutdown are rejected as degraded briefs.
+        submitted after shutdown are rejected as degraded briefs.  Returns
+        the names of worker threads that failed to exit within ``timeout``
+        (also kept in :attr:`stuck_workers`); their held requests are
+        resolved degraded so no future is left hanging.
         """
         with self._lock:
             self._shutdown = True
         self.scheduler.close()
-        self.pool.join(timeout=timeout)
+        stuck = self.pool.join(timeout=timeout)
+        if self.supervisor is not None:
+            self.supervisor.stop()
+        # Conservation sweep: anything still queued (e.g. re-queued work
+        # that no worker picked up before the deadline) resolves degraded.
+        exc = Overloaded("pipeline shut down before the request was served", reason="shutdown")
+        for request in self.scheduler.drain():
+            _resolve(
+                request.future,
+                PartialBrief(
+                    topic=[],
+                    attributes=[],
+                    degradations=[Degradation("serve", "empty_brief", _reason(exc))],
+                ),
+            )
+        # A stuck worker still holds its batch; resolve those futures too so
+        # every submitted future completes even on a dirty shutdown.
+        for worker in self.pool.stuck_workers():
+            for request in list(worker.current_batch or []):
+                _resolve(
+                    request.future,
+                    PartialBrief(
+                        topic=[],
+                        attributes=[],
+                        degradations=[Degradation("serve", "empty_brief", _reason(exc))],
+                    ),
+                )
+        self.stuck_workers = stuck
+        return stuck
 
     # ------------------------------------------------------------------
     def _degraded(self, exc: BaseException) -> PartialBrief:
@@ -482,23 +1264,82 @@ class ConcurrentBriefingPipeline:
             degradations=[Degradation("admission", "rejected", _reason(exc))],
         )
 
-    def _publish(self, html: str, leader: "Future[PartialBrief]") -> None:
-        """Leader finished: release the in-flight entry, feed the followers."""
+    def _on_quarantine(self, request: _Request) -> None:
+        """Supervisor found poison: shed this content at the front door."""
+        with self._lock:
+            self._poison.add(self._hash_fn(request.html))
+
+    def _on_queue_expired(self, request: _Request) -> None:
+        """Scheduler swept an expired request out of the admission queue."""
+        if _resolve(request.future, _deadline_partial("in the admission queue")):
+            with self._lock:
+                self.stats.inc("deadline_expirations")
+
+    def _publish(self, html: str, computation: "Future[PartialBrief]") -> None:
+        """Computation finished: release the in-flight entry, feed waiters.
+
+        Each waiter is checked against its *own* deadline: a follower whose
+        budget ran out gets a ``DeadlineExceeded`` brief even though the
+        shared computation finished (the result is still cached for future
+        hits).  When the result itself is a deadline brief the per-waiter
+        check is skipped — the expiration was already counted once.
+        """
         with self._lock:
             flight = self._inflight.pop(html, None)
         if flight is None:
             return
-        result = leader.result()
-        for follower in flight.followers:
-            follower.set_result(_copy_brief(result))
+        result = computation.result()
+        result_is_deadline = any(d.stage == "deadline" for d in result.degradations)
+        now = self._clock()
+        expired_waiters = 0
+        for future, waiter_deadline in flight.waiters:
+            if (
+                not result_is_deadline
+                and waiter_deadline is not None
+                and now >= waiter_deadline
+            ):
+                if _resolve(future, _deadline_partial("before publish")):
+                    expired_waiters += 1
+            else:
+                _resolve(future, _copy_brief(result))
+        if expired_waiters:
+            with self._lock:
+                self.stats.inc("deadline_expirations", expired_waiters)
 
-    def submit(self, html: str, doc_id: str = "adhoc") -> "Future[PartialBrief]":
+    def _effective_deadline(self, deadline_ms: Optional[float]) -> Optional[float]:
+        ms = deadline_ms if deadline_ms is not None else self.default_deadline_ms
+        if ms is None:
+            return None
+        return self._clock() + ms / 1000.0
+
+    def _shed(
+        self, future: "Future[PartialBrief]", reason: str, message: str
+    ) -> "Future[PartialBrief]":
+        with self._lock:
+            self.stats.inc("requests_shed")
+        self._shed_counter.inc(reason=reason)
+        self._request_counter.inc(outcome="shed")
+        future.set_result(self._degraded(Overloaded(message, reason=reason)))
+        return future
+
+    def submit(
+        self,
+        html: str,
+        doc_id: str = "adhoc",
+        *,
+        deadline_ms: Optional[float] = None,
+        priority: int = 1,
+    ) -> "Future[PartialBrief]":
         """Admit one page; returns a future that always completes.
 
         Cache hits resolve immediately; duplicates of an in-flight page
-        attach to the leader's computation; a full (or shut down) queue
-        resolves the future with a degraded ``admission → rejected`` brief
-        rather than raising.
+        attach to the leader's computation (their deadline *extends* the
+        shared request's effective deadline, so the computation only drops
+        when every waiter has expired); a full (or shut down) queue resolves
+        the future with a degraded ``admission → rejected`` brief, and the
+        governor's ladder sheds with a typed ``Overloaded`` reason — never
+        raising either way.  ``deadline_ms`` is relative to now (``None``
+        falls back to ``default_deadline_ms``; both ``None`` = unbounded).
         """
         future: "Future[PartialBrief]" = Future()
         cached = self.brief_cache.get(html)
@@ -508,42 +1349,89 @@ class ConcurrentBriefingPipeline:
             self._request_counter.inc(outcome="cache_hit")
             future.set_result(_copy_brief(cached))
             return future
+        deadline = self._effective_deadline(deadline_ms)
         with self._lock:
             flight = self._inflight.get(html)
             if flight is not None:
-                flight.followers.append(future)
+                flight.waiters.append((future, deadline))
+                flight.request.extend_deadline(deadline)
                 self.stats.inc("cache_hits")
                 self._request_counter.inc(outcome="coalesced")
                 return future
-            leader: "Future[PartialBrief]" = future
-            self._inflight[html] = _Flight(leader)
-        leader.add_done_callback(lambda done, html=html: self._publish(html, done))
-        request = _Request(doc_id, html, leader)
+        if deadline is not None and self._clock() >= deadline:
+            # Dead on arrival (e.g. deadline_ms=0): resolve without queueing.
+            with self._lock:
+                self.stats.inc("deadline_expirations")
+            self._request_counter.inc(outcome="expired")
+            future.set_result(_deadline_partial("on arrival"))
+            return future
+        with self._lock:
+            poisoned = self._hash_fn(html) in self._poison
+        if poisoned:
+            return self._shed(future, "poison", "content quarantined after repeated worker deaths")
+        if self.governor is not None:
+            self.governor.observe_queue(self.scheduler.depth, self.in_flight())
+            self._governor_level.set(self.governor.level)
+            reason = self.governor.admit(priority)
+            if reason is not None:
+                return self._shed(
+                    future, reason, f"shed by the serving governor ({self.governor.state})"
+                )
+        computation: "Future[PartialBrief]" = Future()
+        with self._lock:
+            flight = self._inflight.get(html)
+            if flight is not None:
+                # Another submit won the leader race while we were checking
+                # the governor; join its flight instead.
+                flight.waiters.append((future, deadline))
+                flight.request.extend_deadline(deadline)
+                self.stats.inc("cache_hits")
+                self._request_counter.inc(outcome="coalesced")
+                return future
+            request = _Request(doc_id, html, computation, deadline=deadline, priority=priority)
+            flight = _Flight(request)
+            flight.waiters.append((future, deadline))
+            self._inflight[html] = flight
+        computation.add_done_callback(lambda done, html=html: self._publish(html, done))
         try:
             self.scheduler.submit(request)
         except QueueFull as exc:
             with self._lock:
                 self.stats.inc("queue_rejections")
             self._request_counter.inc(outcome="rejected")
-            # Resolving the leader fires _publish, which also serves any
-            # followers that attached while we were trying to enqueue.
-            leader.set_result(self._degraded(exc))
-            return leader
+            # Resolving the computation fires _publish, which serves every
+            # waiter that attached while we were trying to enqueue.
+            computation.set_result(self._degraded(exc))
+            return future
         self._request_counter.inc(outcome="admitted")
         self._queue_depth.set(self.scheduler.depth)
-        return leader
+        return future
 
     # ------------------------------------------------------------------
-    def brief_html(self, html: str, doc_id: str = "adhoc") -> PartialBrief:
+    def brief_html(
+        self,
+        html: str,
+        doc_id: str = "adhoc",
+        *,
+        deadline_ms: Optional[float] = None,
+        priority: int = 1,
+    ) -> PartialBrief:
         """Single-page convenience wrapper; blocks until the brief is ready."""
-        return self.submit(html, doc_id=doc_id).result()
+        return self.submit(html, doc_id=doc_id, deadline_ms=deadline_ms, priority=priority).result()
 
-    def brief_many(self, pages: Iterable[Page]) -> List[PartialBrief]:
+    def brief_many(
+        self,
+        pages: Iterable[Page],
+        *,
+        deadline_ms: Optional[float] = None,
+        priority: int = 1,
+    ) -> List[PartialBrief]:
         """Brief many pages concurrently; results align with input order.
 
         Submits everything up front (so the scheduler can micro-batch
         aggressively), then waits.  Never raises: parse faults, model
-        faults and queue rejections all surface as degraded briefs.
+        faults, queue rejections, shed requests and expired deadlines all
+        surface as degraded briefs.
         """
         futures: List["Future[PartialBrief]"] = []
         for position, page in enumerate(pages):
@@ -551,18 +1439,23 @@ class ConcurrentBriefingPipeline:
                 doc_id, html = f"page-{position}", page
             else:
                 doc_id, html = page
-            futures.append(self.submit(html, doc_id=doc_id))
+            futures.append(
+                self.submit(html, doc_id=doc_id, deadline_ms=deadline_ms, priority=priority)
+            )
         return [future.result() for future in futures]
 
     # ------------------------------------------------------------------
     def merged_stats(self) -> RuntimeStats:
-        """Frontend + every worker's counters, element-wise summed.
+        """Frontend + supervisor + every worker's counters, element-wise summed.
 
         On a fault-free stream ``cache_hits + cache_misses`` equals the
         number of requests served: the front door counts hits and coalesced
         followers, each leader's miss is counted by exactly one worker.
         """
-        return self.stats.merge(self.pool.merged_stats())
+        merged = self.stats.merge(self.pool.merged_stats())
+        if self.supervisor is not None:
+            merged = merged.merge(self.supervisor.stats)
+        return merged
 
     def metrics_snapshot(self) -> MetricsSnapshot:
         """Frontend registry merged with every worker's, order-independent."""

@@ -12,8 +12,9 @@ of crashing.  This package holds the serving-infrastructure layer:
   ``CircuitBreaker`` (closed/open/half-open);
 * :mod:`~repro.runtime.resilient` — ``ResilientHost``, wrapping any
   ``WebsiteHost`` with retries + breakers;
-* :mod:`~repro.runtime.chaos` — ``ChaosHost`` / ``ChaosModel`` seeded fault
-  injection, so robustness is testable offline;
+* :mod:`~repro.runtime.chaos` — ``ChaosHost`` / ``ChaosModel`` /
+  ``ChaosWorker`` seeded fault injection (fetch faults, model faults, worker
+  stalls/exceptions/deaths), so robustness is testable offline;
 * :mod:`~repro.runtime.stats` — ``RuntimeStats`` counters threaded through
   crawler and pipeline and surfaced by ``repro health``.
 
@@ -21,8 +22,17 @@ The package depends only on the standard library — it sits *below*
 ``repro.html`` and ``repro.core`` in the layer diagram and never imports them.
 """
 
-from .chaos import ChaosConfig, ChaosHost, ChaosModel
-from .errors import BriefingError, FetchError, ModelError, ParseError, QueueFull, RenderError
+from .chaos import ChaosConfig, ChaosHost, ChaosModel, ChaosWorker, WorkerDeath
+from .errors import (
+    BriefingError,
+    DeadlineExceeded,
+    FetchError,
+    ModelError,
+    Overloaded,
+    ParseError,
+    QueueFull,
+    RenderError,
+)
 from .resilient import ResilientHost
 from .retry import CircuitBreaker, RetryPolicy, StepClock
 from .stats import RuntimeStats
@@ -34,6 +44,8 @@ __all__ = [
     "RenderError",
     "ModelError",
     "QueueFull",
+    "DeadlineExceeded",
+    "Overloaded",
     "RetryPolicy",
     "CircuitBreaker",
     "StepClock",
@@ -41,5 +53,7 @@ __all__ = [
     "ChaosConfig",
     "ChaosHost",
     "ChaosModel",
+    "ChaosWorker",
+    "WorkerDeath",
     "RuntimeStats",
 ]

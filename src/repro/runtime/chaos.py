@@ -4,21 +4,25 @@
 way through — transient fetch errors (a retry may succeed), *sticky* permanent
 errors (the URL is dead for the rest of the run), truncated or garbled HTML,
 and latency spikes.  :class:`ChaosModel` does the same for the model stages of
-the briefing pipeline.  All randomness comes from ``random.Random(seed)``:
-the same seed yields the same fault schedule, so chaos tests are ordinary
-deterministic tests.
+the briefing pipeline.  :class:`ChaosWorker` aims the same treatment at the
+concurrent serving layer: injected exceptions, stalls and outright *deaths*
+inside :class:`~repro.core.serving.WorkerPool` threads, so the supervisor /
+re-queue / conservation machinery is testable without real crashes.  All
+randomness comes from ``random.Random(seed)``: the same seed yields the same
+fault schedule, so chaos tests are ordinary deterministic tests.
 """
 
 from __future__ import annotations
 
 import random
+import threading
 from dataclasses import dataclass
-from typing import Callable, Optional, Set
+from typing import Callable, Dict, Optional, Set
 
 from .errors import FetchError, ModelError
 from .stats import RuntimeStats
 
-__all__ = ["ChaosConfig", "ChaosHost", "ChaosModel"]
+__all__ = ["ChaosConfig", "ChaosHost", "ChaosModel", "ChaosWorker", "WorkerDeath"]
 
 
 @dataclass(frozen=True)
@@ -136,3 +140,110 @@ class ChaosModel:
 
     def __getattr__(self, name: str):
         return getattr(self.model, name)
+
+
+class WorkerDeath(BaseException):
+    """Injected crash of a serving worker thread.
+
+    Deliberately a ``BaseException`` (outside the :class:`BriefingError`
+    family and outside ``Exception``) so no degradation ladder or last-resort
+    handler can swallow it: the worker thread genuinely dies mid-batch, the
+    way a segfaulting native extension or an OOM kill would take it out, and
+    the supervisor has to notice, resurrect the worker and re-queue the work.
+    """
+
+
+class ChaosWorker:
+    """Seeded fault injection inside serving worker threads.
+
+    Installed into :class:`~repro.core.serving.WorkerPool`; the worker loop
+    calls :meth:`on_batch` once per dispatched micro-batch, which (per the
+    independent rates) may
+
+    * **stall** — hand ``stall_seconds`` to the sleep hook, simulating a
+      wedged model call (heartbeats go stale, latency spikes);
+    * **raise** a transient :class:`~repro.runtime.errors.ModelError` —
+      the batch degrades through the worker's last-resort handler, the
+      worker survives;
+    * **die** — raise :class:`WorkerDeath`, killing the worker thread while
+      it still holds the batch.
+
+    Each worker index draws from its own seeded ``random.Random`` stream
+    (the shared seed mixed with the index), so a worker's fault schedule is
+    deterministic regardless of how the threads interleave.  ``only_worker`` restricts injection to a single
+    worker index (handy for targeted tests); ``max_deaths`` caps total
+    injected deaths across the pool (so a bounded soak cannot spiral).
+    """
+
+    def __init__(
+        self,
+        exception_rate: float = 0.0,
+        stall_rate: float = 0.0,
+        death_rate: float = 0.0,
+        stall_seconds: float = 0.05,
+        seed: int = 0,
+        stats: Optional[RuntimeStats] = None,
+        sleep: Optional[Callable[[float], None]] = None,
+        only_worker: Optional[int] = None,
+        max_deaths: Optional[int] = None,
+    ) -> None:
+        for name, rate in (
+            ("exception_rate", exception_rate),
+            ("stall_rate", stall_rate),
+            ("death_rate", death_rate),
+        ):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        self.exception_rate = exception_rate
+        self.stall_rate = stall_rate
+        self.death_rate = death_rate
+        self.stall_seconds = stall_seconds
+        self.seed = seed
+        self.stats = stats if stats is not None else RuntimeStats()
+        self._sleep = sleep
+        self.only_worker = only_worker
+        self.max_deaths = max_deaths
+        self.deaths = 0
+        # Concurrent workers share this injector: the lock keeps the shared
+        # stats/death counters exact; the per-worker rngs keep schedules
+        # deterministic regardless of thread interleaving.
+        self._lock = threading.Lock()
+        self._rngs: Dict[int, random.Random] = {}
+
+    def _rng(self, worker_index: int) -> random.Random:
+        rng = self._rngs.get(worker_index)
+        if rng is None:
+            # Mix the shared seed with the worker index so each worker gets
+            # its own deterministic stream (Random only accepts int seeds).
+            rng = self._rngs[worker_index] = random.Random(self.seed * 1_000_003 + worker_index)
+        return rng
+
+    def on_batch(self, worker_index: int, batch_size: int) -> None:
+        """One injection opportunity; called by the worker loop per batch."""
+        if self.only_worker is not None and worker_index != self.only_worker:
+            return
+        with self._lock:
+            rng = self._rng(worker_index)
+            # Draw all three decisions every call so a worker's schedule is a
+            # pure function of its call count, not of which faults fired.
+            stall = rng.random() < self.stall_rate
+            fail = rng.random() < self.exception_rate
+            die = rng.random() < self.death_rate
+            if die and (self.max_deaths is None or self.deaths < self.max_deaths):
+                self.deaths += 1
+            else:
+                die = False
+            for fired in (stall, fail, die):
+                if fired:
+                    self.stats.inc("faults_injected")
+            if stall:
+                self.stats.inc("latency_spikes")
+        if stall and self._sleep is not None:
+            self._sleep(self.stall_seconds)
+        if die:
+            raise WorkerDeath(f"injected death of worker {worker_index}")
+        if fail:
+            raise ModelError(
+                f"injected worker {worker_index} failure ({batch_size} pages)",
+                transient=True,
+            )

@@ -13,6 +13,12 @@ a typed exception carrying machine-readable context instead of a bare
 * :class:`QueueFull` — the serving admission queue rejected a request
   (backpressure); transient by definition — the same request may be admitted
   a moment later once workers drain the queue;
+* :class:`DeadlineExceeded` — a request's absolute deadline expired before a
+  worker could finish it (in the admission queue, before the model call, or
+  mid-pipeline); retrying with a fresh deadline may succeed;
+* :class:`Overloaded` — the serving governor shed the request to protect the
+  rest of the traffic (overload ladder: reduced batching wait → low-priority
+  rejection → cache-only serving);
 * :class:`BriefingError` — the common base, so callers can catch the whole
   family with one clause.
 
@@ -32,6 +38,8 @@ __all__ = [
     "RenderError",
     "ModelError",
     "QueueFull",
+    "DeadlineExceeded",
+    "Overloaded",
 ]
 
 
@@ -91,3 +99,43 @@ class QueueFull(BriefingError):
 
     def __init__(self, message: str = "", *, url: Optional[str] = None, transient: bool = True):
         super().__init__(message, url=url, transient=transient)
+
+
+class DeadlineExceeded(BriefingError):
+    """A request's absolute deadline expired before its brief was computed.
+
+    Raised (or recorded as a degradation) wherever the serving layer drops
+    expired work: the scheduler's pre-dispatch sweep, the worker's budget
+    check before the model call, and the per-stage checks inside
+    :meth:`~repro.core.batched.BatchedBriefingPipeline.brief_many`.  Always
+    transient — the identical request with a fresh deadline may succeed.
+    """
+
+    stage = "deadline"
+
+    def __init__(self, message: str = "", *, url: Optional[str] = None, transient: bool = True):
+        super().__init__(message, url=url, transient=transient)
+
+
+class Overloaded(BriefingError):
+    """The serving governor shed this request to protect overall latency.
+
+    Carried by the degraded brief a shed request resolves to.  ``reason``
+    names the ladder step that rejected it (``low_priority`` at the shedding
+    level, ``cache_only`` at the final level, ``poison`` for quarantined
+    content).  Transient: once queue depth / batch latency recover the same
+    request is admitted normally.
+    """
+
+    stage = "admission"
+
+    def __init__(
+        self,
+        message: str = "",
+        *,
+        reason: str = "overloaded",
+        url: Optional[str] = None,
+        transient: bool = True,
+    ):
+        super().__init__(message, url=url, transient=transient)
+        self.reason = reason

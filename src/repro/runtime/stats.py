@@ -48,6 +48,17 @@ class RuntimeStats:
     queue_rejections: int = 0
     #: micro-batches handed to a serving worker by the request scheduler.
     batches_dispatched: int = 0
+    #: requests dropped because their absolute deadline expired (in the
+    #: queue, at the worker's budget check, or mid-pipeline).
+    deadline_expirations: int = 0
+    #: requests shed by the serving governor's overload ladder.
+    requests_shed: int = 0
+    #: dead/wedged serving workers resurrected by the supervisor.
+    worker_restarts: int = 0
+    #: batches a dead worker held that were re-queued for another worker.
+    batches_requeued: int = 0
+    #: poison requests quarantined after repeatedly killing workers.
+    poison_quarantined: int = 0
 
     def inc(self, name: str, amount: int = 1) -> None:
         """Increment a named counter (typos raise ``AttributeError``)."""

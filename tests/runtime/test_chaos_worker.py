@@ -1,0 +1,82 @@
+"""ChaosWorker: deterministic worker-level fault injection."""
+
+import pytest
+
+from repro.runtime import ChaosWorker, ModelError, RuntimeStats, WorkerDeath
+
+
+def collect_schedule(worker, worker_index, calls):
+    """Replay ``calls`` injection opportunities; return the outcome labels."""
+    outcomes = []
+    for _ in range(calls):
+        try:
+            worker.on_batch(worker_index, batch_size=4)
+            outcomes.append("ok")
+        except WorkerDeath:
+            outcomes.append("death")
+        except ModelError:
+            outcomes.append("fail")
+    return outcomes
+
+
+def test_schedule_is_deterministic_per_seed():
+    """Same seed, same worker index → the identical fault schedule."""
+    first = collect_schedule(
+        ChaosWorker(exception_rate=0.3, stall_rate=0.2, death_rate=0.2, seed=13), 0, 50
+    )
+    second = collect_schedule(
+        ChaosWorker(exception_rate=0.3, stall_rate=0.2, death_rate=0.2, seed=13), 0, 50
+    )
+    assert first == second
+    assert "fail" in first and "death" in first  # the rates actually fire
+
+
+def test_workers_draw_from_independent_streams():
+    """Each worker index has its own stream: draining one worker's schedule
+    does not perturb another's, however the threads would interleave."""
+    solo = collect_schedule(ChaosWorker(exception_rate=0.4, seed=13), 1, 30)
+    interleaved_worker = ChaosWorker(exception_rate=0.4, seed=13)
+    interleaved = []
+    for _ in range(30):
+        collect_schedule(interleaved_worker, 0, 3)  # noise on another index
+        interleaved.extend(collect_schedule(interleaved_worker, 1, 1))
+    assert interleaved == solo
+
+
+def test_death_is_base_exception_and_capped():
+    """WorkerDeath must escape `except Exception` ladders, and max_deaths
+    bounds how many threads a soak can lose."""
+    assert not issubclass(WorkerDeath, Exception)
+    stats = RuntimeStats()
+    worker = ChaosWorker(death_rate=1.0, seed=0, stats=stats, max_deaths=2)
+    outcomes = collect_schedule(worker, 0, 5)
+    assert outcomes == ["death", "death", "ok", "ok", "ok"]
+    assert worker.deaths == 2
+    assert stats.faults_injected == 2
+
+
+def test_only_worker_restricts_injection():
+    worker = ChaosWorker(death_rate=1.0, seed=0, only_worker=2)
+    assert collect_schedule(worker, 0, 3) == ["ok", "ok", "ok"]
+    assert collect_schedule(worker, 2, 1) == ["death"]
+
+
+def test_stall_calls_sleep_hook_and_counts():
+    naps = []
+    stats = RuntimeStats()
+    worker = ChaosWorker(stall_rate=1.0, stall_seconds=0.25, seed=0, stats=stats,
+                         sleep=naps.append)
+    worker.on_batch(0, batch_size=2)
+    assert naps == [0.25]
+    assert stats.latency_spikes == 1
+    assert stats.faults_injected == 1
+
+
+def test_rate_validation():
+    for kwargs in (
+        {"exception_rate": -0.1},
+        {"stall_rate": 1.5},
+        {"death_rate": 2.0},
+    ):
+        with pytest.raises(ValueError):
+            ChaosWorker(**kwargs)

@@ -1,0 +1,174 @@
+"""Deadline propagation: admission sweep, worker budget checks, per-waiter publish."""
+
+import threading
+
+from repro.core import BatchedBriefingPipeline, ConcurrentBriefingPipeline
+
+from .test_scheduler import FakeClock
+
+PAGE_A = "<html><body><p>deadline page alpha</p><p>the price is 1</p></body></html>"
+PAGE_B = "<html><body><p>deadline page beta</p><p>the price is 2</p></body></html>"
+
+
+class GatedModel:
+    """Delegating wrapper whose predictions block until released."""
+
+    def __init__(self, model):
+        self._model = model
+        self.started = threading.Event()
+        self.release = threading.Event()
+
+    def predict_batch(self, documents, beam_size=4, batch_size=8):
+        self.started.set()
+        assert self.release.wait(timeout=30), "gate never released"
+        return self._model.predict_batch(documents, beam_size=beam_size, batch_size=batch_size)
+
+    def __getattr__(self, name):
+        return getattr(self._model, name)
+
+
+def _deadline_pipeline(model, clock, **kwargs):
+    kwargs.setdefault("num_workers", 1)
+    kwargs.setdefault("beam_size", 2)
+    kwargs.setdefault("max_batch", 1)
+    kwargs.setdefault("max_wait_ms", 0.0)
+    kwargs.setdefault("supervise", False)
+    return ConcurrentBriefingPipeline(model, clock=clock, **kwargs)
+
+
+def assert_deadline_brief(brief):
+    assert not brief.complete
+    assert brief.degradations[0].stage == "deadline"
+    assert brief.degradations[0].fallback == "expired"
+
+
+def test_dead_on_arrival_resolves_without_queueing(serving_model):
+    """A request whose budget is already zero never touches the queue."""
+    clock = FakeClock()
+    server = _deadline_pipeline(serving_model, clock)
+    try:
+        brief = server.submit(PAGE_A, doc_id="a", deadline_ms=0.0).result(timeout=30)
+        assert_deadline_brief(brief)
+        merged = server.merged_stats()
+        assert merged.deadline_expirations == 1
+        assert merged.batches_dispatched == 0
+    finally:
+        server.shutdown(timeout=30)
+
+
+def test_deadline_expires_in_admission_queue(serving_model):
+    """A queued request whose deadline passes while a worker is busy is swept
+    out by the scheduler and resolves to a typed DeadlineExceeded brief."""
+    clock = FakeClock()
+    gated = GatedModel(serving_model)
+    server = _deadline_pipeline(gated, clock)
+    try:
+        future_a = server.submit(PAGE_A, doc_id="a")  # occupies the lone worker
+        assert gated.started.wait(timeout=30)
+        future_b = server.submit(PAGE_B, doc_id="b", deadline_ms=100.0)
+        clock.advance(10.0)  # far past b's 0.1 s budget
+        gated.release.set()
+
+        assert_deadline_brief(future_b.result(timeout=30))
+        assert future_a.result(timeout=30).complete
+    finally:
+        server.shutdown(timeout=30)
+    merged = server.merged_stats()
+    assert merged.deadline_expirations == 1
+
+
+def test_follower_deadline_checked_at_publish(serving_model):
+    """Single-flight dedup honours each waiter's own deadline: a follower
+    whose budget ran out gets DeadlineExceeded even though the leader's
+    computation finished (and was cached for future requests)."""
+    clock = FakeClock()
+    gated = GatedModel(serving_model)
+    server = _deadline_pipeline(gated, clock)
+    try:
+        leader = server.submit(PAGE_A, doc_id="leader")  # unbounded
+        assert gated.started.wait(timeout=30)
+        follower = server.submit(PAGE_A, doc_id="follower", deadline_ms=100.0)
+        assert server.in_flight() == 1  # coalesced, not re-queued
+        clock.advance(10.0)
+        gated.release.set()
+
+        assert leader.result(timeout=30).complete
+        assert_deadline_brief(follower.result(timeout=30))
+        # The computation itself survived and was cached: a fresh request
+        # for the same content is a front-door cache hit.
+        assert server.submit(PAGE_A, doc_id="retry").result(timeout=30).complete
+    finally:
+        server.shutdown(timeout=30)
+    assert server.merged_stats().deadline_expirations == 1
+
+
+def test_waiter_without_deadline_keeps_shared_request_alive(serving_model):
+    """The effective deadline is the max over all waiters: an unbounded
+    follower joining an expiring leader keeps the computation alive, and
+    only the expired waiter degrades."""
+    clock = FakeClock()
+    gated = GatedModel(serving_model)
+    server = _deadline_pipeline(gated, clock, max_queue=8)
+    try:
+        blocker = server.submit(PAGE_B, doc_id="blocker")  # occupies the worker
+        assert gated.started.wait(timeout=30)
+        expiring = server.submit(PAGE_A, doc_id="expiring", deadline_ms=100.0)
+        unbounded = server.submit(PAGE_A, doc_id="unbounded")  # same content, no budget
+        clock.advance(10.0)  # past the first waiter's deadline
+        gated.release.set()
+
+        assert blocker.result(timeout=30).complete
+        # The shared request was NOT swept (its effective deadline is ∞)…
+        assert unbounded.result(timeout=30).complete
+        # …but the expired waiter still sees its own deadline enforced.
+        assert_deadline_brief(expiring.result(timeout=30))
+    finally:
+        server.shutdown(timeout=30)
+    assert server.merged_stats().deadline_expirations == 1
+
+
+def test_batched_pipeline_skips_model_for_expired_pages(serving_model):
+    """brief_many's per-stage budget check: an expired page degrades before
+    predict_batch is ever called for it."""
+    calls = []
+
+    class CountingModel:
+        def __init__(self, model):
+            self._model = model
+
+        def predict_batch(self, documents, beam_size=4, batch_size=8):
+            calls.append(len(documents))
+            return self._model.predict_batch(
+                documents, beam_size=beam_size, batch_size=batch_size
+            )
+
+        def __getattr__(self, name):
+            return getattr(self._model, name)
+
+    clock = FakeClock()
+    clock.advance(50.0)  # now = 50
+    pipeline = BatchedBriefingPipeline(CountingModel(serving_model), beam_size=2)
+    briefs = pipeline.brief_many(
+        [("expired", PAGE_A), ("live", PAGE_B)],
+        deadlines=[10.0, 1000.0],
+        clock=clock,
+    )
+    assert_deadline_brief(briefs[0])
+    assert briefs[1].complete
+    assert calls == [1]  # the model only ever saw the live page
+    assert pipeline.stats.deadline_expirations == 1
+
+
+def test_deadline_histogram_sampled_at_dispatch(serving_model):
+    """Workers record each live request's remaining budget in the
+    request_deadline_remaining_seconds histogram."""
+    clock = FakeClock()
+    server = _deadline_pipeline(serving_model, clock, observe=True)
+    try:
+        assert server.submit(PAGE_A, doc_id="a", deadline_ms=60_000.0).result(
+            timeout=30
+        ).complete
+    finally:
+        server.shutdown(timeout=30)
+    state = server.metrics_snapshot().value("request_deadline_remaining_seconds")
+    assert state is not None and state["count"] == 1

@@ -138,3 +138,126 @@ def test_constructor_validation():
         RequestScheduler(max_batch=0)
     with pytest.raises(ValueError):
         RequestScheduler(max_wait_ms=-1.0)
+
+
+class StampedRequest:
+    """A request carrying the optional attributes the scheduler understands."""
+
+    def __init__(self, name, deadline=None, batch_limit=None):
+        self.name = name
+        self.deadline = deadline
+        if batch_limit is not None:
+            self.batch_limit = batch_limit
+
+    def __repr__(self):
+        return f"StampedRequest({self.name!r})"
+
+
+def test_idle_wait_has_no_spurious_wakeups():
+    """The idle worker sleeps on the condition and is woken exactly by submit:
+    a quiet scheduler must record zero idle wakeups (the 100 ms polling spin
+    this replaces woke ~10x/sec with nothing to do)."""
+    scheduler = RequestScheduler(max_batch=1, clock=FakeClock())
+    batches = []
+
+    def worker():
+        while True:
+            batch = scheduler.next_batch()
+            if batch is None:
+                return
+            batches.append(batch)
+
+    thread = threading.Thread(target=worker)
+    thread.start()
+    time.sleep(0.3)  # idle long enough for several would-be poll cycles
+    scheduler.submit("a")
+    time.sleep(0.3)  # idle again between requests
+    scheduler.submit("b")
+    scheduler.close()
+    thread.join(timeout=10)
+    assert not thread.is_alive()
+    assert batches == [["a"], ["b"]]
+    assert scheduler.idle_wakeups == 0
+
+
+def test_expired_requests_swept_before_dispatch():
+    """Requests past their deadline never reach a worker: the sweep hands
+    them to on_expired and the batch only carries live work."""
+    expired = []
+    clock = FakeClock()
+    scheduler = RequestScheduler(
+        max_batch=8, max_wait_ms=0.0, clock=clock, on_expired=expired.append
+    )
+    dead = StampedRequest("dead", deadline=5.0)
+    live = StampedRequest("live", deadline=100.0)
+    eternal = StampedRequest("eternal")  # no deadline: can never expire
+    for request in (dead, live, eternal):
+        scheduler.submit(request)
+    clock.advance(10.0)  # past dead's deadline, inside live's
+    batch = scheduler.next_batch()
+    assert batch == [live, eternal]
+    assert expired == [dead]
+
+
+def test_all_expired_batch_blocks_instead_of_dispatching_empty():
+    """When everything queued has expired the worker goes back to waiting
+    (after firing on_expired) rather than dispatching an empty batch."""
+    expired = []
+    clock = FakeClock()
+    scheduler = RequestScheduler(
+        max_batch=4, max_wait_ms=0.0, clock=clock, on_expired=expired.append
+    )
+    scheduler.submit(StampedRequest("dead", deadline=1.0))
+    clock.advance(5.0)
+    collector = {}
+
+    def worker():
+        collector["batch"] = scheduler.next_batch()
+
+    thread = threading.Thread(target=worker)
+    thread.start()
+    time.sleep(0.2)
+    assert "batch" not in collector  # still waiting: no empty dispatch
+    scheduler.submit(StampedRequest("fresh", deadline=100.0))
+    thread.join(timeout=10)
+    assert not thread.is_alive()
+    assert [r.name for r in collector["batch"]] == ["fresh"]
+    assert [r.name for r in expired] == ["dead"]
+
+
+def test_requeue_goes_to_front_and_survives_close():
+    """Re-dispatched work (a dead worker's batch) jumps the queue and is
+    still served during a drain — admitted work is never dropped."""
+    scheduler = RequestScheduler(max_batch=1, clock=FakeClock())
+    scheduler.submit("new-1")
+    scheduler.close()
+    scheduler.requeue(["requeued-1", "requeued-2"])
+    assert scheduler.next_batch() == ["requeued-1"]
+    assert scheduler.next_batch() == ["requeued-2"]
+    assert scheduler.next_batch() == ["new-1"]
+    assert scheduler.next_batch() is None
+
+
+def test_drain_empties_queue():
+    scheduler = RequestScheduler(clock=FakeClock())
+    for name in ("a", "b", "c"):
+        scheduler.submit(name)
+    assert scheduler.drain() == ["a", "b", "c"]
+    assert scheduler.depth == 0
+    assert scheduler.drain() == []
+
+
+def test_batch_limit_caps_micro_batch_size():
+    """A request whose batch_limit is 1 rides alone (poison bisection), and
+    a limited request waiting behind a forming batch is left for the next
+    dispatch instead of over-filling this one."""
+    scheduler = RequestScheduler(max_batch=8, max_wait_ms=0.0, clock=FakeClock())
+    solo = StampedRequest("solo", batch_limit=1)
+    a, b, c = (StampedRequest(name) for name in "abc")
+    limited = StampedRequest("limited", batch_limit=2)
+    for request in (solo, a, b, limited, c):
+        scheduler.submit(request)
+    assert scheduler.next_batch() == [solo]
+    # a and b batch together; `limited` would make the batch 3 > its cap.
+    assert scheduler.next_batch() == [a, b]
+    assert scheduler.next_batch() == [limited, c]

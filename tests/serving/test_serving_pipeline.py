@@ -50,7 +50,10 @@ def test_queue_full_degrades_instead_of_raising(serving_model):
     assert future_a.result(timeout=30).complete
     assert future_b.result(timeout=30).complete
     merged = server.merged_stats()
-    assert merged.queue_rejections == 1
+    # With the governor enabled the overload ladder sheds the request before
+    # the bounded queue even gets to reject it; either way exactly one request
+    # bounced and the caller saw a degraded admission brief, never an exception.
+    assert merged.queue_rejections + merged.requests_shed == 1
     assert merged.cache_hits + merged.cache_misses == 2  # the two served pages
 
 

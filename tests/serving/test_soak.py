@@ -1,0 +1,79 @@
+"""Chaos/soak harness: Zipf replay, conservation, resilience reporting."""
+
+import json
+
+from repro.core import run_chaos_bench, synthesize_zipf_stream
+
+
+def test_zipf_stream_is_deterministic_and_skewed():
+    first = synthesize_zipf_stream(64, unique_pages=8, seed=7)
+    second = synthesize_zipf_stream(64, unique_pages=8, seed=7)
+    assert first == second
+    assert len(first) == 64
+    assert synthesize_zipf_stream(64, unique_pages=8, seed=8) != first
+
+    # doc_ids are unique per request; the repetition is in the page content.
+    unique_html = {html for _, html in first}
+    assert len(unique_html) <= 8
+    # Zipfian skew: the most popular page dominates a uniform share.
+    counts = sorted(
+        (sum(1 for _, h in first if h == html) for html in unique_html), reverse=True
+    )
+    assert counts[0] > 64 / 8
+
+
+def test_chaos_bench_conserves_every_future(serving_model, tmp_path):
+    """A short soak under ≥10% fault rates: every submitted future resolves,
+    shutdown does not deadlock, and the resilience section is written."""
+    output = tmp_path / "BENCH_serving.json"
+    result = run_chaos_bench(
+        num_requests=24,
+        unique_pages=8,
+        seed=7,
+        workers=2,
+        max_batch=2,
+        beam_size=2,
+        exception_rate=0.15,
+        stall_rate=0.1,
+        death_rate=0.1,
+        stall_seconds=0.001,
+        max_deaths=4,
+        model=serving_model,
+        output_path=str(output),
+    )
+    assert result.conserved
+    assert result.unresolved == 0
+    assert not result.deadlocked
+    assert result.stuck_workers == []
+    assert result.complete_briefs + result.degraded_briefs == 24
+
+    payload = json.loads(output.read_text())
+    section = payload["resilience"]
+    assert section["conservation"]["conserved"] is True
+    assert section["latency_ms"]["p99"] >= section["latency_ms"]["p50"] >= 0.0
+    assert section["chaos"]["death_rate"] == 0.1
+    assert section["recovery"]["worker_restarts"] == result.worker_restarts
+
+
+def test_chaos_bench_fault_free_baseline(serving_model):
+    """With all rates zeroed the harness is just a soak: no deaths, no
+    restarts, everything complete."""
+    result = run_chaos_bench(
+        num_requests=12,
+        unique_pages=4,
+        seed=3,
+        workers=2,
+        max_batch=4,
+        beam_size=2,
+        exception_rate=0.0,
+        stall_rate=0.0,
+        death_rate=0.0,
+        model=serving_model,
+    )
+    assert result.conserved and not result.deadlocked
+    assert result.worker_deaths == 0
+    assert result.worker_restarts == 0
+    assert result.degraded_briefs == 0
+    assert result.complete_briefs == 12
+    assert result.fault_free_docs_per_second > 0.0
+    assert result.docs_per_second > 0.0
