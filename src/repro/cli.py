@@ -40,16 +40,25 @@ Commands
     workers; asserts every future resolves and shutdown does not deadlock,
     and records p50/p99-under-chaos plus shed/restart/quarantine counts
     under the report's ``resilience`` key (``--soak-rounds N`` replays the
-    stream N times against the same pipeline).
-``serve-many [page.html ...] [--workers N] [--deadline-ms B]``
+    stream N times against the same pipeline).  ``--transport
+    thread|process|both`` switches to the transport comparison: the same
+    cache-cold stream through the in-process thread pool and through
+    one-model-replica-per-worker processes, recording docs/sec, p50/p99 and
+    throughput-by-workers per transport (plus a Zipf/burst/straggler load
+    replay) under the report's ``multiprocess`` key.  ``--compare
+    PREV.json`` diffs throughput/p99 against a previous report and exits
+    nonzero past ``--regression-threshold`` (default 20%).
+``serve-many [page.html ...] [--workers N] [--transport T] [--deadline-ms B]``
     Brief many pages through the concurrent serving layer
     (:class:`~repro.core.serving.ConcurrentBriefingPipeline`): bounded
     admission queue, micro-batching scheduler, N briefing workers over
     shared sharded caches, governor load shedding and worker supervision.
     With no files, synthesizes a ``--pages``-page stream.  ``--deadline-ms``
     gives every request an absolute budget; expired requests resolve to
-    typed ``DeadlineExceeded`` briefs instead of hanging.  Prints one topic
-    line per page plus the merged worker-pool counters.
+    typed ``DeadlineExceeded`` briefs instead of hanging.  ``--transport
+    process`` serves through worker processes (each holding its own model
+    replica) instead of threads.  Prints one topic line per page plus the
+    merged worker-pool counters.
 ``metrics``
     Exercise the runtime (retries, a circuit breaker, the brief cache) with
     deterministic faults and print the resulting metrics registry in
@@ -155,6 +164,19 @@ def build_parser() -> argparse.ArgumentParser:
                             "same pipeline (soak mode)")
     bench.add_argument("--deadline-ms", type=float, default=None,
                        help="per-request deadline budget (chaos mode)")
+    bench.add_argument("--transport", choices=("thread", "process", "both"), default=None,
+                       help="benchmark the worker transports head to head on a "
+                            "cache-cold stream (thread pool vs worker processes)")
+    bench.add_argument("--workers", type=int, default=4,
+                       help="full pool size in transport mode")
+    bench.add_argument("--mp-context", choices=("fork", "spawn", "forkserver"), default=None,
+                       help="multiprocessing start method for the process transport")
+    bench.add_argument("--compare", metavar="PREV.json", default=None,
+                       help="diff throughput/p99 against a previous report; "
+                            "exit 1 past the regression threshold")
+    bench.add_argument("--regression-threshold", type=float, default=0.2,
+                       help="relative change that counts as an SLO regression "
+                            "for --compare (default 0.2 = 20%%)")
     _add_obs_args(bench)
 
     serve = sub.add_parser(
@@ -163,6 +185,9 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("html_files", nargs="*",
                        help="HTML files to brief (omit to synthesize --pages pages)")
     serve.add_argument("--workers", type=int, default=2, help="worker pool size")
+    serve.add_argument("--transport", choices=("thread", "process"), default="thread",
+                       help="worker transport: shared-memory threads or "
+                            "one model-replica process per worker")
     serve.add_argument("--pages", type=int, default=12,
                        help="synthetic pages when no files are given")
     serve.add_argument("--max-batch", type=int, default=8,
@@ -366,11 +391,66 @@ def _command_health(args) -> int:
     return 0 if masked and served else 1
 
 
+def _compare_bench_reports(args) -> int:
+    """``--compare``: diff the freshly written report against a previous one."""
+    if not getattr(args, "compare", None):
+        return 0
+    import json
+
+    from .core import compare_reports
+
+    try:
+        with open(args.compare) as handle:
+            previous = json.load(handle)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read --compare report {args.compare}: {exc}", file=sys.stderr)
+        return 1
+    current = {}
+    if args.output:
+        try:
+            with open(args.output) as handle:
+                current = json.load(handle)
+        except (OSError, ValueError):
+            pass
+    comparison = compare_reports(previous, current, threshold=args.regression_threshold)
+    print()
+    print(comparison.format())
+    return 0 if comparison.ok else 1
+
+
 def _command_bench(args) -> int:
-    from .core import run_chaos_bench, run_concurrency_bench, run_serving_bench
+    from .core import (
+        run_chaos_bench,
+        run_concurrency_bench,
+        run_multiprocess_bench,
+        run_serving_bench,
+    )
 
     tracer, registry = _make_obs(args)
     num_pages = min(args.pages, 12) if args.smoke else args.pages
+    if args.transport:
+        transports = ("thread", "process") if args.transport == "both" else (args.transport,)
+        result = run_multiprocess_bench(
+            num_pages=num_pages,
+            seed=args.seed,
+            workers=args.workers,
+            max_batch=args.batch_size,
+            beam_size=args.beam_size,
+            max_wait_ms=args.max_wait_ms,
+            transports=transports,
+            dtype=np.float32 if args.float32 else None,
+            output_path=args.output or None,
+            mp_context=args.mp_context,
+        )
+        print(result.format())
+        if args.output:
+            print(f"\nwrote {args.output}")
+        _write_obs(args, tracer, registry)
+        compare_rc = _compare_bench_reports(args)
+        ok = result.outputs_match and result.conserved
+        if args.smoke:
+            print(f"smoke: {'ok' if ok else 'FAILED'}")
+        return 0 if ok and not compare_rc else 1
     if args.chaos:
         result = run_chaos_bench(
             num_requests=num_pages,
@@ -392,11 +472,11 @@ def _command_bench(args) -> int:
         if args.output:
             print(f"\nwrote {args.output}")
         _write_obs(args, tracer, registry)
+        compare_rc = _compare_bench_reports(args)
+        ok = result.conserved and not result.deadlocked
         if args.smoke:
-            ok = result.conserved and not result.deadlocked
             print(f"smoke: {'ok' if ok else 'FAILED'}")
-            return 0 if ok else 1
-        return 0 if result.conserved and not result.deadlocked else 1
+        return 0 if ok and not compare_rc else 1
     if args.concurrency:
         result = run_concurrency_bench(
             num_pages=num_pages,
@@ -412,11 +492,12 @@ def _command_bench(args) -> int:
         if args.output:
             print(f"\nwrote {args.output}")
         _write_obs(args, tracer, registry)
+        compare_rc = _compare_bench_reports(args)
         if args.smoke:
             ok = result.outputs_match and result.conserved and not result.queue_rejections
             print(f"smoke: {'ok' if ok else 'FAILED'}")
-            return 0 if ok else 1
-        return 0
+            return 0 if ok and not compare_rc else 1
+        return compare_rc
     result = run_serving_bench(
         num_pages=num_pages,
         seed=args.seed,
@@ -433,6 +514,7 @@ def _command_bench(args) -> int:
     if args.output:
         print(f"\nwrote {args.output}")
     _write_obs(args, tracer, registry)
+    compare_rc = _compare_bench_reports(args)
     if args.smoke:
         ok = (
             result.outputs_match
@@ -440,8 +522,8 @@ def _command_bench(args) -> int:
             and (result.decode is None or result.decode["outputs_match"])
         )
         print(f"smoke: {'ok' if ok else 'FAILED'}")
-        return 0 if ok else 1
-    return 0
+        return 0 if ok and not compare_rc else 1
+    return compare_rc
 
 
 def _command_serve_many(args) -> int:
@@ -467,6 +549,7 @@ def _command_serve_many(args) -> int:
     server = ConcurrentBriefingPipeline(
         model,
         num_workers=args.workers,
+        transport=args.transport,
         max_batch=args.max_batch,
         max_wait_ms=args.max_wait_ms,
         max_queue=args.queue_size,

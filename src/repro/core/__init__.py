@@ -4,15 +4,21 @@ from .batched import BatchedBriefingPipeline, BriefCache, content_hash
 from .bench import (
     BenchResult,
     ConcurrencyBenchResult,
+    MultiprocessBenchResult,
     ResilienceBenchResult,
+    compare_reports,
+    merge_bench_report,
     run_chaos_bench,
     run_concurrency_bench,
     run_decode_bench,
+    run_multiprocess_bench,
     run_serving_bench,
     synthesize_serving_corpus,
     synthesize_zipf_stream,
 )
 from .briefing import Brief, Degradation, PartialBrief
+from .load import LoadGenerator, LoadPhase, LoadReport, TimedRequest, run_load
+from .process_pool import ProcessWorkerPool
 from .evaluation import (
     ExtractionMetrics,
     GenerationMetrics,
@@ -34,6 +40,7 @@ from .serving import (
     WorkerSupervisor,
 )
 from .significance import ModelComparison, compare_generation_models
+from .transport import ConsistentHashRouter, ModelSnapshot, WorkerTransport
 from .sensitivity import MixtureResult, content_sensitivity, make_mixture, topic_affinity
 from .stats import McNemarResult, cohen_kappa, mcnemar, pairwise_kappa_summary
 from .training import TrainConfig, Trainer, TrainResult
@@ -56,14 +63,27 @@ __all__ = [
     "WorkerPool",
     "WorkerSupervisor",
     "ConcurrentBriefingPipeline",
+    "WorkerTransport",
+    "ModelSnapshot",
+    "ConsistentHashRouter",
+    "ProcessWorkerPool",
+    "LoadGenerator",
+    "LoadPhase",
+    "LoadReport",
+    "TimedRequest",
+    "run_load",
     "content_hash",
     "BenchResult",
     "ConcurrencyBenchResult",
     "ResilienceBenchResult",
+    "MultiprocessBenchResult",
     "run_serving_bench",
     "run_concurrency_bench",
     "run_chaos_bench",
     "run_decode_bench",
+    "run_multiprocess_bench",
+    "compare_reports",
+    "merge_bench_report",
     "synthesize_serving_corpus",
     "synthesize_zipf_stream",
     "document_from_raw_html",

@@ -24,6 +24,8 @@ something to hit.
 from __future__ import annotations
 
 import json
+import math
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
@@ -33,14 +35,42 @@ import numpy as np
 __all__ = [
     "BenchResult",
     "ConcurrencyBenchResult",
+    "MultiprocessBenchResult",
     "ResilienceBenchResult",
+    "ReportComparison",
+    "compare_reports",
+    "merge_bench_report",
     "run_decode_bench",
     "run_serving_bench",
     "run_concurrency_bench",
     "run_chaos_bench",
+    "run_multiprocess_bench",
     "synthesize_serving_corpus",
     "synthesize_zipf_stream",
 ]
+
+
+def merge_bench_report(path: str, updates: Dict[str, object]) -> dict:
+    """Merge ``updates`` into the JSON report at ``path`` (never clobber).
+
+    Every bench mode shares ``BENCH_serving.json``; each writes only its own
+    top-level keys, so running one mode must not erase the sections the
+    other modes recorded (``decode``, ``concurrency``, ``resilience``,
+    ``multiprocess``, …).  A missing or unparsable file starts fresh.
+    Returns the full merged report.
+    """
+    try:
+        with open(path) as handle:
+            report = json.load(handle)
+        if not isinstance(report, dict):
+            report = {}
+    except (OSError, ValueError):
+        report = {}
+    report.update(updates)
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    return report
 
 
 def synthesize_serving_corpus(
@@ -156,9 +186,13 @@ class BenchResult:
         }
 
     def save(self, path: str) -> None:
-        with open(path, "w") as handle:
-            json.dump(self.to_dict(), handle, indent=2)
-            handle.write("\n")
+        """Merge this run's sections into the report, keeping siblings.
+
+        The serving bench owns the top-level keys it writes (``sequential``,
+        ``batched``, ``decode``, …); sections written by the other bench
+        modes (``concurrency``, ``resilience``, ``multiprocess``) survive.
+        """
+        merge_bench_report(path, self.to_dict())
 
     def format(self) -> str:
         lines = [
@@ -593,17 +627,7 @@ class ConcurrencyBenchResult:
         ``BENCH_serving.json``; merging (rather than overwriting) lets the
         two modes coexist in one report.
         """
-        try:
-            with open(path) as handle:
-                report = json.load(handle)
-            if not isinstance(report, dict):
-                report = {}
-        except (OSError, ValueError):
-            report = {}
-        report["concurrency"] = self.to_dict()
-        with open(path, "w") as handle:
-            json.dump(report, handle, indent=2)
-            handle.write("\n")
+        merge_bench_report(path, {"concurrency": self.to_dict()})
 
     def format(self) -> str:
         lines = [
@@ -879,17 +903,7 @@ class ResilienceBenchResult:
         Same merge discipline as :meth:`ConcurrencyBenchResult.save`: all
         bench modes share ``BENCH_serving.json``.
         """
-        try:
-            with open(path) as handle:
-                report = json.load(handle)
-            if not isinstance(report, dict):
-                report = {}
-        except (OSError, ValueError):
-            report = {}
-        report["resilience"] = self.to_dict()
-        with open(path, "w") as handle:
-            json.dump(report, handle, indent=2)
-            handle.write("\n")
+        merge_bench_report(path, {"resilience": self.to_dict()})
 
     def format(self) -> str:
         lines = [
@@ -1062,3 +1076,375 @@ def run_chaos_bench(
     if output_path is not None:
         result.save(output_path)
     return result
+
+
+# ----------------------------------------------------------------------
+# Multi-process transport benchmark (repro bench --transport ...)
+# ----------------------------------------------------------------------
+@dataclass
+class MultiprocessBenchResult:
+    """Thread vs process transport on a compute-bound (cache-cold) stream.
+
+    Each transport replays the same stream through a
+    :class:`~repro.core.serving.ConcurrentBriefingPipeline` at several pool
+    sizes; the stream has no duplicate content by default, so every request
+    costs a model pass and the GIL ceiling is what's being measured.
+    ``speedup`` is process-transport docs/s over thread-transport docs/s at
+    the full worker count — on a multi-core host this is where breaking out
+    of the GIL shows up; ``cpu_count`` is recorded so a single-core run's
+    numbers aren't misread.  ``outputs_match`` holds across *every* run and
+    transport against the sequential ground truth, and ``conserved`` checks
+    ``cache_hits + cache_misses == num_pages`` per run.  ``load`` is an
+    open-loop Zipf/burst/straggler replay (see :mod:`repro.core.load`).
+    """
+
+    num_pages: int
+    unique_pages: int
+    workers: int
+    max_batch: int
+    beam_size: int
+    cpu_count: int
+    start_method: str
+    sequential_seconds: float
+    sequential_docs_per_second: float
+    #: per transport: seconds / docs_per_second / latency percentiles /
+    #: throughput_by_workers at each pool size.
+    transports: Dict[str, dict] = field(default_factory=dict)
+    speedup: Optional[float] = None
+    outputs_match: bool = True
+    mismatches: List[str] = field(default_factory=list)
+    conserved: bool = True
+    load: Optional[dict] = None
+
+    def to_dict(self) -> dict:
+        return {
+            "num_pages": self.num_pages,
+            "unique_pages": self.unique_pages,
+            "workers": self.workers,
+            "max_batch": self.max_batch,
+            "beam_size": self.beam_size,
+            "cpu_count": self.cpu_count,
+            "start_method": self.start_method,
+            "sequential": {
+                "seconds": self.sequential_seconds,
+                "docs_per_second": self.sequential_docs_per_second,
+            },
+            "transports": {name: dict(data) for name, data in self.transports.items()},
+            "speedup": self.speedup,
+            "outputs_match": self.outputs_match,
+            "mismatches": list(self.mismatches),
+            "conserved": self.conserved,
+            "load": dict(self.load) if self.load is not None else None,
+        }
+
+    def save(self, path: str) -> None:
+        """Merge this run under ``"multiprocess"`` in the JSON report."""
+        merge_bench_report(path, {"multiprocess": self.to_dict()})
+
+    def format(self) -> str:
+        lines = [
+            f"pages: {self.num_pages} ({self.unique_pages} unique, cache-cold), "
+            f"max_batch {self.max_batch}, {self.workers} workers, "
+            f"{self.cpu_count} cpus, start method {self.start_method}",
+            f"sequential baseline: {self.sequential_docs_per_second:6.2f} docs/s",
+        ]
+        for name, data in self.transports.items():
+            lines.append(
+                f"{name + ':':<9} {data['docs_per_second']:6.2f} docs/s  "
+                f"p50 {data['latency_p50_ms']:.1f} ms  p99 {data['latency_p99_ms']:.1f} ms"
+            )
+            for workers, rate in sorted(
+                data["throughput_by_workers"].items(), key=lambda kv: int(kv[0])
+            ):
+                lines.append(f"  {int(workers):>2} workers: {rate:6.2f} docs/s")
+        if self.speedup is not None:
+            lines.append(f"process vs thread speedup: {self.speedup:.2f}x")
+        lines.append(
+            f"outputs match: {self.outputs_match}"
+            + (f" ({len(self.mismatches)} mismatches)" if self.mismatches else "")
+            + f"   conserved: {self.conserved}"
+        )
+        if self.load is not None:
+            lines.append(
+                f"load replay ({self.load['transport']}): "
+                f"{self.load['requests']} requests  "
+                f"p50 {self.load['latency_p50_ms']:.1f} ms  "
+                f"p99 {self.load['latency_p99_ms']:.1f} ms  "
+                f"{self.load['throughput']:.2f} docs/s"
+            )
+        return "\n".join(lines)
+
+
+def run_multiprocess_bench(
+    num_pages: int = 64,
+    seed: int = 7,
+    workers: int = 4,
+    max_batch: int = 8,
+    beam_size: int = 2,
+    max_wait_ms: float = 2.0,
+    transports: Tuple[str, ...] = ("thread", "process"),
+    duplicate_fraction: float = 0.0,
+    dtype=None,
+    output_path: Optional[str] = None,
+    model=None,
+    mp_context: Optional[str] = None,
+    include_load: bool = True,
+) -> MultiprocessBenchResult:
+    """Benchmark the worker transports head to head on a cache-cold stream.
+
+    The stream is compute-bound by construction (``duplicate_fraction=0``:
+    no repeats for the caches to absorb), so throughput measures model
+    compute parallelism — the thread transport serialises on the GIL, the
+    process transport should scale with cores.  Per transport and pool size
+    the run records docs/s; at the full worker count it also records
+    closed-loop per-request p50/p99 latency.  Every run's briefs are
+    compared bit-for-bit against the sequential ground truth and checked
+    for conservation.  ``include_load`` adds one open-loop
+    Zipf + burst + straggler replay (via :mod:`repro.core.load`) against
+    the last transport benched.
+    """
+    from .load import LoadGenerator, LoadPhase, run_load
+    from .pipeline import BriefingPipeline
+    from .serving import ConcurrentBriefingPipeline
+
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    for transport in transports:
+        if transport not in ("thread", "process"):
+            raise ValueError(f"unknown transport {transport!r}")
+    pages = synthesize_serving_corpus(
+        num_pages, seed=seed, duplicate_fraction=duplicate_fraction
+    )
+    unique_pages = len({html for _, html in pages})
+    if model is None:
+        model = _build_bench_model(topics=2, pages=3, seed=seed)
+
+    sequential = BriefingPipeline(model, beam_size=beam_size)
+    start = time.perf_counter()
+    expected = [sequential.brief_html(html, doc_id=doc_id) for doc_id, html in pages]
+    sequential_seconds = time.perf_counter() - start
+
+    mismatches: List[str] = []
+    conserved = True
+    per_transport: Dict[str, dict] = {}
+    for transport in transports:
+        throughput: Dict[int, float] = {}
+        latencies: List[float] = []
+        full_seconds = float("nan")
+        for pool_size in sorted({1, min(2, workers), workers}):
+            server = ConcurrentBriefingPipeline(
+                model,
+                num_workers=pool_size,
+                transport=transport,
+                beam_size=beam_size,
+                max_batch=max_batch,
+                max_wait_ms=max_wait_ms,
+                max_queue=max(2 * len(pages), 64),
+                dtype=dtype,
+                mp_context=mp_context,
+            )
+            record = pool_size == workers
+            submitted: List[float] = []
+            done: List[Optional[float]] = [None] * len(pages)
+            start = time.perf_counter()
+            futures = []
+            for position, (doc_id, html) in enumerate(pages):
+                submitted.append(time.perf_counter())
+                future = server.submit(html, doc_id=doc_id)
+                if record:
+                    future.add_done_callback(
+                        lambda _, position=position: done.__setitem__(
+                            position, time.perf_counter()
+                        )
+                    )
+                futures.append(future)
+            briefs = [future.result(timeout=300) for future in futures]
+            elapsed = time.perf_counter() - start
+            server.shutdown(timeout=60)
+            throughput[pool_size] = len(pages) / elapsed
+            merged = server.merged_stats()
+            if merged.cache_hits + merged.cache_misses != len(pages):
+                conserved = False
+            for (doc_id, _), left, right in zip(pages, expected, briefs):
+                if _briefs_differ(left, right):
+                    mismatches.append(f"{transport}:workers={pool_size}:{doc_id}")
+            if record:
+                full_seconds = elapsed
+                latencies = [
+                    finish - begin
+                    for begin, finish in zip(submitted, done)
+                    if finish is not None
+                ]
+        per_transport[transport] = {
+            "seconds": full_seconds,
+            "docs_per_second": len(pages) / full_seconds,
+            "latency_p50_ms": _percentile_ms(latencies, 50) if latencies else 0.0,
+            "latency_p99_ms": _percentile_ms(latencies, 99) if latencies else 0.0,
+            "throughput_by_workers": {
+                str(pool): rate for pool, rate in sorted(throughput.items())
+            },
+        }
+
+    speedup = None
+    if "thread" in per_transport and "process" in per_transport:
+        speedup = (
+            per_transport["process"]["docs_per_second"]
+            / per_transport["thread"]["docs_per_second"]
+        )
+
+    load_section = None
+    if include_load and transports:
+        transport = transports[-1]
+        generator = LoadGenerator(
+            pages,
+            seed=seed,
+            zipf_alpha=1.2,
+            phases=(
+                LoadPhase("steady", max(4, num_pages // 2), 50.0),
+                LoadPhase("burst", max(2, num_pages // 4), math.inf),
+                LoadPhase("cooldown", max(2, num_pages // 4), 25.0),
+            ),
+            straggler_fraction=0.125,
+            straggler_delay_ms=20.0,
+        )
+        server = ConcurrentBriefingPipeline(
+            model,
+            num_workers=workers,
+            transport=transport,
+            beam_size=beam_size,
+            max_batch=max_batch,
+            max_wait_ms=max_wait_ms,
+            max_queue=max(2 * num_pages, 64),
+            dtype=dtype,
+            mp_context=mp_context,
+        )
+        try:
+            report = run_load(server, generator.schedule())
+        finally:
+            server.shutdown(timeout=60)
+        load_section = {"transport": transport, **report.to_dict()}
+
+    result = MultiprocessBenchResult(
+        num_pages=len(pages),
+        unique_pages=unique_pages,
+        workers=workers,
+        max_batch=max_batch,
+        beam_size=beam_size,
+        cpu_count=os.cpu_count() or 1,
+        start_method=mp_context or "fork",
+        sequential_seconds=sequential_seconds,
+        sequential_docs_per_second=len(pages) / sequential_seconds,
+        transports=per_transport,
+        speedup=speedup,
+        outputs_match=not mismatches,
+        mismatches=mismatches,
+        conserved=conserved,
+        load=load_section,
+    )
+    if output_path is not None:
+        result.save(output_path)
+    return result
+
+
+# ----------------------------------------------------------------------
+# Report comparison (repro bench --compare prev.json)
+# ----------------------------------------------------------------------
+#: (dotted path into BENCH_serving.json, metric direction).  ``throughput``
+#: regresses when it drops; ``latency`` regresses when it rises.
+_COMPARE_METRICS: Tuple[Tuple[str, str], ...] = (
+    ("sequential.docs_per_second", "throughput"),
+    ("batched.docs_per_second", "throughput"),
+    ("batched.latency_p95_ms", "latency"),
+    ("decode.speedup", "throughput"),
+    ("concurrency.concurrent.docs_per_second", "throughput"),
+    ("resilience.throughput.docs_per_second", "throughput"),
+    ("resilience.latency_ms.p99", "latency"),
+    ("multiprocess.transports.thread.docs_per_second", "throughput"),
+    ("multiprocess.transports.process.docs_per_second", "throughput"),
+    ("multiprocess.transports.thread.latency_p99_ms", "latency"),
+    ("multiprocess.transports.process.latency_p99_ms", "latency"),
+    ("multiprocess.load.latency_p99_ms", "latency"),
+)
+
+
+def _dig(report: dict, path: str):
+    node = report
+    for key in path.split("."):
+        if not isinstance(node, dict) or key not in node:
+            return None
+        node = node[key]
+    return node if isinstance(node, (int, float)) and not isinstance(node, bool) else None
+
+
+@dataclass
+class ReportComparison:
+    """Outcome of diffing two BENCH_serving.json reports."""
+
+    threshold: float
+    compared: List[str] = field(default_factory=list)
+    regressions: List[str] = field(default_factory=list)
+    improvements: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def format(self) -> str:
+        lines = [
+            f"compared {len(self.compared)} shared metrics "
+            f"(regression threshold {self.threshold:.0%})"
+        ]
+        for line in self.regressions:
+            lines.append(f"  REGRESSION {line}")
+        for line in self.improvements:
+            lines.append(f"  improved   {line}")
+        if not self.regressions:
+            lines.append("  no SLO regressions")
+        return "\n".join(lines)
+
+
+def compare_reports(
+    previous: dict, current: dict, threshold: float = 0.2
+) -> ReportComparison:
+    """Diff throughput/latency metrics shared by two bench reports.
+
+    Only metrics present (and numeric) in *both* reports are compared, so a
+    report that never ran a given bench mode can't fail the gate on it.  A
+    throughput metric regresses when it falls more than ``threshold`` below
+    the previous value; a latency metric when it rises more than
+    ``threshold`` above it (tiny latencies are compared with a 1 ms floor
+    so micro-jitter on near-zero numbers can't fail CI).
+    """
+    if threshold < 0:
+        raise ValueError(f"threshold must be >= 0, got {threshold}")
+    comparison = ReportComparison(threshold=threshold)
+    for path, kind in _COMPARE_METRICS:
+        before = _dig(previous, path)
+        after = _dig(current, path)
+        if before is None or after is None:
+            continue
+        comparison.compared.append(path)
+        if kind == "throughput":
+            if before > 0 and after < before * (1.0 - threshold):
+                comparison.regressions.append(
+                    f"{path}: {before:.2f} -> {after:.2f} "
+                    f"({(after - before) / before:+.1%})"
+                )
+            elif before > 0 and after > before * (1.0 + threshold):
+                comparison.improvements.append(
+                    f"{path}: {before:.2f} -> {after:.2f} "
+                    f"({(after - before) / before:+.1%})"
+                )
+        else:
+            floor = max(before, 1.0)
+            if after > floor * (1.0 + threshold):
+                comparison.regressions.append(
+                    f"{path}: {before:.2f} ms -> {after:.2f} ms "
+                    f"(+{(after - floor) / floor:.1%})"
+                )
+            elif before > 1.0 and after < before * (1.0 - threshold):
+                comparison.improvements.append(
+                    f"{path}: {before:.2f} ms -> {after:.2f} ms "
+                    f"({(after - before) / before:+.1%})"
+                )
+    return comparison

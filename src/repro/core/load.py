@@ -1,0 +1,246 @@
+"""Realistic serving load: Zipfian popularity, bursts, slow stragglers.
+
+Uniform replay of a page stream (what the benches did before this module)
+exercises throughput but not the shapes that actually hurt a serving tier:
+a handful of very hot pages (cache and single-flight pressure), sudden
+arrival bursts (queue depth spikes, governor ladder), and straggler clients
+whose requests show up late and stretch the latency tail.
+
+:class:`LoadGenerator` turns a page pool into a deterministic, timestamped
+request schedule, and :func:`run_load` replays that schedule *open-loop*
+against a :class:`~repro.core.serving.ConcurrentBriefingPipeline` —
+arrivals do not wait for completions, so queueing delay is measured rather
+than hidden.  Everything is seeded: the same generator yields the same
+schedule, so load tests stay deterministic.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["LoadPhase", "TimedRequest", "LoadGenerator", "LoadReport", "run_load"]
+
+
+@dataclass(frozen=True)
+class LoadPhase:
+    """One segment of the arrival process.
+
+    ``rate`` is in requests/second; ``math.inf`` means a *burst* — every
+    request in the phase arrives at the same instant.
+    """
+
+    name: str
+    requests: int
+    rate: float
+
+    def __post_init__(self) -> None:
+        if self.requests < 0:
+            raise ValueError(f"requests must be >= 0, got {self.requests}")
+        if not self.rate > 0:
+            raise ValueError(f"rate must be > 0 (use math.inf for a burst), got {self.rate}")
+
+
+@dataclass(frozen=True)
+class TimedRequest:
+    """One scheduled arrival: when, what, and how late the client shows up."""
+
+    at: float  #: intended arrival, seconds from schedule start
+    doc_id: str
+    html: str
+    phase: str
+    straggler_delay: float = 0.0  #: extra submit delay for a slow client
+
+    @property
+    def submit_at(self) -> float:
+        return self.at + self.straggler_delay
+
+
+class LoadGenerator:
+    """Deterministic Zipf-over-pages arrival schedule with burst phases.
+
+    ``pages`` is the pool of ``(doc_id, html)`` candidates; each arrival
+    draws a page by Zipfian popularity (``zipf_alpha`` → skew; rank 0 is the
+    hottest page), so a small set of pages dominates — the regime where the
+    front-door cache, single-flight coalescing and the router's shard
+    affinity earn their keep.  A seeded fraction of arrivals are
+    *stragglers*: their submit is delayed by ``straggler_delay_ms`` while
+    latency is still measured from the intended arrival, stretching the tail
+    the way slow clients do in production.
+    """
+
+    def __init__(
+        self,
+        pages: Sequence[Tuple[str, str]],
+        *,
+        seed: int = 0,
+        zipf_alpha: float = 1.1,
+        phases: Optional[Sequence[LoadPhase]] = None,
+        straggler_fraction: float = 0.0,
+        straggler_delay_ms: float = 0.0,
+    ) -> None:
+        if not pages:
+            raise ValueError("LoadGenerator needs a non-empty page pool")
+        if not zipf_alpha > 1.0:
+            raise ValueError(f"zipf_alpha must be > 1, got {zipf_alpha}")
+        if not 0.0 <= straggler_fraction <= 1.0:
+            raise ValueError(f"straggler_fraction must be in [0, 1], got {straggler_fraction}")
+        self.pages = list(pages)
+        self.seed = seed
+        self.zipf_alpha = zipf_alpha
+        self.phases = list(
+            phases
+            if phases is not None
+            else (
+                LoadPhase("steady", 32, 50.0),
+                LoadPhase("burst", 16, math.inf),
+                LoadPhase("cooldown", 16, 25.0),
+            )
+        )
+        self.straggler_fraction = straggler_fraction
+        self.straggler_delay = straggler_delay_ms / 1000.0
+
+    def schedule(self) -> List[TimedRequest]:
+        """The full deterministic arrival schedule, ordered by intended time."""
+        rng = np.random.default_rng(self.seed)
+        out: List[TimedRequest] = []
+        now = 0.0
+        for phase in self.phases:
+            for _ in range(phase.requests):
+                # Zipf rank → page index: rank 1 (most common draw) is the
+                # hottest page; ranks past the pool wrap, preserving skew.
+                rank = int(rng.zipf(self.zipf_alpha))
+                doc_id, html = self.pages[(rank - 1) % len(self.pages)]
+                straggler = (
+                    self.straggler_delay
+                    if self.straggler_fraction and rng.random() < self.straggler_fraction
+                    else 0.0
+                )
+                out.append(
+                    TimedRequest(
+                        at=now,
+                        doc_id=f"{phase.name}-{len(out)}-{doc_id}",
+                        html=html,
+                        phase=phase.name,
+                        straggler_delay=straggler,
+                    )
+                )
+                if math.isfinite(phase.rate):
+                    now += 1.0 / phase.rate
+        return out
+
+
+def _percentile(samples: List[float], fraction: float) -> float:
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, max(0, math.ceil(fraction * len(ordered)) - 1))
+    return ordered[index]
+
+
+@dataclass
+class LoadReport:
+    """What one open-loop replay measured."""
+
+    requests: int
+    complete: int
+    degraded: int
+    shed: int
+    expired: int
+    seconds: float
+    throughput: float  #: completed-or-degraded docs per second of wall time
+    latency_p50_ms: float
+    latency_p99_ms: float
+    by_phase: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "requests": self.requests,
+            "complete": self.complete,
+            "degraded": self.degraded,
+            "shed": self.shed,
+            "expired": self.expired,
+            "seconds": self.seconds,
+            "throughput": self.throughput,
+            "latency_p50_ms": self.latency_p50_ms,
+            "latency_p99_ms": self.latency_p99_ms,
+            "by_phase": self.by_phase,
+        }
+
+
+def run_load(
+    server,
+    schedule: Sequence[TimedRequest],
+    *,
+    deadline_ms: Optional[float] = None,
+    priority: int = 1,
+    clock: Callable[[], float] = time.monotonic,
+    sleep: Callable[[float], None] = time.sleep,
+    timeout: float = 120.0,
+) -> LoadReport:
+    """Replay a schedule open-loop; latency includes queueing delay.
+
+    Each request is submitted at its scheduled offset (stragglers later);
+    per-request latency runs from the *intended* arrival to future
+    resolution, so queue wait, shed decisions and straggler lag all show up
+    in the percentiles instead of being hidden by a closed loop.
+    """
+    start = clock()
+    lock = threading.Lock()
+    latencies: List[float] = []
+    per_phase: dict = {}
+    futures = []
+    for request in sorted(schedule, key=lambda r: r.submit_at):
+        delay = request.submit_at - (clock() - start)
+        if delay > 0:
+            sleep(delay)
+        intended = start + request.at
+
+        def _finish(future, intended=intended, phase=request.phase):
+            done = clock()
+            with lock:
+                latencies.append(max(0.0, done - intended))
+                per_phase.setdefault(phase, []).append(max(0.0, done - intended))
+
+        future = server.submit(
+            request.html, doc_id=request.doc_id, deadline_ms=deadline_ms, priority=priority
+        )
+        future.add_done_callback(_finish)
+        futures.append(future)
+    briefs = [future.result(timeout=timeout) for future in futures]
+    seconds = max(clock() - start, 1e-9)
+    complete = sum(1 for brief in briefs if brief.complete)
+    shed = sum(
+        1
+        for brief in briefs
+        if any(degradation.stage == "admission" for degradation in brief.degradations)
+    )
+    expired = sum(
+        1
+        for brief in briefs
+        if any(degradation.stage == "deadline" for degradation in brief.degradations)
+    )
+    return LoadReport(
+        requests=len(briefs),
+        complete=complete,
+        degraded=len(briefs) - complete,
+        shed=shed,
+        expired=expired,
+        seconds=seconds,
+        throughput=len(briefs) / seconds,
+        latency_p50_ms=_percentile(latencies, 0.50) * 1000.0,
+        latency_p99_ms=_percentile(latencies, 0.99) * 1000.0,
+        by_phase={
+            phase: {
+                "requests": len(values),
+                "latency_p50_ms": _percentile(values, 0.50) * 1000.0,
+                "latency_p99_ms": _percentile(values, 0.99) * 1000.0,
+            }
+            for phase, values in sorted(per_phase.items())
+        },
+    )

@@ -1,0 +1,516 @@
+"""The *process* worker transport: one model copy per worker process.
+
+Thread workers share one GIL, so model compute serialises no matter how many
+workers the pool holds.  :class:`ProcessWorkerPool` implements the
+:class:`~repro.core.transport.WorkerTransport` protocol over N worker
+*processes*, each restoring its own copy of the weights exactly once at
+fork/spawn from a :class:`~repro.core.transport.ModelSnapshot` and serving
+micro-batches fed over a duplex pipe with batch-level framing.
+
+Topology, per worker index::
+
+    submit ─▶ ConsistentHashRouter ─▶ per-shard RequestScheduler
+                                          │ next_batch()
+                                          ▼
+            parent dispatcher thread ── pipe ── worker process
+              (deadline sweep, chaos,             (model copy +
+               stats merge, front-door            local hot caches)
+               cache fill, resolve)
+
+* **Routing** — the front door consistent-hashes each page's content hash
+  onto a worker shard, so repeated content always lands on the same process
+  and that process's *local* brief cache stays hot behind the shared
+  :class:`~repro.core.serving.ShardedBriefCache` front tier.
+* **Framing** — the parent sends ``("serve", [(doc_id, html, remaining_s)])``
+  and the child replies ``("done", briefs, stats_delta)``; deadlines cross
+  the boundary as *remaining seconds* (monotonic clocks don't transfer) and
+  are re-anchored to the child's clock, where the batched pipeline enforces
+  them per stage.
+* **Failure** — a dead pipe is a dead worker: the dispatcher exits leaving
+  ``current_batch`` held and ``exited`` unset, exactly the signature
+  :class:`~repro.core.serving.WorkerSupervisor` scans for; resurrection
+  re-spawns the process with a fresh generation and re-queues survivors into
+  the same shard.  Chaos faults are injected parent-side so the shared
+  seeded schedule and death caps stay exact: an injected
+  :class:`~repro.runtime.chaos.WorkerDeath` *terminates the worker process*.
+* **Determinism** — the snapshot carries the weights, the model's RNG state
+  and the ``nn`` default dtype, so process-transport briefs are
+  bit-identical to thread-transport briefs.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+import time
+from typing import Callable, Dict, Hashable, List, Optional
+
+from ..obs import MetricsSnapshot
+from ..runtime.chaos import WorkerDeath
+from ..runtime.stats import RuntimeStats
+from .batched import BatchedBriefingPipeline, _copy_brief, content_hash
+from .briefing import Degradation, PartialBrief
+from .pipeline import _reason
+from .serving import RequestScheduler, _deadline_partial, _resolve
+from .transport import ConsistentHashRouter, ModelSnapshot, WorkerTransport
+
+__all__ = ["ProcessWorkerPool"]
+
+#: exit code a worker process dies with on an (injected) in-process crash.
+_DEATH_EXIT_CODE = 17
+
+
+def _degraded_brief(exc: BaseException) -> PartialBrief:
+    return PartialBrief(
+        topic=[],
+        attributes=[],
+        degradations=[Degradation("serve", "empty_brief", _reason(exc))],
+    )
+
+
+def _stats_delta(before: Dict[str, int], after: Dict[str, int]) -> Dict[str, int]:
+    """Counter increments between two ``RuntimeStats.as_dict`` snapshots."""
+    return {name: after[name] - before.get(name, 0) for name in after if after[name] != before.get(name, 0)}
+
+
+def _process_worker_main(conn, snapshot: ModelSnapshot, config: dict) -> None:
+    """One worker process: restore the snapshot once, serve batches forever.
+
+    Top-level (not a closure) so ``spawn``/``forkserver`` contexts can
+    import it.  The restored pipeline owns *local* caches sized by
+    ``worker_cache_size`` — the hot tier the router's shard affinity feeds.
+    """
+    try:
+        model, dtype = snapshot.restore()
+        pipeline = BatchedBriefingPipeline(
+            model,
+            beam_size=config["beam_size"],
+            batch_size=config["batch_size"],
+            brief_cache_size=config["cache_size"],
+            render_cache_size=config["cache_size"],
+            hash_fn=config["hash_fn"],
+            dtype=dtype,
+        )
+        conn.send(("ready", os.getpid()))
+        while True:
+            message = conn.recv()
+            if message[0] == "stop":
+                conn.send(("bye",))
+                return
+            payload = message[1]
+            before = pipeline.stats.as_dict()
+            now = time.monotonic()
+            pages = [(doc_id, html) for doc_id, html, _ in payload]
+            # Deadlines arrive as remaining budgets; re-anchor them to this
+            # process's monotonic clock for the per-stage checks.
+            deadlines = [
+                None if remaining is None else now + remaining
+                for _, _, remaining in payload
+            ]
+            try:
+                briefs = pipeline.brief_many(pages, deadlines=deadlines)
+            except WorkerDeath:
+                raise
+            except BaseException as exc:  # brief_many never raises; last resort
+                briefs = [_degraded_brief(exc) for _ in pages]
+            conn.send(("done", briefs, _stats_delta(before, pipeline.stats.as_dict())))
+    except (EOFError, OSError, KeyboardInterrupt):
+        return  # parent went away — nothing left to serve
+    except WorkerDeath:
+        # A real in-process crash (e.g. poison content): die the way a
+        # segfault would — no reply, nonzero exit — so the parent dispatcher
+        # sees the pipe go dead while the batch is still held.
+        os._exit(_DEATH_EXIT_CODE)
+
+
+class _ProcessWorker:
+    """One process-transport worker record (the supervisor's surface).
+
+    Mirrors :class:`~repro.core.serving._Worker`: ``thread`` here is the
+    parent-side *dispatcher* thread, ``process`` the worker process itself.
+    ``alive()`` reports the *dispatcher*, not the process: the dispatcher
+    notices a dead pipe within one poll tick and exits holding the batch, so
+    by the time the supervisor sees ``alive() == False`` the batch state is
+    final — the same no-race guarantee the thread transport gets from worker
+    death being thread death.  ``heartbeat``/``current_batch``/``exited``/
+    ``handled`` have identical supervisor semantics to the thread transport.
+    """
+
+    __slots__ = (
+        "index",
+        "generation",
+        "process",
+        "conn",
+        "thread",
+        "heartbeat",
+        "current_batch",
+        "exited",
+        "handled",
+        "stats",
+        "ready",
+    )
+
+    def __init__(self, index: int, generation: int = 0) -> None:
+        self.index = index
+        self.generation = generation
+        self.process = None
+        self.conn = None
+        self.thread: Optional[threading.Thread] = None
+        self.heartbeat: Optional[float] = None
+        self.current_batch: Optional[list] = None
+        self.exited = False
+        self.handled = False
+        self.stats = RuntimeStats()
+        self.ready = False
+
+    @property
+    def started(self) -> bool:
+        return self.thread is not None
+
+    def alive(self) -> bool:
+        return self.thread is not None and self.thread.is_alive()
+
+
+class ProcessWorkerPool(WorkerTransport):
+    """N worker processes behind per-shard schedulers and a hash ring.
+
+    Each worker index owns a bounded :class:`RequestScheduler` shard
+    (capacity ``ceil(max_queue / num_workers)`` — a full shard raises
+    :class:`~repro.runtime.errors.QueueFull` even if others have room,
+    which is the price of cache affinity), a duplex pipe, a worker process
+    and a parent-side dispatcher thread that pulls micro-batches, sweeps
+    expired deadlines, runs chaos injection, forwards the batch, merges the
+    child's stats delta, feeds complete briefs into the shared front-door
+    cache and resolves the futures.
+
+    Worker processes are spawned in the constructor — *before* any
+    dispatcher or supervisor thread starts — so a ``fork`` start method
+    never forks a multi-threaded parent mid-lock.
+    """
+
+    transport_name = "process"
+
+    def __init__(
+        self,
+        snapshot: ModelSnapshot,
+        num_workers: int = 2,
+        *,
+        beam_size: int = 4,
+        batch_size: int = 8,
+        max_queue: int = 256,
+        max_batch: int = 8,
+        max_wait_ms: float = 2.0,
+        front_cache=None,
+        hash_fn: Optional[Callable[[str], Hashable]] = None,
+        clock: Optional[Callable[[], float]] = None,
+        on_expired: Optional[Callable[[object], None]] = None,
+        wait_scale: Optional[Callable[[], float]] = None,
+        governor=None,
+        chaos=None,
+        mp_context: Optional[str] = None,
+        worker_cache_size: int = 256,
+        spawn_timeout: float = 30.0,
+        vnodes: int = 64,
+    ) -> None:
+        if num_workers < 1:
+            raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+        if not isinstance(snapshot, ModelSnapshot):
+            snapshot = ModelSnapshot(snapshot)
+        methods = multiprocessing.get_all_start_methods()
+        method = mp_context if mp_context is not None else ("fork" if "fork" in methods else methods[0])
+        self.start_method = method
+        self._ctx = multiprocessing.get_context(method)
+        self.clock = clock if clock is not None else time.monotonic
+        self.governor = governor
+        self.chaos = chaos
+        self.front_cache = front_cache
+        self._snapshot = snapshot
+        self._hash_fn = hash_fn if hash_fn is not None else content_hash
+        self._beam_size = beam_size
+        self._batch_size = batch_size
+        self._worker_cache_size = worker_cache_size
+        self._spawn_timeout = spawn_timeout
+        self._router = ConsistentHashRouter(num_workers, vnodes=vnodes)
+        per_shard = max(1, -(-max_queue // num_workers))
+        self.schedulers: List[RequestScheduler] = [
+            RequestScheduler(
+                max_queue=per_shard,
+                max_batch=max_batch,
+                max_wait_ms=max_wait_ms,
+                clock=clock,
+                on_expired=on_expired,
+                wait_scale=wait_scale,
+            )
+            for _ in range(num_workers)
+        ]
+        self._lock = threading.Lock()
+        self._retired: List[_ProcessWorker] = []
+        self._workers: List[_ProcessWorker] = [
+            self._make_worker(index, 0) for index in range(num_workers)
+        ]
+
+    # -- spawning ------------------------------------------------------
+    def _make_worker(self, index: int, generation: int) -> _ProcessWorker:
+        worker = _ProcessWorker(index, generation)
+        parent_conn, child_conn = self._ctx.Pipe()
+        config = {
+            "beam_size": self._beam_size,
+            "batch_size": self._batch_size,
+            "cache_size": self._worker_cache_size,
+            "hash_fn": None if self._hash_fn is content_hash else self._hash_fn,
+        }
+        process = self._ctx.Process(
+            target=_process_worker_main,
+            args=(child_conn, self._snapshot, config),
+            name=f"brief-proc-{index}-g{generation}",
+            daemon=True,
+        )
+        process.start()
+        # Drop the parent's handle on the child end so a dead worker turns
+        # into EOF on our end instead of a silent hang.
+        child_conn.close()
+        worker.conn = parent_conn
+        worker.process = process
+        return worker
+
+    def _await_ready(self, worker: _ProcessWorker) -> None:
+        try:
+            if worker.conn.poll(self._spawn_timeout):
+                message = worker.conn.recv()
+                worker.ready = message[0] == "ready"
+        except (EOFError, OSError):
+            worker.ready = False  # boot crash — the dispatcher surfaces it
+
+    def _start_worker(self, worker: _ProcessWorker) -> None:
+        self._await_ready(worker)
+        thread = threading.Thread(
+            target=self._dispatch,
+            args=(worker,),
+            name=f"brief-worker-{worker.index}-g{worker.generation}",
+            daemon=True,
+        )
+        worker.thread = thread
+        thread.start()
+
+    def start(self) -> None:
+        """Start a dispatcher per already-spawned worker process (idempotent)."""
+        with self._lock:
+            workers = list(self._workers)
+        for worker in workers:
+            if worker.thread is None:
+                self._start_worker(worker)
+
+    def restart_worker(self, worker: _ProcessWorker) -> Optional[_ProcessWorker]:
+        """Re-spawn a dead/wedged worker's process with a fresh generation.
+
+        The old process is *not* terminated here: a wedged child may still be
+        mid-batch, and killing it under its dispatcher would force a second
+        requeue of work the supervisor just re-queued.  Like a zombie thread
+        in the thread transport, it either finishes late (``_resolve`` is
+        idempotent) or lives until :meth:`reap`.
+        """
+        with self._lock:
+            if self._workers[worker.index] is not worker:
+                return None
+            replacement = self._make_worker(worker.index, worker.generation + 1)
+            self._retired.append(worker)
+            self._workers[worker.index] = replacement
+        self._start_worker(replacement)
+        return replacement
+
+    def _kill(self, worker: _ProcessWorker) -> None:
+        process = worker.process
+        if process is not None and process.is_alive():
+            process.terminate()
+            process.join(timeout=2.0)
+
+    def _is_current(self, worker: _ProcessWorker) -> bool:
+        with self._lock:
+            return self._workers[worker.index] is worker
+
+    # -- transport surface ---------------------------------------------
+    @property
+    def num_workers(self) -> int:
+        return len(self._workers)
+
+    @property
+    def workers(self) -> List[_ProcessWorker]:
+        with self._lock:
+            return list(self._workers)
+
+    @property
+    def depth(self) -> int:
+        return sum(scheduler.depth for scheduler in self.schedulers)
+
+    def submit(self, request) -> None:
+        """Route by content hash so a page always lands on the same shard."""
+        shard = self._router.route(str(self._hash_fn(request.html)))
+        self.schedulers[shard].submit(request)
+
+    def close(self) -> None:
+        for scheduler in self.schedulers:
+            scheduler.close()
+
+    def drain(self) -> list:
+        items: list = []
+        for scheduler in self.schedulers:
+            items.extend(scheduler.drain())
+        return items
+
+    def requeue(self, worker: _ProcessWorker, requests) -> None:
+        # Survivors stay on the dead worker's shard: its replacement owns
+        # the same slice of the ring (and will rebuild the same hot cache).
+        self.schedulers[worker.index].requeue(requests)
+
+    def join(self, timeout: Optional[float] = None) -> List[str]:
+        """Wait for every dispatcher to exit (schedulers must be closed)."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            alive = [
+                worker.thread
+                for worker in self.workers
+                if worker.thread is not None and worker.thread.is_alive()
+            ]
+            if not alive:
+                return []
+            for thread in alive:
+                if deadline is None:
+                    thread.join()
+                else:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    thread.join(timeout=remaining)
+            if deadline is not None and time.monotonic() >= deadline:
+                return [thread.name for thread in alive if thread.is_alive()]
+
+    def stuck_workers(self) -> List[_ProcessWorker]:
+        return [
+            worker
+            for worker in self.workers
+            if worker.thread is not None and worker.thread.is_alive()
+        ]
+
+    def reap(self) -> None:
+        """Terminate every worker process still alive and release the pipes."""
+        with self._lock:
+            everyone = list(self._workers) + list(self._retired)
+        for worker in everyone:
+            self._kill(worker)
+            try:
+                worker.conn.close()
+            except (OSError, AttributeError):
+                pass
+
+    # -- dispatch ------------------------------------------------------
+    def _dispatch(self, worker: _ProcessWorker) -> None:
+        scheduler = self.schedulers[worker.index]
+        while True:
+            worker.heartbeat = self.clock()
+            if not self._is_current(worker):
+                return  # replaced while idle; the new dispatcher owns the shard
+            batch = scheduler.next_batch()
+            if batch is None:
+                self._stop_child(worker)
+                worker.exited = True
+                return
+            worker.heartbeat = self.clock()
+            worker.current_batch = batch
+            if self._serve_remote(worker, batch):
+                worker.current_batch = None
+                continue
+            # Transport failure: the worker process died under this batch.
+            # Exit holding it, with ``exited`` unset — the exact dead-worker
+            # signature the supervisor (or the shutdown sweep) resolves.  A
+            # dispatcher already replaced after a wedge never reaches here
+            # with unhandled work: the supervisor re-queued its batch's
+            # survivors when it swapped the worker out.
+            if not self._is_current(worker):
+                worker.current_batch = None
+            return
+
+    def _recv(self, worker: _ProcessWorker):
+        while not worker.conn.poll(0.05):
+            if not worker.process.is_alive() and not worker.conn.poll(0):
+                raise EOFError(f"worker process {worker.index} died")
+        return worker.conn.recv()
+
+    def _serve_remote(self, worker: _ProcessWorker, batch: list) -> bool:
+        """Ship one batch to the worker process; False when the worker died."""
+        worker.stats.inc("batches_dispatched")
+        now = self.clock()
+        live: list = []
+        payload: list = []
+        for request in batch:
+            if request.expired(now):
+                worker.stats.inc("deadline_expirations")
+                _resolve(request.future, _deadline_partial("before dispatch"))
+            else:
+                remaining = (
+                    None if request.deadline is None else max(0.0, request.deadline - now)
+                )
+                live.append(request)
+                payload.append((request.doc_id, request.html, remaining))
+        if not live:
+            return True
+        if self.chaos is not None:
+            # Injection happens parent-side so the seeded schedule and the
+            # shared death caps stay exact across transports; an injected
+            # WorkerDeath *is* a process death here.
+            try:
+                self.chaos.on_batch(worker.index, len(live))
+            except WorkerDeath:
+                self._kill(worker)
+                return False
+            except Exception as exc:  # injected transient fault — degrade
+                for request in live:
+                    _resolve(request.future, _degraded_brief(exc))
+                return True
+        started = self.clock()
+        try:
+            worker.conn.send(("serve", payload))
+            message = self._recv(worker)
+            while message[0] != "done":
+                message = self._recv(worker)
+            _, briefs, delta = message
+        except (EOFError, OSError, BrokenPipeError):
+            return False
+        for name, amount in delta.items():
+            worker.stats.inc(name, amount)
+        if self.governor is not None:
+            self.governor.observe_batch(self.clock() - started, len(live))
+        for request, brief in zip(live, briefs):
+            if self.front_cache is not None and brief.complete:
+                self.front_cache.put(request.html, _copy_brief(brief))
+            _resolve(request.future, brief)
+        return True
+
+    def _stop_child(self, worker: _ProcessWorker) -> None:
+        try:
+            worker.conn.send(("stop",))
+            if worker.conn.poll(1.0):
+                worker.conn.recv()  # "bye"
+        except (EOFError, OSError, BrokenPipeError):
+            pass
+        if worker.process is not None:
+            worker.process.join(timeout=2.0)
+
+    # -- merged observability ------------------------------------------
+    def _all_workers(self) -> List[_ProcessWorker]:
+        with self._lock:
+            return list(self._workers) + list(self._retired)
+
+    def merged_stats(self) -> RuntimeStats:
+        merged = RuntimeStats()
+        for worker in self._all_workers():
+            merged = merged.merge(worker.stats)
+        return merged
+
+    def metrics_snapshot(self) -> MetricsSnapshot:
+        # Per-request metric registries stay in the worker processes; only
+        # the RuntimeStats counters cross the pipe (as per-batch deltas).
+        return MetricsSnapshot()
+
+    def trace_spans(self) -> list:
+        return []

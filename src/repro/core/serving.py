@@ -49,6 +49,7 @@ Layers, bottom up:
 
 from __future__ import annotations
 
+import hashlib
 import threading
 import time
 from collections import deque
@@ -64,6 +65,7 @@ from ..runtime.stats import RuntimeStats
 from .batched import BatchedBriefingPipeline, BriefCache, Page, _copy_brief, content_hash
 from .briefing import Degradation, PartialBrief
 from .pipeline import _reason
+from .transport import ModelSnapshot, WorkerTransport
 
 __all__ = [
     "ShardedBriefCache",
@@ -131,10 +133,18 @@ class ShardedBriefCache:
         per_shard = -(-capacity // num_shards) if capacity else 0
         self._shards = [BriefCache(per_shard, hash_fn=hash_fn) for _ in range(num_shards)]
 
+    def shard_index(self, content: str) -> int:
+        """The shard this content lives in — stable across runs and processes.
+
+        A keyed digest (not Python's salted ``hash``) picks the shard, so
+        shard assignment is deterministic: tests can target a specific shard
+        and multi-process front tiers agree on placement.
+        """
+        digest = hashlib.blake2b(content.encode("utf-8", "surrogatepass"), digest_size=8)
+        return int.from_bytes(digest.digest(), "big") % self.num_shards
+
     def _shard(self, content: str) -> BriefCache:
-        # Python's str hash is salted per process but stable within it, which
-        # is all shard picking needs (no cross-process key stability).
-        return self._shards[hash(content) % self.num_shards]
+        return self._shards[self.shard_index(content)]
 
     def __len__(self) -> int:
         return sum(len(shard) for shard in self._shards)
@@ -584,9 +594,18 @@ class _Worker:
             help="remaining deadline budget sampled at worker dispatch",
         )
 
+    @property
+    def started(self) -> bool:
+        """Whether this worker was ever started (supervisor scans skip it otherwise)."""
+        return self.thread is not None
 
-class WorkerPool:
-    """N briefing workers draining one :class:`RequestScheduler`.
+    def alive(self) -> bool:
+        """Transport-agnostic liveness: for a thread worker, the thread itself."""
+        return self.thread is not None and self.thread.is_alive()
+
+
+class WorkerPool(WorkerTransport):
+    """The *thread* transport: N briefing workers draining one scheduler.
 
     All workers share the (read-only) model weights and the sharded caches;
     everything mutable — ``RuntimeStats``, tracer, metrics registry, the
@@ -600,7 +619,14 @@ class WorkerPool:
     ``chaos`` is an optional :class:`~repro.runtime.chaos.ChaosWorker`
     invoked once per dispatched batch; ``governor`` (if given) receives
     batch-latency observations.
+
+    As a :class:`~repro.core.transport.WorkerTransport` the pool also fronts
+    its scheduler (``submit``/``depth``/``close``/``drain``/``requeue``), so
+    the pipeline and supervisor never touch the queue directly and the
+    process transport can shard it differently.
     """
+
+    transport_name = "thread"
 
     def __init__(
         self,
@@ -666,6 +692,25 @@ class WorkerPool:
         """Live worker records (for the supervisor; treat as read-only)."""
         with self._lock:
             return list(self._workers)
+
+    # -- transport surface: the pool fronts its one shared scheduler --------
+    @property
+    def depth(self) -> int:
+        return self.scheduler.depth
+
+    def submit(self, request) -> None:
+        self.scheduler.submit(request)
+
+    def close(self) -> None:
+        self.scheduler.close()
+
+    def drain(self) -> list:
+        return self.scheduler.drain()
+
+    def requeue(self, worker: _Worker, requests: Iterable[object]) -> None:
+        # Threads share one queue: any worker's survivors go to the front
+        # of it regardless of which worker died.
+        self.scheduler.requeue(requests)
 
     def start(self) -> None:
         """Spawn one daemon thread per worker (idempotent)."""
@@ -843,11 +888,14 @@ class WorkerSupervisor:
     """Detect dead/wedged workers, resurrect them, re-queue their batches.
 
     Runs a daemon loop (or is driven manually via :meth:`check` in tests)
-    over the pool's workers:
+    over any :class:`~repro.core.transport.WorkerTransport`'s workers —
+    thread workers and process workers look the same through the record's
+    ``started``/``alive()``/``heartbeat``/``current_batch`` surface:
 
-    * a thread that is **dead** without having seen the exit signal died
+    * a worker that is **dead** (``alive()`` false — thread gone, or the
+      worker *process* gone) without having seen the exit signal died
       mid-batch (e.g. :class:`~repro.runtime.chaos.WorkerDeath`);
-    * a thread that is **alive** but has held the same batch past
+    * a worker that is **alive** but has held the same batch past
       ``wedge_timeout`` seconds with a stale heartbeat is *wedged*.
 
     Either way the worker is replaced via
@@ -869,8 +917,8 @@ class WorkerSupervisor:
 
     def __init__(
         self,
-        pool: WorkerPool,
-        scheduler: RequestScheduler,
+        pool: WorkerTransport,
+        scheduler: Optional[RequestScheduler] = None,
         *,
         poll_interval: float = 0.02,
         wedge_timeout: Optional[float] = None,
@@ -947,14 +995,13 @@ class WorkerSupervisor:
         handled = 0
         now = self._clock()
         for worker in self.pool.workers:
-            thread = worker.thread
-            if thread is None or worker.handled:
+            if not worker.started or worker.handled:
                 continue
             if worker.heartbeat is not None:
                 self._heartbeat_age.set(
                     max(0.0, now - worker.heartbeat), worker=str(worker.index)
                 )
-            if thread.is_alive():
+            if worker.alive():
                 if (
                     self.wedge_timeout is not None
                     and worker.current_batch is not None
@@ -1002,7 +1049,7 @@ class WorkerSupervisor:
             if survivors:
                 self.stats.inc("batches_requeued")
                 self._requeued.inc()
-                self.scheduler.requeue(survivors)
+                self.pool.requeue(worker, survivors)
         else:
             # Shutdown path: no replacement worker is coming, so the held
             # work resolves degraded instead of being re-queued.
@@ -1104,6 +1151,7 @@ class ConcurrentBriefingPipeline:
         model: JointWBModel,
         num_workers: int = 2,
         *,
+        transport: str = "thread",
         beam_size: int = 4,
         max_batch: int = 8,
         max_wait_ms: float = 2.0,
@@ -1124,7 +1172,13 @@ class ConcurrentBriefingPipeline:
         wedge_timeout_ms: Optional[float] = None,
         chaos=None,
         breaker: Optional[CircuitBreaker] = None,
+        mp_context: Optional[str] = None,
+        worker_cache_size: int = 256,
+        spawn_timeout: float = 30.0,
     ) -> None:
+        if transport not in ("thread", "process"):
+            raise ValueError(f"transport must be 'thread' or 'process', got {transport!r}")
+        self.transport = transport
         self.stats = stats if stats is not None else RuntimeStats()
         self._clock = clock if clock is not None else time.monotonic
         self._hash_fn = hash_fn if hash_fn is not None else content_hash
@@ -1136,29 +1190,56 @@ class ConcurrentBriefingPipeline:
         elif governor is False:
             governor = None
         self.governor = governor
-        self.scheduler = RequestScheduler(
-            max_queue=max_queue,
-            max_batch=max_batch,
-            max_wait_ms=max_wait_ms,
-            clock=clock,
-            on_expired=self._on_queue_expired,
-            wait_scale=governor.wait_scale if governor is not None else None,
-        )
-        self.pool = WorkerPool(
-            model,
-            self.scheduler,
-            num_workers,
-            beam_size=beam_size,
-            batch_size=max_batch,
-            brief_cache=self.brief_cache,
-            render_cache=self.render_cache,
-            hash_fn=hash_fn,
-            dtype=dtype,
-            observe=observe,
-            chaos=chaos,
-            clock=clock,
-            governor=governor,
-        )
+        if transport == "process":
+            from .process_pool import ProcessWorkerPool  # avoid an import cycle
+
+            snapshot = model if isinstance(model, ModelSnapshot) else ModelSnapshot(model, dtype=dtype)
+            # The process transport shards the admission queue per worker;
+            # there is no single scheduler to expose.
+            self.scheduler = None
+            self.pool: WorkerTransport = ProcessWorkerPool(
+                snapshot,
+                num_workers,
+                beam_size=beam_size,
+                batch_size=max_batch,
+                max_queue=max_queue,
+                max_batch=max_batch,
+                max_wait_ms=max_wait_ms,
+                front_cache=self.brief_cache,
+                hash_fn=hash_fn,
+                clock=clock,
+                on_expired=self._on_queue_expired,
+                wait_scale=governor.wait_scale if governor is not None else None,
+                governor=governor,
+                chaos=chaos,
+                mp_context=mp_context,
+                worker_cache_size=worker_cache_size,
+                spawn_timeout=spawn_timeout,
+            )
+        else:
+            self.scheduler = RequestScheduler(
+                max_queue=max_queue,
+                max_batch=max_batch,
+                max_wait_ms=max_wait_ms,
+                clock=clock,
+                on_expired=self._on_queue_expired,
+                wait_scale=governor.wait_scale if governor is not None else None,
+            )
+            self.pool = WorkerPool(
+                model,
+                self.scheduler,
+                num_workers,
+                beam_size=beam_size,
+                batch_size=max_batch,
+                brief_cache=self.brief_cache,
+                render_cache=self.render_cache,
+                hash_fn=hash_fn,
+                dtype=dtype,
+                observe=observe,
+                chaos=chaos,
+                clock=clock,
+                governor=governor,
+            )
         self.registry = MetricsRegistry() if observe else NOOP_REGISTRY
         self._request_counter = self.registry.counter(
             "serving_requests_total", help="front-door requests, by outcome"
@@ -1225,14 +1306,14 @@ class ConcurrentBriefingPipeline:
         """
         with self._lock:
             self._shutdown = True
-        self.scheduler.close()
+        self.pool.close()
         stuck = self.pool.join(timeout=timeout)
         if self.supervisor is not None:
             self.supervisor.stop()
         # Conservation sweep: anything still queued (e.g. re-queued work
         # that no worker picked up before the deadline) resolves degraded.
         exc = Overloaded("pipeline shut down before the request was served", reason="shutdown")
-        for request in self.scheduler.drain():
+        for request in self.pool.drain():
             _resolve(
                 request.future,
                 PartialBrief(
@@ -1241,9 +1322,16 @@ class ConcurrentBriefingPipeline:
                     degradations=[Degradation("serve", "empty_brief", _reason(exc))],
                 ),
             )
-        # A stuck worker still holds its batch; resolve those futures too so
-        # every submitted future completes even on a dirty shutdown.
-        for worker in self.pool.stuck_workers():
+        # A worker that never let go of its batch — stuck (alive past the
+        # join deadline) or dead without supervision (e.g. a worker process
+        # lost with ``supervise=False``) — still holds admitted futures;
+        # resolve them too so every submitted future completes even on a
+        # dirty shutdown.
+        leftovers = {id(worker): worker for worker in self.pool.stuck_workers()}
+        for worker in self.pool.workers:
+            if worker.started and not worker.alive() and not worker.exited:
+                leftovers.setdefault(id(worker), worker)
+        for worker in leftovers.values():
             for request in list(worker.current_batch or []):
                 _resolve(
                     request.future,
@@ -1253,6 +1341,7 @@ class ConcurrentBriefingPipeline:
                         degradations=[Degradation("serve", "empty_brief", _reason(exc))],
                     ),
                 )
+        self.pool.reap()
         self.stuck_workers = stuck
         return stuck
 
@@ -1370,7 +1459,7 @@ class ConcurrentBriefingPipeline:
         if poisoned:
             return self._shed(future, "poison", "content quarantined after repeated worker deaths")
         if self.governor is not None:
-            self.governor.observe_queue(self.scheduler.depth, self.in_flight())
+            self.governor.observe_queue(self.pool.depth, self.in_flight())
             self._governor_level.set(self.governor.level)
             reason = self.governor.admit(priority)
             if reason is not None:
@@ -1394,7 +1483,7 @@ class ConcurrentBriefingPipeline:
             self._inflight[html] = flight
         computation.add_done_callback(lambda done, html=html: self._publish(html, done))
         try:
-            self.scheduler.submit(request)
+            self.pool.submit(request)
         except QueueFull as exc:
             with self._lock:
                 self.stats.inc("queue_rejections")
@@ -1404,7 +1493,7 @@ class ConcurrentBriefingPipeline:
             computation.set_result(self._degraded(exc))
             return future
         self._request_counter.inc(outcome="admitted")
-        self._queue_depth.set(self.scheduler.depth)
+        self._queue_depth.set(self.pool.depth)
         return future
 
     # ------------------------------------------------------------------

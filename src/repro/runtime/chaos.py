@@ -210,6 +210,20 @@ class ChaosWorker:
         self._lock = threading.Lock()
         self._rngs: Dict[int, random.Random] = {}
 
+    def __getstate__(self):
+        # The lock is process-local and unpicklable; everything else (the
+        # per-worker rng streams included) crosses a process boundary
+        # intact.  Note a pickled copy has *independent* death/stats
+        # counters — parent-side injection is how the serving layer keeps
+        # the shared caps exact across worker processes.
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
     def _rng(self, worker_index: int) -> random.Random:
         rng = self._rngs.get(worker_index)
         if rng is None:

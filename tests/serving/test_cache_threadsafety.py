@@ -152,6 +152,84 @@ def test_sharded_cache_uses_multiple_shards():
     assert populated > 1  # hash-picked striping actually spreads the keys
 
 
+def test_sharded_cache_shard_index_is_deterministic():
+    """Shard placement is a keyed digest, not Python's salted hash: two
+    cache instances (or two processes) agree on where content lives."""
+    first = ShardedBriefCache(16, num_shards=4)
+    second = ShardedBriefCache(16, num_shards=4)
+    keys = [f"content-{i}" for i in range(64)]
+    placements = [first.shard_index(key) for key in keys]
+    assert placements == [second.shard_index(key) for key in keys]
+    assert len(set(placements)) > 1  # and it actually stripes
+
+
+def _keys_for_shard(cache, shard, count):
+    """Deterministically mine keys that land on the given shard."""
+    found = []
+    index = 0
+    while len(found) < count:
+        key = f"mined-{index}"
+        if cache.shard_index(key) == shard:
+            found.append(key)
+        index += 1
+    return found
+
+
+def test_per_shard_eviction_is_lru_and_confined():
+    """Overflowing one shard evicts that shard's LRU entry and nothing else."""
+    cache = ShardedBriefCache(8, num_shards=4)  # per-shard capacity 2
+    oldest, refreshed, overflow = _keys_for_shard(cache, 0, 3)
+    bystanders = [_keys_for_shard(cache, shard, 1)[0] for shard in (1, 2, 3)]
+    for key in bystanders:
+        cache.put(key, key)
+    cache.put(refreshed, refreshed)
+    cache.put(oldest, oldest)
+    assert cache.get(refreshed) == refreshed  # refresh → oldest is now LRU
+    cache.put(overflow, overflow)  # shard 0 at capacity: evicts `oldest` only
+    assert cache.get(oldest) is None
+    assert cache.get(refreshed) == refreshed
+    assert cache.get(overflow) == overflow
+    for key in bystanders:  # other shards never felt the pressure
+        assert cache.get(key) == key
+
+
+def test_counter_merge_is_associative_across_shards():
+    """The cache totals are exactly the shard sums — hammered concurrently,
+    with eviction, no increment is lost and none is double-counted."""
+    cache = ShardedBriefCache(8, num_shards=4)  # smaller than the key pool
+    keys = [f"content-{i}" for i in range(32)]
+    with ThreadPoolExecutor(max_workers=THREADS) as pool:
+        list(pool.map(lambda seed: _hammer(cache, seed, keys), range(THREADS)))
+    assert cache.hits == sum(shard.hits for shard in cache._shards)
+    assert cache.misses == sum(shard.misses for shard in cache._shards)
+    assert cache.hits + cache.misses == THREADS * OPS_PER_THREAD
+    assert len(cache) == sum(len(shard) for shard in cache._shards)
+    for shard in cache._shards:
+        assert len(shard) <= 2  # ceil(8 / 4): per-shard capacity held
+
+
+def test_concurrent_mixed_get_put_across_shards_conserves():
+    """Readers and writers split across different shards concurrently: the
+    merged counters still account for every lookup exactly once."""
+    cache = ShardedBriefCache(16, num_shards=4)
+    per_shard_keys = {shard: _keys_for_shard(cache, shard, 6) for shard in range(4)}
+
+    def hammer_shard(shard):
+        rng = random.Random(shard)
+        for _ in range(OPS_PER_THREAD):
+            key = rng.choice(per_shard_keys[shard])
+            if cache.get(key) is None:
+                cache.put(key, key)
+
+    with ThreadPoolExecutor(max_workers=4) as pool:
+        list(pool.map(hammer_shard, range(4)))
+    assert cache.hits + cache.misses == 4 * OPS_PER_THREAD
+    # Every shard saw traffic and kept to its slice of the capacity.
+    for shard in cache._shards:
+        assert shard.hits + shard.misses == OPS_PER_THREAD
+        assert len(shard) <= 4
+
+
 def test_sharded_cache_collision_safety_is_inherited():
     cache = ShardedBriefCache(8, num_shards=2, hash_fn=lambda content: "bucket")
     cache.put("page one", "brief one")

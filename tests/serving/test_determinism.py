@@ -1,4 +1,8 @@
-"""Worker-count invariance: concurrent briefs are bit-identical to sequential."""
+"""Worker-count and transport invariance: concurrent briefs match sequential."""
+
+import numpy as np
+
+from repro.core import ConcurrentBriefingPipeline
 
 
 def test_batched_matches_sequential(harness):
@@ -39,3 +43,41 @@ def test_max_batch_does_not_change_outputs(harness):
         briefs, stats = harness.run_concurrent(2, max_batch=max_batch)
         harness.assert_identical(briefs, f"max_batch={max_batch}")
         harness.assert_conserved(stats)
+
+
+def test_process_transport_matches_sequential(harness):
+    """Cross-transport invariance: briefs computed in worker *processes*
+    (weights restored from a snapshot, deadlines re-anchored over a pipe)
+    are bit-identical to the sequential ground truth, and the conservation
+    invariant holds across the process boundary."""
+    briefs, stats = harness.run_concurrent(2, transport="process")
+    harness.assert_identical(briefs, "transport=process")
+    harness.assert_conserved(stats)
+
+
+def test_transports_agree_under_float32(serving_model, page_stream):
+    """The snapshot propagates the pipeline dtype and the nn default dtype
+    into spawned workers: a float32 process run reproduces a float32 thread
+    run exactly (both may differ from the float64 ground truth)."""
+    pages = page_stream[:16]
+    by_transport = {}
+    for transport in ("thread", "process"):
+        server = ConcurrentBriefingPipeline(
+            serving_model, num_workers=2, transport=transport, beam_size=2,
+            max_batch=8, max_queue=64, dtype=np.float32,
+        )
+        try:
+            by_transport[transport] = server.brief_many(pages)
+        finally:
+            server.shutdown(timeout=60)
+        stats = server.merged_stats()
+        assert stats.cache_hits + stats.cache_misses == len(pages)
+    for (doc_id, _), thread_brief, process_brief in zip(
+        pages, by_transport["thread"], by_transport["process"]
+    ):
+        assert process_brief.topic == thread_brief.topic, doc_id
+        assert process_brief.attributes == thread_brief.attributes, doc_id
+        assert process_brief.informative_sentences == (
+            thread_brief.informative_sentences
+        ), doc_id
+        assert process_brief.degradations == thread_brief.degradations, doc_id

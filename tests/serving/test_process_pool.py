@@ -1,0 +1,180 @@
+"""ModelSnapshot, ConsistentHashRouter and process-transport plumbing."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core import (
+    BriefingPipeline,
+    ConcurrentBriefingPipeline,
+    ConsistentHashRouter,
+    ModelSnapshot,
+)
+
+from .test_deadlines import PAGE_A, PAGE_B
+
+
+# ----------------------------------------------------------------------
+# ModelSnapshot
+# ----------------------------------------------------------------------
+def test_snapshot_round_trip_restores_identical_model(serving_model):
+    snapshot = ModelSnapshot(serving_model)
+    assert snapshot.num_bytes > 0
+    restored, dtype = snapshot.restore()
+    assert restored is not serving_model
+    assert dtype is None
+    want = BriefingPipeline(serving_model, beam_size=2).brief_html(PAGE_A)
+    got = BriefingPipeline(restored, beam_size=2).brief_html(PAGE_A)
+    assert got.topic == want.topic
+    assert got.attributes == want.attributes
+    assert got.informative_sentences == want.informative_sentences
+
+
+def test_snapshot_restores_are_independent_and_identical(serving_model):
+    """Every restore (a worker spawned at boot, one resurrected mid-run)
+    deserialises the same frozen blob: distinct model objects, identical
+    predictions."""
+    snapshot = ModelSnapshot(serving_model)
+    first, _ = snapshot.restore()
+    second, _ = snapshot.restore()
+    assert first is not second
+    want = BriefingPipeline(first, beam_size=2).brief_html(PAGE_B)
+    got = BriefingPipeline(second, beam_size=2).brief_html(PAGE_B)
+    assert got.topic == want.topic
+    assert got.attributes == want.attributes
+    assert got.informative_sentences == want.informative_sentences
+
+
+def test_snapshot_carries_dtype_environment(serving_model):
+    previous = nn.get_default_dtype()
+    try:
+        nn.set_default_dtype(np.float32)
+        snapshot = ModelSnapshot(serving_model, dtype=np.float32)
+    finally:
+        nn.set_default_dtype(previous)
+    assert np.dtype(snapshot.default_dtype) == np.float32
+    assert np.dtype(snapshot.pipeline_dtype) == np.float32
+    try:
+        _, dtype = snapshot.restore()  # re-applies the captured default
+        assert dtype == np.float32
+        assert np.dtype(nn.get_default_dtype()) == np.float32
+    finally:
+        nn.set_default_dtype(previous)
+
+
+# ----------------------------------------------------------------------
+# ConsistentHashRouter
+# ----------------------------------------------------------------------
+KEYS = [f"content-hash-{i}" for i in range(2000)]
+
+
+def test_router_is_deterministic_across_instances():
+    first = ConsistentHashRouter(4)
+    second = ConsistentHashRouter(4)
+    assert [first.route(key) for key in KEYS[:200]] == [
+        second.route(key) for key in KEYS[:200]
+    ]
+
+
+def test_router_spreads_keys_roughly_uniformly():
+    router = ConsistentHashRouter(4, vnodes=64)
+    counts = router.distribution(KEYS)
+    assert set(counts) == {0, 1, 2, 3}
+    expected = len(KEYS) / 4
+    for shard, count in counts.items():
+        assert count > expected * 0.5, f"shard {shard} starved: {counts}"
+        assert count < expected * 1.5, f"shard {shard} overloaded: {counts}"
+
+
+def test_router_reshuffles_minimally_when_scaling():
+    """Consistent hashing's point: adding a shard moves ~1/N of the keys,
+    not all of them (modulo hashing would move ~4/5 here)."""
+    four = ConsistentHashRouter(4)
+    five = ConsistentHashRouter(5)
+    moved = sum(1 for key in KEYS if four.route(key) != five.route(key))
+    assert moved / len(KEYS) < 0.45
+
+
+def test_router_single_shard_and_validation():
+    router = ConsistentHashRouter(1)
+    assert router.route("anything") == 0
+    with pytest.raises(ValueError):
+        ConsistentHashRouter(0)
+    with pytest.raises(ValueError):
+        ConsistentHashRouter(2, vnodes=0)
+
+
+# ----------------------------------------------------------------------
+# ProcessWorkerPool through the pipeline front door
+# ----------------------------------------------------------------------
+def test_process_transport_serves_and_counts(serving_model):
+    server = ConcurrentBriefingPipeline(
+        serving_model, num_workers=2, transport="process", beam_size=2,
+        max_batch=4, max_wait_ms=0.0, supervise=False,
+    )
+    try:
+        first = server.submit(PAGE_A, doc_id="first").result(timeout=60)
+        assert first.complete
+        # Same content again: a front-door cache hit, no second model pass.
+        again = server.submit(PAGE_A, doc_id="again").result(timeout=60)
+        assert again.complete and again.topic == first.topic
+    finally:
+        server.shutdown(timeout=60)
+    merged = server.merged_stats()
+    assert merged.cache_misses == 1
+    assert merged.cache_hits == 1
+    assert server.pool.transport_name == "process"
+
+
+def test_externally_killed_process_is_resurrected(serving_model):
+    """SIGTERM from outside (OOM-killer stand-in) while the worker is idle:
+    the next batch surfaces the dead pipe, the supervisor re-spawns the
+    process with a fresh generation, and serving continues."""
+    server = ConcurrentBriefingPipeline(
+        serving_model, num_workers=1, transport="process", beam_size=2,
+        max_batch=1, max_wait_ms=0.0, supervisor_poll_ms=5.0,
+    )
+    try:
+        assert server.submit(PAGE_A, doc_id="warm").result(timeout=60).complete
+        victim = server.pool.workers[0]
+        victim.process.terminate()
+        victim.process.join(timeout=10)
+        brief = server.submit(PAGE_B, doc_id="after-kill").result(timeout=60)
+        assert brief.complete
+    finally:
+        server.shutdown(timeout=60)
+    assert server.merged_stats().worker_restarts >= 1
+    survivor = server.pool.workers[0]
+    assert survivor.generation >= 1
+
+
+def test_shutdown_resolves_everything_under_load(serving_model):
+    """Conservation through shutdown on the process transport: every admitted
+    future resolves (served or typed-degraded) and no dispatcher sticks."""
+    server = ConcurrentBriefingPipeline(
+        serving_model, num_workers=2, transport="process", beam_size=2,
+        max_batch=4, max_wait_ms=1.0, max_queue=128,
+    )
+    pages = [
+        f"<html><body><p>proc load page {i}</p><p>the price is {i}</p></body></html>"
+        for i in range(24)
+    ]
+    futures = [server.submit(page, doc_id=f"load-{i}") for i, page in enumerate(pages)]
+    stuck = server.shutdown(timeout=60)
+    assert stuck == []
+    for future in futures:
+        assert future.result(timeout=60) is not None
+    # reap() ran: no worker process outlives the pipeline.
+    for worker in server.pool.workers:
+        assert not worker.process.is_alive()
+
+
+def test_start_method_is_recorded(serving_model):
+    server = ConcurrentBriefingPipeline(
+        serving_model, num_workers=1, transport="process", beam_size=2,
+        supervise=False,
+    )
+    try:
+        assert server.pool.start_method in ("fork", "spawn", "forkserver")
+    finally:
+        server.shutdown(timeout=30)
