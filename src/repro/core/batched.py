@@ -268,6 +268,7 @@ class BatchedBriefingPipeline:
         *,
         deadlines: Optional[List[Optional[float]]] = None,
         clock: Optional[Callable[[], float]] = None,
+        trace_contexts: Optional[List[Optional["object"]]] = None,
     ) -> List[PartialBrief]:
         """Brief many pages; results align with the input order.
 
@@ -284,6 +285,12 @@ class BatchedBriefingPipeline:
         ``deadline → expired`` brief instead of burning model time on an
         answer nobody is waiting for.  Cache hits are served regardless
         (they are effectively free).
+
+        ``trace_contexts`` (aligned with ``pages``) carries each request's
+        :class:`~repro.obs.TraceContext`.  The batch's ``brief_many`` span is
+        parented under the first traced request (the batch leader), so the
+        shared decode subtree joins that request's trace — the per-request
+        view is the worker's ``serve`` span.
         """
         page_list: List[Tuple[str, str]] = []
         for position, page in enumerate(pages):
@@ -309,7 +316,18 @@ class BatchedBriefingPipeline:
                 return False
             return (read_clock() if now is None else now) >= deadline
 
-        with self.tracer.span("brief_many", pages=len(page_list)) as batch_span:
+        leader_context = None
+        if trace_contexts is not None and self.tracer.enabled:
+            leader_context = next(
+                (context for context in trace_contexts if context is not None), None
+            )
+        if leader_context is not None:
+            batch_cm = self.tracer.child_span(
+                leader_context, "brief_many", pages=len(page_list)
+            )
+        else:
+            batch_cm = self.tracer.span("brief_many", pages=len(page_list))
+        with batch_cm as batch_span:
             hits_before, misses_before = self.stats.cache_hits, self.stats.cache_misses
             briefs: List[Optional[PartialBrief]] = [None] * len(page_list)
             # In-flight work, keyed by page content: one model pass per unique page.

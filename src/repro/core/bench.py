@@ -1108,7 +1108,8 @@ class MultiprocessBenchResult:
     sequential_seconds: float
     sequential_docs_per_second: float
     #: per transport: seconds / docs_per_second / latency percentiles /
-    #: throughput_by_workers at each pool size.
+    #: throughput_by_workers at each pool size / observability_overhead
+    #: (observed-vs-blind at the full worker count; None when skipped).
     transports: Dict[str, dict] = field(default_factory=dict)
     speedup: Optional[float] = None
     outputs_match: bool = True
@@ -1157,6 +1158,10 @@ class MultiprocessBenchResult:
                 data["throughput_by_workers"].items(), key=lambda kv: int(kv[0])
             ):
                 lines.append(f"  {int(workers):>2} workers: {rate:6.2f} docs/s")
+            if data.get("observability_overhead") is not None:
+                lines.append(
+                    f"  observability overhead: {data['observability_overhead']:+.1%}"
+                )
         if self.speedup is not None:
             lines.append(f"process vs thread speedup: {self.speedup:.2f}x")
         lines.append(
@@ -1189,6 +1194,7 @@ def run_multiprocess_bench(
     model=None,
     mp_context: Optional[str] = None,
     include_load: bool = True,
+    measure_overhead: bool = True,
 ) -> MultiprocessBenchResult:
     """Benchmark the worker transports head to head on a cache-cold stream.
 
@@ -1202,6 +1208,14 @@ def run_multiprocess_bench(
     for conservation.  ``include_load`` adds one open-loop
     Zipf + burst + straggler replay (via :mod:`repro.core.load`) against
     the last transport benched.
+
+    ``measure_overhead`` additionally times observed (``observe=True``:
+    tracing, metrics, telemetry shipping over the pipes) against blind runs
+    at the full worker count — min-of-3 each, interleaved so warm-up and
+    machine drift cancel — and records the ratio per transport: for the
+    process transport this is the full cost of cross-process trace
+    propagation and snapshot-delta shipping, held to the same ≤5% budget as
+    the in-process instrumentation.
     """
     from .load import LoadGenerator, LoadPhase, run_load
     from .pipeline import BriefingPipeline
@@ -1275,6 +1289,41 @@ def run_multiprocess_bench(
                     for begin, finish in zip(submitted, done)
                     if finish is not None
                 ]
+        overhead: Optional[float] = None
+        if measure_overhead:
+            # Same idiom as run_serving_bench: fresh pipelines (cold caches)
+            # per pass, blind and observed interleaved, min-of-3 so one
+            # noisy pass or slow spawn can't fake a regression either way.
+            def _timed_pass(observe: bool) -> float:
+                server = ConcurrentBriefingPipeline(
+                    model,
+                    num_workers=workers,
+                    transport=transport,
+                    beam_size=beam_size,
+                    max_batch=max_batch,
+                    max_wait_ms=max_wait_ms,
+                    max_queue=max(2 * len(pages), 64),
+                    dtype=dtype,
+                    mp_context=mp_context,
+                    observe=observe,
+                )
+                try:
+                    begin = time.perf_counter()
+                    futures = [
+                        server.submit(html, doc_id=doc_id) for doc_id, html in pages
+                    ]
+                    for future in futures:
+                        future.result(timeout=300)
+                    return time.perf_counter() - begin
+                finally:
+                    server.shutdown(timeout=60)
+
+            blind_seconds = float("inf")
+            observed_seconds = float("inf")
+            for _ in range(3):
+                blind_seconds = min(blind_seconds, _timed_pass(False))
+                observed_seconds = min(observed_seconds, _timed_pass(True))
+            overhead = observed_seconds / blind_seconds - 1.0
         per_transport[transport] = {
             "seconds": full_seconds,
             "docs_per_second": len(pages) / full_seconds,
@@ -1283,6 +1332,7 @@ def run_multiprocess_bench(
             "throughput_by_workers": {
                 str(pool): rate for pool, rate in sorted(throughput.items())
             },
+            "observability_overhead": overhead,
         }
 
     speedup = None

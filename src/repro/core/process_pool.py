@@ -21,11 +21,24 @@ Topology, per worker index::
   onto a worker shard, so repeated content always lands on the same process
   and that process's *local* brief cache stays hot behind the shared
   :class:`~repro.core.serving.ShardedBriefCache` front tier.
-* **Framing** — the parent sends ``("serve", [(doc_id, html, remaining_s)])``
-  and the child replies ``("done", briefs, stats_delta)``; deadlines cross
-  the boundary as *remaining seconds* (monotonic clocks don't transfer) and
-  are re-anchored to the child's clock, where the batched pipeline enforces
-  them per stage.
+* **Framing** — the parent sends
+  ``("serve", [(doc_id, html, remaining_s, trace)])`` and the child replies
+  ``("done", briefs, stats_delta, telemetry)``; deadlines cross the boundary
+  as *remaining seconds* (monotonic clocks don't transfer) and are
+  re-anchored to the child's clock, where the batched pipeline enforces them
+  per stage.  ``trace`` is the request's ``(trace_id, span_id)`` pair (or
+  ``None``), so the child's ``brief_many`` subtree parents under the same
+  admission span the front door opened — one connected trace per request,
+  reassembled parent-side.
+* **Telemetry** — when the pool observes, each child runs a real tracer and
+  metrics registry and piggybacks the *increment* since its last reply onto
+  every ``done`` message: a mergeable
+  :func:`~repro.obs.metrics.snapshot_delta` plus its finished spans as
+  dicts.  Deltas merge associatively, so the parent-side accumulation is
+  arrival-order independent.  An idle child ships nothing on its own;
+  ``metrics_snapshot()`` / ``trace_spans()`` send an explicit ``("flush",)``
+  probe (skipped without blocking if the dispatcher is mid-batch — that
+  telemetry arrives on the reply instead).
 * **Failure** — a dead pipe is a dead worker: the dispatcher exits leaving
   ``current_batch`` held and ``exited`` unset, exactly the signature
   :class:`~repro.core.serving.WorkerSupervisor` scans for; resurrection
@@ -33,6 +46,8 @@ Topology, per worker index::
   the same shard.  Chaos faults are injected parent-side so the shared
   seeded schedule and death caps stay exact: an injected
   :class:`~repro.runtime.chaos.WorkerDeath` *terminates the worker process*.
+  Telemetry already merged parent-side survives the crash; at most one
+  batch's increments die with the child.
 * **Determinism** — the snapshot carries the weights, the model's RNG state
   and the ``nn`` default dtype, so process-transport briefs are
   bit-identical to thread-transport briefs.
@@ -44,9 +59,19 @@ import multiprocessing
 import os
 import threading
 import time
-from typing import Callable, Dict, Hashable, List, Optional
+import warnings
+from typing import Callable, Dict, Hashable, List, Optional, Tuple
 
-from ..obs import MetricsSnapshot
+from ..obs import (
+    NOOP_REGISTRY,
+    NOOP_TRACER,
+    MetricsRegistry,
+    MetricsSnapshot,
+    SpanRecord,
+    TraceContext,
+    Tracer,
+    snapshot_delta,
+)
 from ..runtime.chaos import WorkerDeath
 from ..runtime.stats import RuntimeStats
 from .batched import BatchedBriefingPipeline, _copy_brief, content_hash
@@ -59,6 +84,12 @@ __all__ = ["ProcessWorkerPool"]
 
 #: exit code a worker process dies with on an (injected) in-process crash.
 _DEATH_EXIT_CODE = 17
+
+#: how long a flush probe waits for a mid-batch dispatcher before giving up.
+_FLUSH_LOCK_TIMEOUT = 0.25
+
+#: how long a flush probe waits for the child's telemetry reply.
+_FLUSH_REPLY_TIMEOUT = 2.0
 
 
 def _degraded_brief(exc: BaseException) -> PartialBrief:
@@ -80,9 +111,20 @@ def _process_worker_main(conn, snapshot: ModelSnapshot, config: dict) -> None:
     Top-level (not a closure) so ``spawn``/``forkserver`` contexts can
     import it.  The restored pipeline owns *local* caches sized by
     ``worker_cache_size`` — the hot tier the router's shard affinity feeds.
+
+    When ``config["observe"]`` is set the child runs a real tracer (span ids
+    prefixed ``w{index}g{generation}.`` so they stay globally unique across
+    the pool) and metrics registry, and attaches the increment since its
+    last reply to every ``done`` message; a ``("flush",)`` probe collects
+    the same increment from an idle child.
     """
     try:
         model, dtype = snapshot.restore()
+        tracer = NOOP_TRACER
+        registry = NOOP_REGISTRY
+        if config.get("observe"):
+            tracer = Tracer(id_prefix=f"w{config['index']}g{config['generation']}.")
+            registry = MetricsRegistry()
         pipeline = BatchedBriefingPipeline(
             model,
             beam_size=config["beam_size"],
@@ -91,30 +133,65 @@ def _process_worker_main(conn, snapshot: ModelSnapshot, config: dict) -> None:
             render_cache_size=config["cache_size"],
             hash_fn=config["hash_fn"],
             dtype=dtype,
+            tracer=tracer,
+            registry=registry,
         )
+        shipped = MetricsSnapshot()
+
+        def telemetry() -> Optional[dict]:
+            """The observable increment since the last reply (or ``None``)."""
+            nonlocal shipped
+            if not registry.enabled and not tracer.enabled:
+                return None
+            current = registry.snapshot()
+            delta = snapshot_delta(current, shipped)
+            shipped = current
+            spans = [span.to_dict() for span in tracer.spans]
+            tracer.clear()
+            return {"metrics": delta, "spans": spans}
+
         conn.send(("ready", os.getpid()))
         while True:
             message = conn.recv()
             if message[0] == "stop":
                 conn.send(("bye",))
                 return
+            if message[0] == "flush":
+                conn.send(("telemetry", telemetry()))
+                continue
             payload = message[1]
             before = pipeline.stats.as_dict()
             now = time.monotonic()
-            pages = [(doc_id, html) for doc_id, html, _ in payload]
+            pages = [(doc_id, html) for doc_id, html, _, _ in payload]
             # Deadlines arrive as remaining budgets; re-anchor them to this
             # process's monotonic clock for the per-stage checks.
             deadlines = [
                 None if remaining is None else now + remaining
-                for _, _, remaining in payload
+                for _, _, remaining, _ in payload
+            ]
+            # Trace contexts arrive as plain (trace_id, span_id) tuples;
+            # rebuild them so the batch subtree parents under the admission
+            # spans opened on the other side of the pipe.
+            contexts = [
+                None if trace is None else TraceContext(*trace)
+                for _, _, _, trace in payload
             ]
             try:
-                briefs = pipeline.brief_many(pages, deadlines=deadlines)
+                briefs = pipeline.brief_many(
+                    pages, deadlines=deadlines, trace_contexts=contexts
+                )
             except WorkerDeath:
                 raise
             except BaseException as exc:  # brief_many never raises; last resort
                 briefs = [_degraded_brief(exc) for _ in pages]
-            conn.send(("done", briefs, _stats_delta(before, pipeline.stats.as_dict())))
+            conn.send(
+                (
+                    "done",
+                    briefs,
+                    _stats_delta(before, pipeline.stats.as_dict()),
+                    telemetry(),
+                )
+            )
     except (EOFError, OSError, KeyboardInterrupt):
         return  # parent went away — nothing left to serve
     except WorkerDeath:
@@ -135,6 +212,13 @@ class _ProcessWorker:
     final — the same no-race guarantee the thread transport gets from worker
     death being thread death.  ``heartbeat``/``current_batch``/``exited``/
     ``handled`` have identical supervisor semantics to the thread transport.
+
+    ``lock`` serialises pipe use between the dispatcher (held across one
+    whole send/recv exchange) and flush probes.  ``snapshot``/``spans``
+    accumulate the child's shipped telemetry parent-side; ``tracer``/
+    ``registry`` hold the *parent-side* halves of the worker's story — the
+    per-request ``serve`` spans and the dispatch-time deadline histogram the
+    thread transport records in its worker loop.
     """
 
     __slots__ = (
@@ -149,9 +233,16 @@ class _ProcessWorker:
         "handled",
         "stats",
         "ready",
+        "lock",
+        "snapshot",
+        "spans",
+        "tracer",
+        "registry",
+        "deadline_hist",
     )
 
-    def __init__(self, index: int, generation: int = 0) -> None:
+    def __init__(self, index: int, generation: int = 0, *, tracer=NOOP_TRACER,
+                 registry=NOOP_REGISTRY) -> None:
         self.index = index
         self.generation = generation
         self.process = None
@@ -163,6 +254,15 @@ class _ProcessWorker:
         self.handled = False
         self.stats = RuntimeStats()
         self.ready = False
+        self.lock = threading.Lock()
+        self.snapshot = MetricsSnapshot()
+        self.spans: List[SpanRecord] = []
+        self.tracer = tracer
+        self.registry = registry
+        self.deadline_hist = registry.histogram(
+            "request_deadline_remaining_seconds",
+            help="remaining deadline budget sampled at worker dispatch",
+        )
 
     @property
     def started(self) -> bool:
@@ -181,8 +281,17 @@ class ProcessWorkerPool(WorkerTransport):
     which is the price of cache affinity), a duplex pipe, a worker process
     and a parent-side dispatcher thread that pulls micro-batches, sweeps
     expired deadlines, runs chaos injection, forwards the batch, merges the
-    child's stats delta, feeds complete briefs into the shared front-door
-    cache and resolves the futures.
+    child's stats delta and telemetry, feeds complete briefs into the shared
+    front-door cache and resolves the futures.
+
+    With ``observe=True`` the pool implements the full transport
+    observability contract: ``metrics_snapshot()`` merges every child's
+    shipped registry deltas with the parent-side per-worker registries and
+    stamps ``worker``/``transport``/``generation`` labels at merge time;
+    ``trace_spans()`` returns the child spans (as
+    :class:`~repro.obs.SpanRecord`\\ s) alongside the parent-side ``serve``
+    spans, provenance-stamped the same way.  Without it both return empty —
+    and warn, once, so the blind spot is never silent.
 
     Worker processes are spawned in the constructor — *before* any
     dispatcher or supervisor thread starts — so a ``fork`` start method
@@ -212,6 +321,7 @@ class ProcessWorkerPool(WorkerTransport):
         worker_cache_size: int = 256,
         spawn_timeout: float = 30.0,
         vnodes: int = 64,
+        observe: bool = False,
     ) -> None:
         if num_workers < 1:
             raise ValueError(f"num_workers must be >= 1, got {num_workers}")
@@ -225,12 +335,14 @@ class ProcessWorkerPool(WorkerTransport):
         self.governor = governor
         self.chaos = chaos
         self.front_cache = front_cache
+        self.observe = observe
         self._snapshot = snapshot
         self._hash_fn = hash_fn if hash_fn is not None else content_hash
         self._beam_size = beam_size
         self._batch_size = batch_size
         self._worker_cache_size = worker_cache_size
         self._spawn_timeout = spawn_timeout
+        self._warned_blind = False
         self._router = ConsistentHashRouter(num_workers, vnodes=vnodes)
         per_shard = max(1, -(-max_queue // num_workers))
         self.schedulers: List[RequestScheduler] = [
@@ -252,13 +364,20 @@ class ProcessWorkerPool(WorkerTransport):
 
     # -- spawning ------------------------------------------------------
     def _make_worker(self, index: int, generation: int) -> _ProcessWorker:
-        worker = _ProcessWorker(index, generation)
+        # The parent-side tracer owns this worker's "serve" spans; its "d"
+        # prefix keeps dispatcher span ids disjoint from the child's "w" ids.
+        tracer = Tracer(id_prefix=f"d{index}g{generation}.") if self.observe else NOOP_TRACER
+        registry = MetricsRegistry() if self.observe else NOOP_REGISTRY
+        worker = _ProcessWorker(index, generation, tracer=tracer, registry=registry)
         parent_conn, child_conn = self._ctx.Pipe()
         config = {
             "beam_size": self._beam_size,
             "batch_size": self._batch_size,
             "cache_size": self._worker_cache_size,
             "hash_fn": None if self._hash_fn is content_hash else self._hash_fn,
+            "observe": self.observe,
+            "index": index,
+            "generation": generation,
         }
         process = self._ctx.Process(
             target=_process_worker_main,
@@ -436,6 +555,20 @@ class ProcessWorkerPool(WorkerTransport):
                 raise EOFError(f"worker process {worker.index} died")
         return worker.conn.recv()
 
+    def _merge_telemetry(self, worker: _ProcessWorker, payload: Optional[dict]) -> None:
+        """Fold one shipped telemetry increment into the worker's record.
+
+        Deltas merge associatively and spans only append, so ordering
+        between batch replies and flush probes doesn't matter.
+        """
+        if not payload:
+            return
+        metrics = payload.get("metrics")
+        if metrics is not None:
+            worker.snapshot = worker.snapshot.merge(metrics)
+        for data in payload.get("spans") or ():
+            worker.spans.append(SpanRecord(data))
+
     def _serve_remote(self, worker: _ProcessWorker, batch: list) -> bool:
         """Ship one batch to the worker process; False when the worker died."""
         worker.stats.inc("batches_dispatched")
@@ -450,8 +583,18 @@ class ProcessWorkerPool(WorkerTransport):
                 remaining = (
                     None if request.deadline is None else max(0.0, request.deadline - now)
                 )
+                if remaining is not None:
+                    worker.deadline_hist.observe(remaining)
+                trace = getattr(request, "trace", None)
                 live.append(request)
-                payload.append((request.doc_id, request.html, remaining))
+                payload.append(
+                    (
+                        request.doc_id,
+                        request.html,
+                        remaining,
+                        None if trace is None else tuple(trace),
+                    )
+                )
         if not live:
             return True
         if self.chaos is not None:
@@ -468,14 +611,43 @@ class ProcessWorkerPool(WorkerTransport):
                     _resolve(request.future, _degraded_brief(exc))
                 return True
         started = self.clock()
+        # One detached "serve" span per live request, opened parent-side
+        # (the dispatcher is the worker's parent half) under the request's
+        # admission span — the same tree shape as the thread transport.
+        serve_spans: List[Tuple[object, object]] = []
+        if worker.tracer.enabled:
+            for request in live:
+                trace = getattr(request, "trace", None)
+                if trace is None:
+                    continue
+                serve_spans.append(
+                    (
+                        request,
+                        worker.tracer.open(
+                            "serve",
+                            trace=trace,
+                            doc_id=request.doc_id,
+                            batch_pages=len(live),
+                            shard=worker.index,
+                        ),
+                    )
+                )
         try:
-            worker.conn.send(("serve", payload))
-            message = self._recv(worker)
-            while message[0] != "done":
+            # The pipe lock covers the whole exchange so a concurrent flush
+            # probe can never interleave its frames with ours.
+            with worker.lock:
+                worker.conn.send(("serve", payload))
                 message = self._recv(worker)
-            _, briefs, delta = message
-        except (EOFError, OSError, BrokenPipeError):
+                while message[0] != "done":
+                    if message[0] == "telemetry":
+                        self._merge_telemetry(worker, message[1])
+                    message = self._recv(worker)
+            _, briefs, delta, telemetry = message
+        except (EOFError, OSError, BrokenPipeError) as exc:
+            for _, span in serve_spans:
+                span.record_error(exc).finish()
             return False
+        self._merge_telemetry(worker, telemetry)
         for name, amount in delta.items():
             worker.stats.inc(name, amount)
         if self.governor is not None:
@@ -484,13 +656,21 @@ class ProcessWorkerPool(WorkerTransport):
             if self.front_cache is not None and brief.complete:
                 self.front_cache.put(request.html, _copy_brief(brief))
             _resolve(request.future, brief)
+        for _, span in serve_spans:
+            span.finish()
         return True
 
     def _stop_child(self, worker: _ProcessWorker) -> None:
         try:
-            worker.conn.send(("stop",))
-            if worker.conn.poll(1.0):
-                worker.conn.recv()  # "bye"
+            with worker.lock:
+                worker.conn.send(("stop",))
+                if worker.conn.poll(1.0):
+                    message = worker.conn.recv()
+                    # A raced flush probe's telemetry frames land ahead of
+                    # the "bye"; fold them in rather than dropping them.
+                    while message[0] == "telemetry" and worker.conn.poll(1.0):
+                        self._merge_telemetry(worker, message[1])
+                        message = worker.conn.recv()
         except (EOFError, OSError, BrokenPipeError):
             pass
         if worker.process is not None:
@@ -507,10 +687,91 @@ class ProcessWorkerPool(WorkerTransport):
             merged = merged.merge(worker.stats)
         return merged
 
+    def _warn_blind(self) -> None:
+        if self._warned_blind:
+            return
+        self._warned_blind = True
+        warnings.warn(
+            "ProcessWorkerPool was built with observe=False: "
+            "metrics_snapshot() and trace_spans() return empty data. "
+            "Pass observe=True (ConcurrentBriefingPipeline(..., observe=True)) "
+            "to ship worker telemetry across the process boundary.",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+
+    def _flush_worker(self, worker: _ProcessWorker) -> None:
+        """Pull pending telemetry from an idle child without blocking serving.
+
+        Skips silently when the dispatcher holds the pipe (that batch's
+        reply carries the telemetry anyway) or the child is gone (whatever
+        it had shipped is already merged; the rest died with it).
+        """
+        process = worker.process
+        if worker.conn is None or process is None or not process.is_alive():
+            return
+        if not worker.lock.acquire(timeout=_FLUSH_LOCK_TIMEOUT):
+            return
+        try:
+            worker.conn.send(("flush",))
+            deadline = time.monotonic() + _FLUSH_REPLY_TIMEOUT
+            while worker.conn.poll(max(0.0, deadline - time.monotonic())):
+                message = worker.conn.recv()
+                if message[0] == "telemetry":
+                    self._merge_telemetry(worker, message[1])
+                    return
+                if time.monotonic() >= deadline:
+                    return
+        except (EOFError, OSError, BrokenPipeError):
+            return
+        finally:
+            worker.lock.release()
+
     def metrics_snapshot(self) -> MetricsSnapshot:
-        # Per-request metric registries stay in the worker processes; only
-        # the RuntimeStats counters cross the pipe (as per-batch deltas).
-        return MetricsSnapshot()
+        """Merged worker metrics, reassembled from shipped deltas.
+
+        Each worker contributes its child-side series (accumulated from the
+        per-batch deltas, topped up by a flush probe when idle) merged with
+        its parent-side registry (the dispatch-time deadline histogram),
+        stamped with ``worker`` / ``transport`` / ``generation`` labels at
+        merge time — the same provenance contract as the thread transport,
+        so cross-transport dashboards and
+        :meth:`~repro.obs.MetricsSnapshot.aggregate` work unchanged.
+        """
+        if not self.observe:
+            self._warn_blind()
+            return MetricsSnapshot()
+        merged = MetricsSnapshot()
+        for worker in self._all_workers():
+            self._flush_worker(worker)
+            combined = worker.snapshot.merge(worker.registry.snapshot())
+            merged = merged.merge(
+                combined.with_labels(
+                    worker=worker.index,
+                    transport=self.transport_name,
+                    generation=worker.generation,
+                )
+            )
+        return merged
 
     def trace_spans(self) -> list:
-        return []
+        """Finished spans from both sides of every worker's pipe.
+
+        Child spans arrive as :class:`~repro.obs.SpanRecord`\\ s (shipped as
+        dicts on batch replies), parent-side ``serve`` spans come straight
+        from the dispatcher's tracer; both get the worker's provenance
+        attributes, and ids stay globally unique thanks to the per-tracer
+        ``w``/``d`` prefixes.
+        """
+        if not self.observe:
+            self._warn_blind()
+            return []
+        spans = []
+        for worker in self._all_workers():
+            self._flush_worker(worker)
+            for span in list(worker.spans) + list(worker.tracer.spans):
+                span.attributes.setdefault("worker", worker.index)
+                span.attributes.setdefault("transport", self.transport_name)
+                span.attributes.setdefault("generation", worker.generation)
+                spans.append(span)
+        return spans

@@ -57,7 +57,16 @@ from concurrent.futures import Future, InvalidStateError
 from typing import Callable, Dict, Hashable, Iterable, List, Optional, Set, Tuple
 
 from ..models.joint_wb import JointWBModel
-from ..obs import NOOP_REGISTRY, NOOP_TRACER, MetricsRegistry, MetricsSnapshot, Tracer
+from ..obs import (
+    NOOP_REGISTRY,
+    NOOP_SPAN,
+    NOOP_TRACER,
+    EventJournal,
+    MetricsRegistry,
+    MetricsSnapshot,
+    SLOTracker,
+    Tracer,
+)
 from ..runtime.chaos import WorkerDeath
 from ..runtime.errors import DeadlineExceeded, Overloaded, QueueFull
 from ..runtime.retry import CircuitBreaker
@@ -431,6 +440,9 @@ class ServingGovernor:
         self._level = 0
         self._ewma_ms: Optional[float] = None
         self._last_frac = 0.0
+        #: optional ``callback(old_level, new_level)`` fired on every ladder
+        #: move, *outside* the governor lock (it may journal, which locks).
+        self.on_level_change: Optional[Callable[[int, int], None]] = None
 
     @property
     def level(self) -> int:
@@ -451,7 +463,8 @@ class ServingGovernor:
         """Fold one queue-depth sample into the ladder (called at submit)."""
         frac = (depth + 0.25 * inflight) / self.max_queue
         with self._lock:
-            self._update(frac)
+            change = self._update(frac)
+        self._notify(change)
 
     def observe_batch(self, seconds: float, batch_size: int) -> None:
         """Fold one completed batch's latency into the EWMA."""
@@ -463,9 +476,12 @@ class ServingGovernor:
                 self._ewma_ms += self.ewma_alpha * (ms - self._ewma_ms)
             # Latency pressure re-evaluates the ladder at the last depth
             # sample; the SLO bump is applied inside _update.
-            self._update(self._last_frac)
+            change = self._update(self._last_frac)
+        self._notify(change)
 
-    def _update(self, frac: float) -> None:
+    def _update(self, frac: float) -> Optional[Tuple[int, int]]:
+        """Re-evaluate the ladder; returns ``(old, new)`` on a level change."""
+        before = self._level
         self._last_frac = frac
         target = 0
         for index, threshold in enumerate(self.thresholds):
@@ -485,6 +501,18 @@ class ServingGovernor:
             threshold = self.thresholds[self._level - 1]
             if frac <= threshold - self.recover_margin:
                 self._level -= 1
+        return (before, self._level) if self._level != before else None
+
+    def _notify(self, change: Optional[Tuple[int, int]]) -> None:
+        if change is None:
+            return
+        callback = self.on_level_change
+        if callback is None:
+            return
+        try:
+            callback(*change)
+        except Exception:  # a journal fault must never block admission
+            pass
 
     # ------------------------------------------------------------------
     def admit(self, priority: int = 1) -> Optional[str]:
@@ -517,10 +545,22 @@ class _Request:
     (``None`` = unbounded), so the scheduler/worker only drop the request
     when *all* waiters have expired.  ``attempts`` counts worker deaths this
     request survived; ``batch_limit`` caps the batch it may ride in
-    (halved by the supervisor to bisect poison batches).
+    (halved by the supervisor to bisect poison batches).  ``trace`` is the
+    admission span's :class:`~repro.obs.TraceContext` (``None`` untraced):
+    it rides through scheduler batching, the router and the worker pipe so
+    decode spans join the request's trace wherever they are recorded.
     """
 
-    __slots__ = ("doc_id", "html", "future", "deadline", "priority", "attempts", "batch_limit")
+    __slots__ = (
+        "doc_id",
+        "html",
+        "future",
+        "deadline",
+        "priority",
+        "attempts",
+        "batch_limit",
+        "trace",
+    )
 
     def __init__(
         self,
@@ -529,6 +569,7 @@ class _Request:
         future: "Future[PartialBrief]",
         deadline: Optional[float] = None,
         priority: int = 1,
+        trace=None,
     ) -> None:
         self.doc_id = doc_id
         self.html = html
@@ -537,6 +578,7 @@ class _Request:
         self.priority = priority
         self.attempts = 0
         self.batch_limit = 1_000_000_000
+        self.trace = trace
 
     def expired(self, now: float) -> bool:
         return self.deadline is not None and now >= self.deadline
@@ -667,7 +709,9 @@ class WorkerPool(WorkerTransport):
 
     def _make_worker(self, index: int, generation: int) -> _Worker:
         stats = RuntimeStats()
-        tracer = Tracer() if self.observe else NOOP_TRACER
+        # The id prefix keeps span ids globally unique across the pool's many
+        # tracers, so reassembled traces never collide parent ids.
+        tracer = Tracer(id_prefix=f"w{index}g{generation}.") if self.observe else NOOP_TRACER
         registry = MetricsRegistry() if self.observe else NOOP_REGISTRY
         pipeline = BatchedBriefingPipeline(
             self._model,
@@ -830,19 +874,47 @@ class WorkerPool(WorkerTransport):
             # WorkerDeath is a BaseException and deliberately NOT caught:
             # the thread dies holding the batch, for the supervisor to find.
         started = self.clock()
+        # One detached "serve" span per live request, parented under its
+        # admission span: the per-request view of the shared batch.  The
+        # batch's own brief_many subtree is parented under the leader's
+        # context inside the pipeline.
+        serve_spans: List[Tuple[_Request, object]] = []
+        trace_contexts = None
+        if worker.tracer.enabled:
+            trace_contexts = [request.trace for request in live]
+            for request in live:
+                if request.trace is None:
+                    continue
+                serve_spans.append(
+                    (
+                        request,
+                        worker.tracer.open(
+                            "serve",
+                            trace=request.trace,
+                            doc_id=request.doc_id,
+                            batch_pages=len(live),
+                            shard=worker.index,
+                        ),
+                    )
+                )
         try:
             briefs = worker.pipeline.brief_many(
                 [(request.doc_id, request.html) for request in live],
                 deadlines=[request.deadline for request in live],
                 clock=self.clock,
+                trace_contexts=trace_contexts,
             )
         except Exception as exc:  # brief_many never raises; last resort
+            for _, span in serve_spans:
+                span.record_error(exc).finish()
             self._degrade_batch(worker, live, exc)
             return
         if self.governor is not None:
             self.governor.observe_batch(self.clock() - started, len(live))
         for request, brief in zip(live, briefs):
             _resolve(request.future, brief)
+        for _, span in serve_spans:
+            span.finish()
 
     def _degrade_batch(self, worker: _Worker, batch: List[_Request], exc: BaseException) -> None:
         for request in batch:
@@ -868,10 +940,22 @@ class WorkerPool(WorkerTransport):
         return merged
 
     def metrics_snapshot(self) -> MetricsSnapshot:
-        """Associative merge of every worker's registry snapshot."""
+        """Associative merge of every worker's registry snapshot.
+
+        Each worker's series are stamped with ``worker`` / ``transport`` /
+        ``generation`` provenance labels at merge time (recorded labels win);
+        use :meth:`MetricsSnapshot.aggregate` to collapse them back into
+        pool-wide totals.
+        """
         merged = MetricsSnapshot()
         for worker in self._all_workers():
-            merged = merged.merge(worker.registry.snapshot())
+            merged = merged.merge(
+                worker.registry.snapshot().with_labels(
+                    worker=worker.index,
+                    transport=self.transport_name,
+                    generation=worker.generation,
+                )
+            )
         return merged
 
     def trace_spans(self) -> list:
@@ -880,6 +964,8 @@ class WorkerPool(WorkerTransport):
         for worker in self._all_workers():
             for span in worker.tracer.spans:
                 span.attributes.setdefault("worker", worker.index)
+                span.attributes.setdefault("transport", self.transport_name)
+                span.attributes.setdefault("generation", worker.generation)
                 spans.append(span)
         return spans
 
@@ -929,6 +1015,7 @@ class WorkerSupervisor:
         stats: Optional[RuntimeStats] = None,
         registry: Optional[MetricsRegistry] = None,
         clock: Optional[Callable[[], float]] = None,
+        journal: Optional[EventJournal] = None,
     ) -> None:
         if max_attempts < 1:
             raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
@@ -943,6 +1030,7 @@ class WorkerSupervisor:
         self.on_quarantine = on_quarantine
         self.stats = stats if stats is not None else RuntimeStats()
         self.registry = registry if registry is not None else NOOP_REGISTRY
+        self.journal = journal
         self._clock = clock if clock is not None else pool.clock
         self.breaker = breaker if breaker is not None else CircuitBreaker(
             failure_threshold=3,
@@ -1046,9 +1134,21 @@ class WorkerSupervisor:
             if replacement is not None:
                 self.stats.inc("worker_restarts")
                 self._restarts.inc(reason=kind)
+                if self.journal is not None:
+                    self.journal.record(
+                        "worker_restart",
+                        worker=worker.index,
+                        reason=kind,
+                        old_generation=worker.generation,
+                        new_generation=replacement.generation,
+                    )
             if survivors:
                 self.stats.inc("batches_requeued")
                 self._requeued.inc()
+                if self.journal is not None:
+                    self.journal.record(
+                        "batch_requeued", worker=worker.index, requests=len(survivors)
+                    )
                 self.pool.requeue(worker, survivors)
         else:
             # Shutdown path: no replacement worker is coming, so the held
@@ -1067,6 +1167,10 @@ class WorkerSupervisor:
     def _quarantine(self, request: _Request) -> None:
         self.stats.inc("poison_quarantined")
         self._quarantined.inc()
+        if self.journal is not None:
+            self.journal.record(
+                "poison_quarantine", doc_id=request.doc_id, attempts=request.attempts
+            )
         self.breaker.record_failure()
         exc = Overloaded(
             f"request quarantined after {request.attempts} worker deaths", reason="poison"
@@ -1175,6 +1279,8 @@ class ConcurrentBriefingPipeline:
         mp_context: Optional[str] = None,
         worker_cache_size: int = 256,
         spawn_timeout: float = 30.0,
+        slo: Optional[SLOTracker] = None,
+        journal: Optional[EventJournal] = None,
     ) -> None:
         if transport not in ("thread", "process"):
             raise ValueError(f"transport must be 'thread' or 'process', got {transport!r}")
@@ -1215,6 +1321,7 @@ class ConcurrentBriefingPipeline:
                 mp_context=mp_context,
                 worker_cache_size=worker_cache_size,
                 spawn_timeout=spawn_timeout,
+                observe=observe,
             )
         else:
             self.scheduler = RequestScheduler(
@@ -1241,6 +1348,25 @@ class ConcurrentBriefingPipeline:
                 governor=governor,
             )
         self.registry = MetricsRegistry() if observe else NOOP_REGISTRY
+        # Frontend tracer: one detached "admission" span per submit, the root
+        # of each request's trace.  Shared across submitting threads, so
+        # open/finish happen under the pipeline lock.
+        self.tracer = Tracer(id_prefix="f", clock=clock) if observe else NOOP_TRACER
+        self.slo = slo if slo is not None else (SLOTracker(clock=clock) if observe else None)
+        self.journal = journal if journal is not None else (EventJournal() if observe else None)
+        if self.journal is not None and self.governor is not None:
+            levels = self.governor.LEVELS
+
+            def _journal_level_change(old: int, new: int) -> None:
+                self.journal.record(
+                    "governor_level_change",
+                    old=old,
+                    new=new,
+                    old_state=levels[old],
+                    new_state=levels[new],
+                )
+
+            self.governor.on_level_change = _journal_level_change
         self._request_counter = self.registry.counter(
             "serving_requests_total", help="front-door requests, by outcome"
         )
@@ -1264,6 +1390,7 @@ class ConcurrentBriefingPipeline:
                 on_quarantine=self._on_quarantine,
                 registry=self.registry,
                 clock=clock,
+                journal=self.journal,
             )
         # One lock guards the in-flight map *and* the frontend counters —
         # submissions are cheap, so contention here is negligible next to a
@@ -1274,6 +1401,10 @@ class ConcurrentBriefingPipeline:
         self._shutdown = False
         #: thread names that failed to exit during the last shutdown().
         self.stuck_workers: List[str] = []
+        if self.journal is not None:
+            self.journal.record(
+                "serving_started", transport=self.transport, workers=self.num_workers
+            )
         if start:
             self.pool.start()
             if self.supervisor is not None:
@@ -1343,6 +1474,8 @@ class ConcurrentBriefingPipeline:
                 )
         self.pool.reap()
         self.stuck_workers = stuck
+        if self.journal is not None:
+            self.journal.record("serving_shutdown", stuck_workers=len(stuck))
         return stuck
 
     # ------------------------------------------------------------------
@@ -1402,14 +1535,40 @@ class ConcurrentBriefingPipeline:
         return self._clock() + ms / 1000.0
 
     def _shed(
-        self, future: "Future[PartialBrief]", reason: str, message: str
+        self,
+        future: "Future[PartialBrief]",
+        reason: str,
+        message: str,
+        span=NOOP_SPAN,
     ) -> "Future[PartialBrief]":
         with self._lock:
             self.stats.inc("requests_shed")
         self._shed_counter.inc(reason=reason)
         self._request_counter.inc(outcome="shed")
+        span.set_attribute("outcome", "shed")
+        span.set_attribute("shed_reason", reason)
         future.set_result(self._degraded(Overloaded(message, reason=reason)))
         return future
+
+    @staticmethod
+    def _slo_outcome(brief: PartialBrief) -> str:
+        if not brief.degradations:
+            return "ok"
+        stage = brief.degradations[0].stage
+        if stage == "deadline":
+            return "expired"
+        if stage == "admission":
+            return "shed"
+        return "error"
+
+    def _record_slo(self, future: "Future[PartialBrief]", submitted: float) -> None:
+        latency = self._clock() - submitted
+        try:
+            brief = future.result()
+        except BaseException:  # futures here never raise; belt and braces
+            self.slo.record("error", latency)
+            return
+        self.slo.record(self._slo_outcome(brief), latency)
 
     def submit(
         self,
@@ -1429,13 +1588,44 @@ class ConcurrentBriefingPipeline:
         governor's ladder sheds with a typed ``Overloaded`` reason — never
         raising either way.  ``deadline_ms`` is relative to now (``None``
         falls back to ``default_deadline_ms``; both ``None`` = unbounded).
+
+        When observing, every submit opens a detached ``admission`` span
+        (the root of the request's trace, ``trace_id`` = ``req-<span id>``)
+        and the resolved future feeds the :class:`~repro.obs.SLOTracker`.
         """
+        span = NOOP_SPAN
+        if self.tracer.enabled:
+            with self._lock:
+                span = self.tracer.open("admission", doc_id=doc_id, priority=priority)
+            span.trace_id = f"req-{span.span_id}"
+        submitted = self._clock()
+        try:
+            future = self._submit(html, doc_id, deadline_ms, priority, span)
+        finally:
+            if span is not NOOP_SPAN:
+                with self._lock:
+                    span.finish()
+        if self.slo is not None:
+            future.add_done_callback(
+                lambda done, submitted=submitted: self._record_slo(done, submitted)
+            )
+        return future
+
+    def _submit(
+        self,
+        html: str,
+        doc_id: str,
+        deadline_ms: Optional[float],
+        priority: int,
+        span,
+    ) -> "Future[PartialBrief]":
         future: "Future[PartialBrief]" = Future()
         cached = self.brief_cache.get(html)
         if cached is not None:
             with self._lock:
                 self.stats.inc("cache_hits")
             self._request_counter.inc(outcome="cache_hit")
+            span.set_attribute("outcome", "cache_hit")
             future.set_result(_copy_brief(cached))
             return future
         deadline = self._effective_deadline(deadline_ms)
@@ -1446,25 +1636,35 @@ class ConcurrentBriefingPipeline:
                 flight.request.extend_deadline(deadline)
                 self.stats.inc("cache_hits")
                 self._request_counter.inc(outcome="coalesced")
+                span.set_attribute("outcome", "coalesced")
                 return future
         if deadline is not None and self._clock() >= deadline:
             # Dead on arrival (e.g. deadline_ms=0): resolve without queueing.
             with self._lock:
                 self.stats.inc("deadline_expirations")
             self._request_counter.inc(outcome="expired")
+            span.set_attribute("outcome", "expired")
             future.set_result(_deadline_partial("on arrival"))
             return future
         with self._lock:
             poisoned = self._hash_fn(html) in self._poison
         if poisoned:
-            return self._shed(future, "poison", "content quarantined after repeated worker deaths")
+            return self._shed(
+                future,
+                "poison",
+                "content quarantined after repeated worker deaths",
+                span,
+            )
         if self.governor is not None:
             self.governor.observe_queue(self.pool.depth, self.in_flight())
             self._governor_level.set(self.governor.level)
             reason = self.governor.admit(priority)
             if reason is not None:
                 return self._shed(
-                    future, reason, f"shed by the serving governor ({self.governor.state})"
+                    future,
+                    reason,
+                    f"shed by the serving governor ({self.governor.state})",
+                    span,
                 )
         computation: "Future[PartialBrief]" = Future()
         with self._lock:
@@ -1476,8 +1676,16 @@ class ConcurrentBriefingPipeline:
                 flight.request.extend_deadline(deadline)
                 self.stats.inc("cache_hits")
                 self._request_counter.inc(outcome="coalesced")
+                span.set_attribute("outcome", "coalesced")
                 return future
-            request = _Request(doc_id, html, computation, deadline=deadline, priority=priority)
+            request = _Request(
+                doc_id,
+                html,
+                computation,
+                deadline=deadline,
+                priority=priority,
+                trace=span.context(),
+            )
             flight = _Flight(request)
             flight.waiters.append((future, deadline))
             self._inflight[html] = flight
@@ -1488,11 +1696,13 @@ class ConcurrentBriefingPipeline:
             with self._lock:
                 self.stats.inc("queue_rejections")
             self._request_counter.inc(outcome="rejected")
+            span.set_attribute("outcome", "rejected")
             # Resolving the computation fires _publish, which serves every
             # waiter that attached while we were trying to enqueue.
             computation.set_result(self._degraded(exc))
             return future
         self._request_counter.inc(outcome="admitted")
+        span.set_attribute("outcome", "admitted")
         self._queue_depth.set(self.pool.depth)
         return future
 
@@ -1547,12 +1757,71 @@ class ConcurrentBriefingPipeline:
         return merged
 
     def metrics_snapshot(self) -> MetricsSnapshot:
-        """Frontend registry merged with every worker's, order-independent."""
+        """Frontend registry merged with every worker's, order-independent.
+
+        Worker series carry ``worker`` / ``transport`` / ``generation``
+        labels (both transports); frontend series are label-free.  The SLO
+        gauges are re-synced into the frontend registry on every read.
+        """
+        if self.slo is not None:
+            self.slo.export_to(self.registry)
         return self.registry.snapshot().merge(self.pool.metrics_snapshot())
 
     def trace_spans(self) -> list:
-        """Worker spans (tagged with their worker index), for export."""
-        return self.pool.trace_spans()
+        """Every finished span: frontend admission spans plus worker spans.
+
+        All spans carry a ``worker`` attribute (``"frontend"`` for admission)
+        and requests admitted while tracing share a ``trace_id`` across their
+        admission → serve → brief_many decode subtree, whichever transport
+        recorded the inner spans.
+        """
+        spans = []
+        for span in self.tracer.spans:
+            span.attributes.setdefault("worker", "frontend")
+            span.attributes.setdefault("transport", self.transport)
+            spans.append(span)
+        spans.extend(self.pool.trace_spans())
+        return spans
+
+    def status(self) -> dict:
+        """One JSON-safe frame for the live status view (``repro top``).
+
+        Collects queue depth, governor level, per-worker liveness and
+        throughput, merged request counters, the SLO snapshot and the
+        journal tail; :func:`repro.obs.render_status` renders it.
+        """
+        now = self._clock()
+        workers = []
+        for worker in self.pool.workers:
+            heartbeat_age = None
+            if worker.heartbeat is not None:
+                heartbeat_age = max(0.0, now - worker.heartbeat)
+            workers.append(
+                {
+                    "index": worker.index,
+                    "generation": worker.generation,
+                    "alive": worker.alive(),
+                    "heartbeat_age_s": heartbeat_age,
+                    "batches": worker.stats.as_dict().get("batches_dispatched", 0),
+                }
+            )
+        governor = None
+        if self.governor is not None:
+            governor = {
+                "level": self.governor.level,
+                "state": self.governor.state,
+                "ewma_latency_ms": self.governor.ewma_latency_ms,
+            }
+        return {
+            "transport": self.transport,
+            "queue_depth": self.pool.depth,
+            "in_flight": self.in_flight(),
+            "governor": governor,
+            "requests": self.merged_stats().as_dict(),
+            "workers": workers,
+            "slo": self.slo.snapshot() if self.slo is not None else None,
+            "events": self.journal.tail(8) if self.journal is not None else [],
+        }
 
     def in_flight(self) -> int:
         """Distinct page contents currently being computed (for tests)."""

@@ -118,11 +118,28 @@ class WorkerTransport(abc.ABC):
 
     @abc.abstractmethod
     def metrics_snapshot(self):
-        """Associative merge of per-worker metric registries."""
+        """Associative merge of per-worker metric registries.
+
+        Contract: every series is stamped with ``worker`` / ``transport`` /
+        ``generation`` provenance labels at merge time (labels already on a
+        series win), whichever side of a process boundary it was recorded
+        on, so ``MetricsSnapshot.aggregate()`` collapses transports
+        identically and per-worker breakdowns survive resurrection.
+        Retired workers' series are included — restarts never lose counts.
+        """
 
     @abc.abstractmethod
     def trace_spans(self) -> list:
-        """Finished tracer spans from every worker."""
+        """Finished tracer spans from every worker (retired included).
+
+        Contract: span ids are globally unique across the pool (per-tracer
+        id prefixes), every span carries ``worker`` / ``transport`` /
+        ``generation`` attributes, and spans recorded in a worker process
+        come back as :class:`~repro.obs.SpanRecord` — homogeneous with
+        in-process :class:`~repro.obs.Span` (same attributes, same
+        ``to_dict()``), so one request's spans reassemble into a single
+        connected trace no matter which transport served it.
+        """
 
     def reap(self) -> None:
         """Release any out-of-process resources (no-op for threads)."""

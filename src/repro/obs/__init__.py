@@ -16,7 +16,18 @@ Four parts:
 * :mod:`~repro.obs.export` — JSON-lines span export and Prometheus text
   rendering, both pure functions over file-like objects;
 * :mod:`~repro.obs.profile` — an opt-in per-layer forward-timing hook for
-  ``nn.Module`` trees.
+  ``nn.Module`` trees;
+* :mod:`~repro.obs.slo` — rolling-window SLO objectives with burn rates
+  (:class:`SLOTracker`) and a bounded structured :class:`EventJournal` of
+  discrete serving state changes;
+* :mod:`~repro.obs.status` — :func:`render_status`, the pure text renderer
+  behind ``repro top`` and ``serve-many --status-interval``.
+
+For distributed serving, :class:`TraceContext` is the picklable
+``(trace_id, span_id)`` handle that carries a request's trace across thread
+and process boundaries, :class:`SpanRecord` reconstitutes spans shipped as
+dicts over a pipe, and :func:`snapshot_delta` produces the mergeable
+``MetricsSnapshot`` deltas that workers piggyback on batch replies.
 
 Everything defaults to the shared no-op singletons (:data:`NOOP_TRACER`,
 :data:`NOOP_REGISTRY`): when observability is off the hot path takes one
@@ -40,13 +51,26 @@ from .metrics import (
     MetricsSnapshot,
     NoopMetricsRegistry,
     bridge_runtime_stats,
+    snapshot_delta,
 )
 from .profile import ForwardProfiler, LayerTiming
-from .trace import NOOP_SPAN, NOOP_TRACER, NoopTracer, Span, Tracer
+from .slo import OUTCOMES, EventJournal, SLOTracker
+from .status import render_status
+from .trace import (
+    NOOP_SPAN,
+    NOOP_TRACER,
+    NoopTracer,
+    Span,
+    SpanRecord,
+    TraceContext,
+    Tracer,
+)
 
 __all__ = [
     "Tracer",
     "Span",
+    "SpanRecord",
+    "TraceContext",
     "NoopTracer",
     "NOOP_TRACER",
     "NOOP_SPAN",
@@ -59,6 +83,11 @@ __all__ = [
     "Histogram",
     "DEFAULT_BUCKETS",
     "bridge_runtime_stats",
+    "snapshot_delta",
+    "SLOTracker",
+    "EventJournal",
+    "OUTCOMES",
+    "render_status",
     "write_spans_jsonl",
     "write_trace_jsonl",
     "write_prometheus",

@@ -72,8 +72,12 @@ def _format_labels(pairs) -> str:
 
 
 def _format_value(value: float) -> str:
+    if value != value:
+        return "NaN"
     if value == math.inf:
         return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
     as_int = int(value)
     return str(as_int) if value == as_int else repr(float(value))
 

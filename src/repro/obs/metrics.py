@@ -39,6 +39,7 @@ __all__ = [
     "NOOP_REGISTRY",
     "DEFAULT_BUCKETS",
     "bridge_runtime_stats",
+    "snapshot_delta",
 ]
 
 #: Log-scale histogram bucket upper bounds: four per decade, 1e-4 .. 1e2.
@@ -241,6 +242,71 @@ class MetricsSnapshot:
                     target["series"][key] += value
         return MetricsSnapshot(merged)
 
+    def with_labels(self, **labels: Any) -> "MetricsSnapshot":
+        """A copy with extra labels folded into every series key.
+
+        This is how a parent pool stamps provenance (``worker=0,
+        transport="process", generation=2``) onto a worker-local snapshot at
+        merge time — the worker records metrics label-free and never needs to
+        know where it runs.  Labels already present on a series win, so
+        re-labelling is idempotent and never clobbers recorded dimensions.
+        """
+        if not labels:
+            return MetricsSnapshot(
+                {name: _copy_metric(metric) for name, metric in self.metrics.items()}
+            )
+        extra = {k: str(v) for k, v in labels.items()}
+        out: Dict[str, dict] = {}
+        for name, metric in self.metrics.items():
+            copied = _copy_metric(metric)
+            series: Dict[LabelKey, Any] = {}
+            for key, value in copied["series"].items():
+                combined = dict(extra)
+                combined.update(dict(key))  # existing labels win
+                new_key = tuple(sorted(combined.items()))
+                if new_key in series:
+                    _merge_series_value(series, new_key, value)
+                else:
+                    series[new_key] = value
+            copied["series"] = series
+            out[name] = copied
+        return MetricsSnapshot(out)
+
+    def aggregate(
+        self, ignoring: Iterable[str] = ("worker", "transport", "generation")
+    ) -> "MetricsSnapshot":
+        """A copy with the given label keys stripped and collided series summed.
+
+        The inverse view of :meth:`with_labels`: per-worker series collapse
+        back into transport-agnostic totals, which is what cross-transport
+        equivalence checks (and tests that predate worker labelling) compare.
+        """
+        drop = set(ignoring)
+        out: Dict[str, dict] = {}
+        for name, metric in self.metrics.items():
+            copied = _copy_metric(metric)
+            series: Dict[LabelKey, Any] = {}
+            for key, value in copied["series"].items():
+                new_key = tuple((k, v) for k, v in key if k not in drop)
+                if new_key in series:
+                    _merge_series_value(series, new_key, value)
+                else:
+                    series[new_key] = value
+            copied["series"] = series
+            out[name] = copied
+        return MetricsSnapshot(out)
+
+    def total(self, name: str) -> float:
+        """Sum over every label combination: counter/gauge values, or the
+        observation ``count`` for a histogram.  ``0.0`` for unknown names."""
+        metric = self.metrics.get(name)
+        if metric is None:
+            return 0.0
+        total = 0.0
+        for value in metric["series"].values():
+            total += value["count"] if isinstance(value, dict) else value
+        return total
+
     def as_dict(self) -> dict:
         """JSON-safe form (label tuples become ``{key: value}`` dicts)."""
         out: Dict[str, dict] = {}
@@ -271,6 +337,47 @@ def _copy_series_value(value):
     if isinstance(value, dict):
         return {"counts": list(value["counts"]), "sum": value["sum"], "count": value["count"]}
     return value
+
+
+def _merge_series_value(series: Dict[LabelKey, Any], key: LabelKey, value) -> None:
+    if isinstance(value, dict):
+        state = series[key]
+        state["counts"] = [a + b for a, b in zip(state["counts"], value["counts"])]
+        state["sum"] += value["sum"]
+        state["count"] += value["count"]
+    else:
+        series[key] += value
+
+
+def snapshot_delta(current: MetricsSnapshot, previous: MetricsSnapshot) -> MetricsSnapshot:
+    """Element-wise ``current - previous``, the shipping unit for telemetry.
+
+    Child workers snapshot their registry on every batch reply and ship only
+    the delta since the last send; the parent folds deltas in with
+    :meth:`MetricsSnapshot.merge`.  Because merge sums element-wise, the sum
+    of all deltas reconstructs the worker's full snapshot regardless of
+    arrival interleaving — counters and histogram states recompose exactly,
+    and a gauge's delta chain telescopes back to its latest value.
+    """
+    out: Dict[str, dict] = {}
+    for name, metric in current.metrics.items():
+        prev_metric = previous.metrics.get(name)
+        copied = _copy_metric(metric)
+        if prev_metric is not None:
+            for key, prev_value in prev_metric["series"].items():
+                value = copied["series"].get(key)
+                if value is None:
+                    continue
+                if isinstance(value, dict):
+                    value["counts"] = [
+                        a - b for a, b in zip(value["counts"], prev_value["counts"])
+                    ]
+                    value["sum"] -= prev_value["sum"]
+                    value["count"] -= prev_value["count"]
+                else:
+                    copied["series"][key] = value - prev_value
+        out[name] = copied
+    return MetricsSnapshot(out)
 
 
 class MetricsRegistry:

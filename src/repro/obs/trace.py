@@ -23,11 +23,38 @@ is threaded through: its :meth:`~NoopTracer.span` returns the one shared
 from __future__ import annotations
 
 import time
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, NamedTuple, Optional, Tuple, Union
 
-__all__ = ["Span", "Tracer", "NoopTracer", "NOOP_TRACER", "NOOP_SPAN"]
+__all__ = [
+    "Span",
+    "SpanRecord",
+    "TraceContext",
+    "Tracer",
+    "NoopTracer",
+    "NOOP_TRACER",
+    "NOOP_SPAN",
+]
 
 _OK, _ERROR = "ok", "error"
+
+#: Span ids are plain ints on a bare tracer (cheap, comparable — the original
+#: contract) and become ``"<prefix><n>"`` strings when the tracer carries an
+#: ``id_prefix``, which is how ids stay globally unique across processes.
+SpanId = Union[int, str]
+
+
+class TraceContext(NamedTuple):
+    """The picklable cross-boundary handle for one request's trace.
+
+    Stamped at ``ConcurrentBriefingPipeline.submit`` from the admission span
+    and carried through scheduler batching, the consistent-hash router, and
+    the worker pipe framing.  Whichever tracer (worker thread, dispatcher, or
+    child process) opens follow-up spans parents them under ``span_id`` with
+    the same ``trace_id``, so the reassembled spans form one connected tree.
+    """
+
+    trace_id: str
+    span_id: SpanId
 
 
 class Span:
@@ -37,6 +64,7 @@ class Span:
         "name",
         "span_id",
         "parent_id",
+        "trace_id",
         "start",
         "duration",
         "attributes",
@@ -50,15 +78,17 @@ class Span:
         self,
         tracer: "Tracer",
         name: str,
-        span_id: int,
-        parent_id: Optional[int],
+        span_id: SpanId,
+        parent_id: Optional[SpanId],
         start: float,
         attributes: Optional[Dict[str, Any]] = None,
+        trace_id: Optional[str] = None,
     ) -> None:
         self._tracer = tracer
         self.name = name
         self.span_id = span_id
         self.parent_id = parent_id
+        self.trace_id = trace_id
         self.start = start
         self.duration: Optional[float] = None
         self.attributes: Dict[str, Any] = dict(attributes) if attributes else {}
@@ -90,6 +120,16 @@ class Span:
     def finished(self) -> bool:
         return self.duration is not None
 
+    def context(self) -> TraceContext:
+        """The picklable (trace_id, span_id) handle for child spans."""
+        return TraceContext(self.trace_id or "", self.span_id)
+
+    def finish(self) -> "Span":
+        """Close a detached span opened via :meth:`Tracer.open`."""
+        if not self.finished:
+            self._tracer._finish(self)
+        return self
+
     # ------------------------------------------------------------------
     def __enter__(self) -> "Span":
         return self
@@ -97,7 +137,8 @@ class Span:
     def __exit__(self, exc_type, exc, tb) -> bool:
         if exc is not None:
             self.record_error(exc)
-        self._tracer._finish(self)
+        if not self.finished:
+            self._tracer._finish(self)
         return False  # never swallow
 
     # ------------------------------------------------------------------
@@ -106,6 +147,7 @@ class Span:
             "name": self.name,
             "span_id": self.span_id,
             "parent_id": self.parent_id,
+            "trace_id": self.trace_id,
             "start": self.start,
             "duration": self.duration,
             "status": self.status,
@@ -131,23 +173,87 @@ class Tracer:
 
     enabled = True
 
-    def __init__(self, clock: Optional[Callable[[], float]] = None) -> None:
+    def __init__(
+        self,
+        clock: Optional[Callable[[], float]] = None,
+        *,
+        id_prefix: str = "",
+    ) -> None:
         self._clock = clock if clock is not None else time.perf_counter
         self._stack: List[Span] = []
         self._next_id = 1
+        #: when set, span ids become ``f"{id_prefix}{n}"`` strings — globally
+        #: unique across the many tracers of a multi-worker/-process server.
+        self.id_prefix = id_prefix
         #: finished spans, in completion order (children before parents).
         self.spans: List[Span] = []
         #: events emitted while no span was active (see :meth:`event`).
         self.orphan_events: List[Tuple[float, str, Dict[str, Any]]] = []
 
+    def _new_id(self) -> SpanId:
+        span_id: SpanId = self._next_id
+        self._next_id += 1
+        if self.id_prefix:
+            return f"{self.id_prefix}{span_id}"
+        return span_id
+
     # ------------------------------------------------------------------
     def span(self, name: str, **attributes: Any) -> Span:
         """Open a span as a context manager; nested under the active span."""
-        parent = self._stack[-1].span_id if self._stack else None
-        span = Span(self, name, self._next_id, parent, self._clock(), attributes)
-        self._next_id += 1
+        parent = self._stack[-1] if self._stack else None
+        span = Span(
+            self,
+            name,
+            self._new_id(),
+            parent.span_id if parent is not None else None,
+            self._clock(),
+            attributes,
+            trace_id=parent.trace_id if parent is not None else None,
+        )
         self._stack.append(span)
         return span
+
+    def child_span(self, context: TraceContext, name: str, **attributes: Any) -> Span:
+        """Open a span parented under a remote :class:`TraceContext`.
+
+        The span joins the context's trace (even across a process boundary)
+        and is pushed on this tracer's stack, so spans opened inside it nest
+        normally and inherit the trace id.
+        """
+        span = Span(
+            self,
+            name,
+            self._new_id(),
+            context.span_id,
+            self._clock(),
+            attributes,
+            trace_id=context.trace_id or None,
+        )
+        self._stack.append(span)
+        return span
+
+    def open(
+        self,
+        name: str,
+        *,
+        trace: Optional[TraceContext] = None,
+        **attributes: Any,
+    ) -> Span:
+        """Open a *detached* span: never on the stack, closed by ``finish()``.
+
+        Detached spans are how concurrent call sites (one span per in-flight
+        request, many open at once) avoid corrupting the nesting stack; the
+        optional ``trace`` parents the span under a remote context.
+        """
+        return Span(
+            self,
+            name,
+            self._new_id(),
+            trace.span_id if trace is not None else None,
+            self._clock(),
+            attributes,
+            trace_id=trace.trace_id or None if trace is not None else None,
+        )
 
     def _finish(self, span: Span) -> None:
         span.duration = self._clock() - span.start
@@ -179,6 +285,67 @@ class Tracer:
         self.orphan_events = []
 
 
+class SpanRecord:
+    """A finished span reconstituted from its ``to_dict()`` form.
+
+    Child processes ship spans over the pipe as plain dicts (a live
+    :class:`Span` drags its tracer along when pickled); the parent rebuilds
+    them as records so ``trace_spans()`` returns one homogeneous span-like
+    sequence — same attributes, same ``to_dict()`` — whichever side of the
+    process boundary a span was recorded on.
+    """
+
+    __slots__ = (
+        "name",
+        "span_id",
+        "parent_id",
+        "trace_id",
+        "start",
+        "duration",
+        "status",
+        "error",
+        "attributes",
+        "events",
+    )
+
+    finished = True
+
+    def __init__(self, data: Dict[str, Any]) -> None:
+        self.name = data.get("name", "")
+        self.span_id = data.get("span_id")
+        self.parent_id = data.get("parent_id")
+        self.trace_id = data.get("trace_id")
+        self.start = data.get("start", 0.0)
+        self.duration = data.get("duration")
+        self.status = data.get("status", _OK)
+        self.error = data.get("error", "")
+        self.attributes: Dict[str, Any] = dict(data.get("attributes") or {})
+        self.events: List[Dict[str, Any]] = list(data.get("events") or [])
+
+    def context(self) -> TraceContext:
+        return TraceContext(self.trace_id or "", self.span_id)
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "trace_id": self.trace_id,
+            "start": self.start,
+            "duration": self.duration,
+            "status": self.status,
+            "error": self.error,
+            "attributes": dict(self.attributes),
+            "events": list(self.events),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SpanRecord({self.name!r}, id={self.span_id}, "
+            f"parent={self.parent_id}, trace={self.trace_id})"
+        )
+
+
 class _NoopSpan:
     """The do-nothing span; one shared instance, zero per-call allocation."""
 
@@ -187,9 +354,11 @@ class _NoopSpan:
     name = ""
     span_id = None
     parent_id = None
+    trace_id = None
     status = _OK
     error = ""
     duration = None
+    finished = True
     attributes: Dict[str, Any] = {}
     events: List[Tuple[float, str, Dict[str, Any]]] = []
 
@@ -200,6 +369,12 @@ class _NoopSpan:
         return self
 
     def record_error(self, error) -> "_NoopSpan":
+        return self
+
+    def context(self) -> None:
+        return None
+
+    def finish(self) -> "_NoopSpan":
         return self
 
     def __enter__(self) -> "_NoopSpan":
@@ -221,6 +396,12 @@ class NoopTracer:
     current_span = None
 
     def span(self, name: str, **attributes: Any) -> _NoopSpan:
+        return NOOP_SPAN
+
+    def child_span(self, context, name: str, **attributes: Any) -> _NoopSpan:
+        return NOOP_SPAN
+
+    def open(self, name: str, *, trace=None, **attributes: Any) -> _NoopSpan:
         return NOOP_SPAN
 
     def event(self, name: str, **attributes: Any) -> None:

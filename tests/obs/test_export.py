@@ -113,3 +113,59 @@ def test_label_values_are_escaped():
 def test_empty_snapshot_renders_empty():
     assert render_prometheus(MetricsRegistry().snapshot()) == ""
     assert parse_prometheus_text("") == {}
+
+
+def test_render_handles_nonfinite_gauge_values():
+    registry = MetricsRegistry()
+    registry.gauge("g").set(math.inf, kind="pos")
+    registry.gauge("g").set(-math.inf, kind="neg")
+    registry.gauge("g").set(math.nan, kind="nan")
+    text = render_prometheus(registry.snapshot())
+    assert 'g{kind="pos"} +Inf' in text
+    assert 'g{kind="neg"} -Inf' in text
+    assert 'g{kind="nan"} NaN' in text
+    samples = parse_prometheus_text(text)
+    assert samples['g{kind="pos"}'] == math.inf
+    assert samples['g{kind="neg"}'] == -math.inf
+    assert math.isnan(samples['g{kind="nan"}'])
+
+
+def test_slo_histogram_conformance():
+    """The serving SLO export renders conformant Prometheus text: cumulative
+    buckets ending in +Inf, and _count/_sum consistent with the buckets —
+    verified by parsing the rendered text back."""
+    from repro.obs import SLOTracker
+
+    registry = MetricsRegistry()
+    hist = registry.histogram("request_latency_seconds")
+    for value in (0.001, 0.05, 0.4, 30.0):
+        hist.observe(value, transport="process")
+    slo = SLOTracker()
+    for value in (0.001, 0.05, 0.4, 30.0):
+        slo.record("ok", latency_s=value)
+    slo.export_to(registry)
+
+    text = render_prometheus(registry.snapshot())
+    samples = parse_prometheus_text(text)
+
+    buckets = sorted(
+        (
+            (math.inf if key.rsplit('le="', 1)[1][:-2] == "+Inf"
+             else float(key.rsplit('le="', 1)[1][:-2]), value)
+            for key, value in samples.items()
+            if key.startswith("request_latency_seconds_bucket{")
+        ),
+    )
+    counts = [count for _, count in buckets]
+    # Cumulative: monotone non-decreasing, +Inf bucket equals _count.
+    assert counts == sorted(counts)
+    assert buckets[-1][0] == math.inf
+    assert buckets[-1][1] == samples['request_latency_seconds_count{transport="process"}']
+    assert samples['request_latency_seconds_sum{transport="process"}'] == pytest.approx(
+        30.451
+    )
+    # SLO gauges ride the same render, one series per objective.
+    assert 'serving_slo_burn_rate{objective="latency_p99"}' in samples
+    assert 'serving_slo_burn_rate{objective="error_rate"}' in samples
+    assert 'serving_slo_burn_rate{objective="shed_rate"}' in samples
+    assert samples["serving_slo_window_requests"] == 4

@@ -1,0 +1,95 @@
+"""Snapshot relabelling, aggregation and deltas — the telemetry-shipping math.
+
+These are the invariants the process transport leans on: deltas recompose
+the original snapshot under associative merge, labels stamp provenance
+without disturbing recorded labels, and ``aggregate`` collapses provenance
+back out.
+"""
+
+import pytest
+
+from repro.obs import MetricsRegistry, MetricsSnapshot, snapshot_delta
+
+
+def _registry_with_traffic():
+    registry = MetricsRegistry()
+    counter = registry.counter("serving_requests_total")
+    counter.inc(3, outcome="admitted")
+    counter.inc(1, outcome="shed")
+    registry.gauge("serving_queue_depth").set(4)
+    hist = registry.histogram("briefing_stage_seconds")
+    hist.observe(0.01, stage="parse")
+    hist.observe(0.02, stage="parse")
+    return registry
+
+
+def test_with_labels_stamps_provenance_and_keeps_recorded_labels():
+    snapshot = _registry_with_traffic().snapshot()
+    labelled = snapshot.with_labels(worker=0, transport="process", generation=1)
+    assert labelled.value(
+        "serving_requests_total", outcome="admitted", worker=0,
+        transport="process", generation=1,
+    ) == 3
+    # Unlabelled lookup no longer matches: the series moved.
+    assert labelled.value("serving_requests_total", outcome="admitted") is None
+    # Relabelling is idempotent — existing labels win.
+    relabelled = labelled.with_labels(worker=9, transport="thread", generation=9)
+    assert relabelled.value(
+        "serving_requests_total", outcome="admitted", worker=0,
+        transport="process", generation=1,
+    ) == 3
+
+
+def test_aggregate_collapses_provenance_labels():
+    merged = MetricsSnapshot()
+    for worker in (0, 1):
+        merged = merged.merge(
+            _registry_with_traffic().snapshot().with_labels(
+                worker=worker, transport="process", generation=0
+            )
+        )
+    collapsed = merged.aggregate()
+    assert collapsed.value("serving_requests_total", outcome="admitted") == 6
+    state = collapsed.value("briefing_stage_seconds", stage="parse")
+    assert state["count"] == 4
+    assert state["sum"] == pytest.approx(0.06)
+
+
+def test_total_sums_every_series():
+    snapshot = _registry_with_traffic().snapshot()
+    assert snapshot.total("serving_requests_total") == 4
+    assert snapshot.total("briefing_stage_seconds") == 2  # histogram → count
+    assert snapshot.total("missing") == 0
+
+
+def test_delta_then_merge_recomposes_the_snapshot():
+    registry = _registry_with_traffic()
+    first = registry.snapshot()
+    registry.counter("serving_requests_total").inc(2, outcome="admitted")
+    registry.gauge("serving_queue_depth").set(1)
+    registry.histogram("briefing_stage_seconds").observe(0.04, stage="parse")
+    second = registry.snapshot()
+
+    shipped = [snapshot_delta(first, MetricsSnapshot()), snapshot_delta(second, first)]
+    recomposed = MetricsSnapshot()
+    for delta in shipped:
+        recomposed = recomposed.merge(delta)
+
+    assert recomposed.value("serving_requests_total", outcome="admitted") == second.value(
+        "serving_requests_total", outcome="admitted"
+    )
+    # Gauge deltas telescope to the latest value.
+    assert recomposed.value("serving_queue_depth") == 1
+    state = recomposed.value("briefing_stage_seconds", stage="parse")
+    assert state["count"] == 3
+    assert state["sum"] == pytest.approx(0.07)
+
+
+def test_delta_passes_new_series_through():
+    registry = MetricsRegistry()
+    registry.counter("a").inc(2)
+    first = registry.snapshot()
+    registry.counter("b").inc(5)
+    delta = snapshot_delta(registry.snapshot(), first)
+    assert delta.value("a") == 0
+    assert delta.value("b") == 5

@@ -1,0 +1,107 @@
+"""Distributed tracing primitives: contexts, prefixed ids, detached spans,
+records reconstituted across a (simulated) process boundary."""
+
+import pickle
+
+from repro.obs import NOOP_TRACER, SpanRecord, TraceContext, Tracer
+
+
+class FakeClock:
+    def __init__(self, step=0.5):
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self):
+        self.now += self.step
+        return self.now
+
+
+def test_bare_tracer_keeps_integer_ids():
+    tracer = Tracer(clock=FakeClock())
+    with tracer.span("a") as a:
+        pass
+    assert isinstance(a.span_id, int)
+
+
+def test_prefixed_tracer_produces_string_ids():
+    tracer = Tracer(clock=FakeClock(), id_prefix="w1g0.")
+    with tracer.span("a") as a:
+        with tracer.span("b") as b:
+            pass
+    assert a.span_id == "w1g0.1"
+    assert b.span_id == "w1g0.2"
+    assert b.parent_id == a.span_id
+
+
+def test_context_is_picklable_and_carries_trace_id():
+    tracer = Tracer(clock=FakeClock(), id_prefix="f")
+    span = tracer.open("admission")
+    span.trace_id = "req-f1"
+    context = span.context()
+    assert context == TraceContext("req-f1", "f1")
+    assert pickle.loads(pickle.dumps(context)) == context
+    span.finish()
+
+
+def test_child_span_inherits_trace_across_tracers():
+    clock = FakeClock()
+    frontend = Tracer(clock=clock, id_prefix="f")
+    worker = Tracer(clock=clock, id_prefix="w0g0.")
+    admission = frontend.open("admission")
+    admission.trace_id = f"req-{admission.span_id}"
+    with worker.child_span(admission.context(), "brief_many", pages=2) as batch:
+        with worker.span("parse") as parse:
+            pass
+    admission.finish()
+    # The child parents under the *foreign* span id and inherits its trace.
+    assert batch.parent_id == admission.span_id
+    assert batch.trace_id == admission.trace_id
+    # Nested spans opened the normal way stay inside the same trace.
+    assert parse.parent_id == batch.span_id
+    assert parse.trace_id == admission.trace_id
+
+
+def test_open_is_detached_and_finish_is_idempotent():
+    tracer = Tracer(clock=FakeClock())
+    outer = tracer.open("serve")
+    with tracer.span("unrelated") as inner:
+        pass
+    assert inner.parent_id is None  # detached spans never join the stack
+    outer.finish()
+    duration = outer.duration
+    outer.finish()  # second finish is a no-op
+    assert outer.duration == duration
+    assert [span.name for span in tracer.spans] == ["unrelated", "serve"]
+
+
+def test_span_record_round_trips_to_dict():
+    tracer = Tracer(clock=FakeClock(), id_prefix="w0g0.")
+    admission_context = TraceContext("req-f1", "f1")
+    with tracer.child_span(admission_context, "brief_many", pages=3) as span:
+        span.add_event("coalesced", count=1)
+    data = span.to_dict()
+    record = SpanRecord(data)
+    assert record.finished
+    assert record.name == "brief_many"
+    assert record.span_id == span.span_id
+    assert record.parent_id == "f1"
+    assert record.trace_id == "req-f1"
+    assert record.attributes["pages"] == 3
+    assert record.events[0]["name"] == "coalesced"
+    assert record.context() == TraceContext("req-f1", span.span_id)
+    # Homogeneous with Span: same to_dict shape either side of a pipe.
+    assert record.to_dict() == data
+
+
+def test_span_record_survives_pickle_as_plain_data():
+    record = SpanRecord({"name": "serve", "span_id": "w0g0.1", "trace_id": "req-1"})
+    data = pickle.loads(pickle.dumps(record.to_dict()))
+    assert SpanRecord(data).name == "serve"
+
+
+def test_noop_tracer_has_the_distributed_surface():
+    context = TraceContext("req-1", 5)
+    with NOOP_TRACER.child_span(context, "x") as span:
+        assert span.context() is None
+    assert NOOP_TRACER.open("y", trace=context).finish() is not None
+    assert NOOP_TRACER.spans == ()

@@ -170,5 +170,10 @@ def test_deadline_histogram_sampled_at_dispatch(serving_model):
         ).complete
     finally:
         server.shutdown(timeout=30)
-    state = server.metrics_snapshot().value("request_deadline_remaining_seconds")
+    # Worker series carry provenance labels; collapse them for the total.
+    state = (
+        server.metrics_snapshot()
+        .aggregate()
+        .value("request_deadline_remaining_seconds")
+    )
     assert state is not None and state["count"] == 1
