@@ -45,7 +45,13 @@ Commands
     cache-cold stream through the in-process thread pool and through
     one-model-replica-per-worker processes, recording docs/sec, p50/p99 and
     throughput-by-workers per transport (plus a Zipf/burst/straggler load
-    replay) under the report's ``multiprocess`` key.  ``--compare
+    replay) under the report's ``multiprocess`` key.  ``--cascade`` switches
+    to the cascade frontier: calibrate the student/teacher escalation
+    threshold offline against the simulated human-eval panel (or take
+    ``--escalation-threshold`` verbatim), then replay one cache-cold stream
+    through student-only, cascade and teacher-only serving and record
+    docs/sec, latency percentiles, panel scores and the escalation rate
+    under the report's ``cascade`` key.  ``--compare
     PREV.json`` diffs throughput/p99 against a previous report and exits
     nonzero past ``--regression-threshold`` (default 20%).
 ``serve-many [page.html ...] [--workers N] [--transport T] [--deadline-ms B]``
@@ -57,7 +63,10 @@ Commands
     gives every request an absolute budget; expired requests resolve to
     typed ``DeadlineExceeded`` briefs instead of hanging.  ``--transport
     process`` serves through worker processes (each holding its own model
-    replica) instead of threads.  Prints one topic line per page plus the
+    replica) instead of threads.  ``--cascade`` serves through the
+    confidence-gated student/teacher cascade (``--escalation-threshold``
+    pins the threshold; omitted, it is calibrated offline against the
+    simulated human-eval panel).  Prints one topic line per page plus the
     merged worker-pool counters.  ``--status-interval S`` prints a live
     status frame (queue depth, governor level, per-worker throughput, SLO
     burn) to stderr every S seconds while serving; ``--journal PATH``
@@ -181,6 +190,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="full pool size in transport mode")
     bench.add_argument("--mp-context", choices=("fork", "spawn", "forkserver"), default=None,
                        help="multiprocessing start method for the process transport")
+    bench.add_argument("--cascade", action="store_true",
+                       help="benchmark the student/teacher cascade frontier "
+                            "(student-only vs cascade vs teacher-only) instead; "
+                            "honors --transport thread|process")
+    bench.add_argument("--escalation-threshold", type=float, default=None,
+                       help="cascade escalation threshold (default: calibrate "
+                            "offline against the simulated human-eval panel)")
     bench.add_argument("--compare", metavar="PREV.json", default=None,
                        help="diff throughput/p99 against a previous report; "
                             "exit 1 past the regression threshold")
@@ -209,6 +225,12 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--deadline-ms", type=float, default=None,
                        help="absolute per-request deadline; expired requests "
                             "resolve to typed DeadlineExceeded briefs")
+    serve.add_argument("--cascade", action="store_true",
+                       help="serve through the confidence-gated student/teacher "
+                            "cascade instead of the single model")
+    serve.add_argument("--escalation-threshold", type=float, default=None,
+                       help="cascade escalation threshold (default: calibrate "
+                            "offline against the simulated human-eval panel)")
     serve.add_argument("--model", help="checkpoint saved by `repro train`")
     serve.add_argument("--topics", type=int, default=3)
     serve.add_argument("--epochs", type=int, default=10)
@@ -288,6 +310,52 @@ def _build_model(topics: int, pages: int, seed: int):
         "Joint-WB", BertSumEncoder(vocabulary, bert), vocabulary, hidden_dim=16, rng=rng
     )
     return corpus, vocabulary, model
+
+
+def _build_cascade(teacher, vocabulary, corpus, seed: int, threshold: Optional[float]):
+    """Wrap ``teacher`` in a confidence-gated student/teacher cascade.
+
+    The student is the compact tier (dim-12 MiniBert, hidden 8); the
+    confidence signal projects its generator memories against a topic
+    phrase bank built from its own embeddings.  When ``threshold`` is
+    ``None`` the escalation threshold is calibrated offline against the
+    simulated human-eval panel on the corpus documents.
+    """
+    from . import nn
+    from .core import CascadeModel, ConfidenceEstimator, calibrate_threshold
+    from .distill import TopicPhraseBank
+    from .models import BertSumEncoder, make_joint_model
+
+    rng = np.random.default_rng(seed + 1)
+    bert = nn.MiniBert(
+        vocab_size=len(vocabulary), dim=12, num_layers=1, num_heads=2, rng=rng, max_len=512
+    )
+    student = make_joint_model(
+        "Joint-WB", BertSumEncoder(vocabulary, bert), vocabulary, hidden_dim=8, rng=rng
+    )
+    embedding = student.generator.embedding.weight.data
+    bank = TopicPhraseBank(
+        embedding_dim=embedding.shape[1], bank_dim=8, rng=np.random.default_rng(seed + 2)
+    )
+    matrix = bank.build(list(corpus.topic_phrases.values()), embedding, vocabulary)
+    estimator = ConfidenceEstimator(
+        query_dim=2 * student.hidden_dim, bank_matrix=matrix, seed=seed
+    )
+    cascade = CascadeModel(
+        student, teacher, estimator,
+        threshold=threshold if threshold is not None else 0.5,
+    )
+    if threshold is None:
+        calibration = calibrate_threshold(
+            cascade, corpus.documents, seed=seed, beam_size=2
+        )
+        cascade.threshold = calibration.threshold
+        print(
+            f"calibrated escalation threshold {cascade.threshold:.2f} "
+            f"(expected escalation rate {calibration.escalation_rate:.2f})",
+            file=sys.stderr,
+        )
+    return cascade
 
 
 def _train(model, corpus, epochs: int, seed: int, tracer=None, registry=None) -> None:
@@ -465,6 +533,32 @@ def _command_bench(args) -> int:
 
     tracer, registry = _make_obs(args)
     num_pages = min(args.pages, 12) if args.smoke else args.pages
+    if args.cascade:
+        from .core import run_cascade_bench
+
+        transport = args.transport if args.transport in ("thread", "process") else "thread"
+        result = run_cascade_bench(
+            num_pages=num_pages,
+            seed=args.seed,
+            workers=args.workers,
+            max_batch=args.batch_size,
+            beam_size=args.beam_size,
+            max_wait_ms=args.max_wait_ms,
+            transport=transport,
+            threshold=args.escalation_threshold,
+            dtype=np.float32 if args.float32 else None,
+            output_path=args.output or None,
+            mp_context=args.mp_context,
+        )
+        print(result.format())
+        if args.output:
+            print(f"\nwrote {args.output}")
+        _write_obs(args, tracer, registry)
+        compare_rc = _compare_bench_reports(args)
+        ok = result.outputs_match and result.conserved and result.within_band
+        if args.smoke:
+            print(f"smoke: {'ok' if ok else 'FAILED'}")
+        return 0 if ok and not compare_rc else 1
     if args.transport:
         transports = ("thread", "process") if args.transport == "both" else (args.transport,)
         result = run_multiprocess_bench(
@@ -583,12 +677,16 @@ def _command_serve_many(args) -> int:
         or getattr(args, "journal", None)
         or getattr(args, "status_interval", None)
     )
-    corpus, _, model = _build_model(args.topics, 6, args.seed)
+    corpus, vocabulary, model = _build_model(args.topics, 6, args.seed)
     if args.model:
         model.load(args.model)
     else:
         print("No checkpoint given; training a small model first...", file=sys.stderr)
         _train(model, corpus, args.epochs, args.seed)
+    if args.cascade:
+        model = _build_cascade(
+            model, vocabulary, corpus, args.seed, args.escalation_threshold
+        )
 
     if args.html_files:
         pages = []
@@ -628,6 +726,7 @@ def _command_serve_many(args) -> int:
         stop_status.set()
         if status_thread is not None:
             status_thread.join(timeout=5)
+    cascade_status = server.status().get("cascade") if args.cascade else None
     server.shutdown()
 
     for (doc_id, _), brief in zip(pages, briefs):
@@ -645,6 +744,11 @@ def _command_serve_many(args) -> int:
           f"expired: {merged.deadline_expirations}   "
           f"restarts: {merged.worker_restarts}   "
           f"degradations: {merged.degradations}")
+    if cascade_status:
+        print(f"cascade: {cascade_status['student_briefs']} student / "
+              f"{cascade_status['teacher_escalations']} teacher "
+              f"(escalation rate {cascade_status['escalation_rate']:.2f}, "
+              f"{cascade_status['escalations_suppressed']} suppressed)")
 
     if getattr(args, "trace", None):
         from .obs import write_spans_jsonl

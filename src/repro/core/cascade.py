@@ -1,0 +1,715 @@
+"""Cascade serving: confidence-gated student/teacher tiers.
+
+The paper's distilled students (:mod:`repro.distill`) are cheap but only
+trustworthy where they are confident.  This module makes them load-bearing
+in the serving path: every request is answered first by the compact student,
+a **confidence signal** is computed from the student's own decode, and only
+low-confidence requests escalate to the full Joint-WB teacher.
+
+The confidence signal combines two views of the same student pass:
+
+* **beam-score margin** — the log-probability gap between the best and
+  runner-up topic hypotheses.  A wide beam margin means the decoder was not
+  torn between topics.
+* **attention entropy over the seen-topic matrix R** — the student's
+  dual-aware generator memory attends over the frozen
+  :class:`~repro.distill.topics.TopicPhraseBank` matrix (the same ``R`` the
+  identification distillation loss used); a peaked distribution means the
+  page looks like a topic the student was distilled on, a flat one means the
+  page is off-manifold for the student.
+
+Both terms are squashed to [0, 1] and averaged; requests whose score falls
+below a threshold — calibrated offline against the simulated human-eval
+panel by :func:`calibrate_threshold` — are re-answered by the teacher.
+
+Everything here is deterministic by construction: the estimator is plain
+float64 numpy (no autograd, no RNG at decision time), both beam
+implementations produce bit-identical hypothesis scores, and the decision is
+a pure function of page content plus the explicit ``student_only`` /
+deadline inputs — which is what makes escalation decisions identical across
+worker counts and across the thread and process transports.
+
+:class:`CascadeBriefingPipeline` wires the cascade into the batched serving
+pipeline (per-tier spans and caches, deadline- and governor-aware escalation
+suppression); :func:`make_batched_pipeline` is the factory the worker pools
+use so a :class:`CascadeModel` transparently gets the tiered pipeline on
+both transports.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..data.corpus import Document
+from ..models.joint_wb import BriefPrediction, JointWBModel
+from .batched import BatchedBriefingPipeline, BriefCache, _copy_brief
+from .briefing import PartialBrief
+
+__all__ = [
+    "CascadeBriefingPipeline",
+    "CascadeDecision",
+    "CascadeModel",
+    "CalibrationPoint",
+    "CalibrationResult",
+    "ConfidenceEstimator",
+    "calibrate_threshold",
+    "make_batched_pipeline",
+    "quality_by_confidence_band",
+]
+
+#: tier_reason values under which a brief is *canonical* — the deterministic
+#: cascade answer for its content, safe to serve to any future request.
+#: Suppressed answers ("deadline" / "governor") are situational and must not
+#: poison shared caches.
+_CANONICAL_REASONS = (None, "low_confidence")
+
+
+class ConfidenceEstimator:
+    """Maps one student decode to a confidence score in [0, 1].
+
+    Deliberately *not* an :class:`~repro.nn.Module`: the projection is a
+    frozen float64 array initialised from a seed, the seen-topic matrix ``R``
+    is copied out of the bank at construction, and every operation is plain
+    numpy in float64 — so the score is a pure function of its inputs,
+    identical across processes, transports, worker counts and serving
+    dtypes, and the whole object pickles into a
+    :class:`~repro.core.transport.ModelSnapshot` untouched.
+    """
+
+    def __init__(
+        self, query_dim: int, bank_matrix, seed: int = 0, temperature: float = 0.1
+    ) -> None:
+        data = bank_matrix.data if hasattr(bank_matrix, "data") else bank_matrix
+        self.matrix = np.array(data, dtype=np.float64)  # (r, bank_dim), frozen
+        if self.matrix.ndim != 2 or not self.matrix.size:
+            raise ValueError("bank matrix must be a non-empty (r, bank_dim) array")
+        if temperature <= 0:
+            raise ValueError(f"temperature must be > 0, got {temperature}")
+        self.query_dim = int(query_dim)
+        self.seed = int(seed)
+        #: softmax temperature over the cosine scores; cosines live in [-1, 1],
+        #: so without sharpening the attention is near-uniform and the entropy
+        #: term carries no signal.
+        self.temperature = float(temperature)
+        rng = np.random.default_rng(seed)
+        scale = 1.0 / math.sqrt(query_dim)
+        self.weight = rng.normal(0.0, scale, size=(query_dim, self.matrix.shape[1]))
+        norms = np.linalg.norm(self.matrix, axis=1, keepdims=True)
+        self._unit_matrix = self.matrix / np.maximum(norms, 1e-12)
+
+    @property
+    def num_topics(self) -> int:
+        return int(self.matrix.shape[0])
+
+    def attention_entropy(self, memory) -> float:
+        """Normalised entropy of the memory's attention over ``R`` (0..1).
+
+        Rows of ``memory`` (the student's dual-aware generator states) each
+        attend over the seen-topic matrix; the per-row entropies are averaged
+        and divided by ``log r`` so 0 means "peaked on one seen topic" and 1
+        means "uniform — nothing familiar".
+        """
+        data = memory.data if hasattr(memory, "data") else memory
+        queries = np.asarray(data, dtype=np.float64).reshape(-1, self.query_dim)
+        if self.num_topics < 2 or not queries.size:
+            return 0.0
+        projected = queries @ self.weight  # (m, bank_dim)
+        norms = np.linalg.norm(projected, axis=1, keepdims=True)
+        projected = projected / np.maximum(norms, 1e-12)
+        scores = (projected @ self._unit_matrix.T) / self.temperature  # (m, r)
+        scores = scores - scores.max(axis=1, keepdims=True)
+        exp = np.exp(scores)
+        probs = exp / exp.sum(axis=1, keepdims=True)
+        entropy = -(probs * np.log(np.maximum(probs, 1e-300))).sum(axis=1)
+        return float(entropy.mean() / math.log(self.num_topics))
+
+    def confidence(self, beam_margin: float, memory) -> float:
+        """Combined confidence: mean of the margin and 1 - entropy terms."""
+        margin = max(float(beam_margin), 0.0)
+        margin_term = 1.0 - math.exp(-margin)  # margin=inf (single beam) -> 1
+        entropy_term = 1.0 - self.attention_entropy(memory)
+        return 0.5 * margin_term + 0.5 * entropy_term
+
+
+@dataclass
+class CascadeDecision:
+    """One document's routing outcome through the cascade."""
+
+    prediction: BriefPrediction
+    #: "student" or "teacher".
+    tier: str
+    #: None (confident student), "low_confidence" (teacher escalation), or a
+    #: suppression reason ("deadline" / "governor") for a student answer the
+    #: confidence signal wanted to escalate.
+    reason: Optional[str]
+    confidence: float
+    beam_margin: float
+    attention_entropy: float
+    student_prediction: BriefPrediction = None
+
+
+class CascadeModel:
+    """Picklable student + teacher + confidence estimator bundle.
+
+    Rides the existing :class:`~repro.core.transport.ModelSnapshot` for the
+    process transport unchanged (everything inside pickles), and exposes the
+    generic single-model surface (``predict_batch`` and the sequential
+    ``predict_*`` trio, delegated to the teacher) so any consumer written
+    against :class:`~repro.models.joint_wb.JointWBModel` still works.
+    """
+
+    def __init__(
+        self,
+        student: JointWBModel,
+        teacher: JointWBModel,
+        estimator: ConfidenceEstimator,
+        threshold: float = 0.5,
+        escalation_budget_ms: float = 0.0,
+    ) -> None:
+        if not 0.0 <= threshold <= 1.0:
+            raise ValueError(f"threshold must be in [0, 1], got {threshold}")
+        self.student = student.eval()
+        self.teacher = teacher.eval()
+        self.estimator = estimator
+        self.threshold = float(threshold)
+        #: minimum remaining deadline budget (ms) a request must have for a
+        #: teacher escalation to be affordable.  Kept on the model (not the
+        #: pipeline) so it ships inside the snapshot and both transports
+        #: apply the identical policy.
+        self.escalation_budget_ms = float(escalation_budget_ms)
+        self.vocabulary = teacher.vocabulary
+
+    # -- generic single-model surface (teacher quality) ------------------
+    def predict_topic(self, document: Document, beam_size: int = 4) -> List[str]:
+        return self.teacher.predict_topic(document, beam_size=beam_size)
+
+    def predict_attributes(self, document: Document, beam_size: int = 4) -> List[str]:
+        return self.teacher.predict_attributes(document, beam_size=beam_size)
+
+    def predict_attributes_scored(self, document: Document, beam_size: int = 4):
+        return self.teacher.predict_attributes_scored(document, beam_size=beam_size)
+
+    def predict_sections(self, document: Document) -> np.ndarray:
+        return self.teacher.predict_sections(document)
+
+    def brief(self, document: Document, beam_size: int = 4):
+        return self.teacher.brief(document, beam_size=beam_size)
+
+    def eval(self) -> "CascadeModel":
+        self.student.eval()
+        self.teacher.eval()
+        return self
+
+    # -- cascade surface --------------------------------------------------
+    def confidences(
+        self,
+        documents: Sequence[Document],
+        beam_size: int = 4,
+        batch_size: int = 8,
+    ) -> Tuple[List[BriefPrediction], List[float], List[float], List[float]]:
+        """Student predictions plus (confidence, margin, entropy) per doc."""
+        capture: Dict[str, list] = {}
+        predictions = self.student.predict_batch(
+            documents, beam_size=beam_size, batch_size=batch_size, capture=capture
+        )
+        margins = capture["beam_margins"]
+        entropies = [
+            self.estimator.attention_entropy(memory) for memory in capture["memories"]
+        ]
+        confidences = [
+            self.estimator.confidence(margin, memory)
+            for margin, memory in zip(margins, capture["memories"])
+        ]
+        return predictions, confidences, margins, entropies
+
+    def predict_cascade(
+        self,
+        documents: Sequence[Document],
+        beam_size: int = 4,
+        batch_size: int = 8,
+        suppress: Optional[Sequence[Optional[str]]] = None,
+    ) -> List[CascadeDecision]:
+        """Route every document through the cascade (reference semantics).
+
+        ``suppress`` (aligned with ``documents``) carries a per-document
+        suppression reason — ``"deadline"`` / ``"governor"`` — under which a
+        wanted escalation is *not* performed and the student answer is served
+        with that reason; ``None`` means escalation is allowed.  This is the
+        sequential ground truth the serving pipeline must match bit-for-bit.
+        """
+        documents = list(documents)
+        suppress = list(suppress) if suppress is not None else [None] * len(documents)
+        students, confidences, margins, entropies = self.confidences(
+            documents, beam_size=beam_size, batch_size=batch_size
+        )
+        decisions: List[Optional[CascadeDecision]] = [None] * len(documents)
+        escalate: List[int] = []
+        for index, confidence in enumerate(confidences):
+            if confidence < self.threshold and suppress[index] is None:
+                escalate.append(index)
+            else:
+                reason = suppress[index] if confidence < self.threshold else None
+                decisions[index] = CascadeDecision(
+                    prediction=students[index],
+                    tier="student",
+                    reason=reason,
+                    confidence=confidences[index],
+                    beam_margin=margins[index],
+                    attention_entropy=entropies[index],
+                    student_prediction=students[index],
+                )
+        if escalate:
+            teacher_predictions = self.teacher.predict_batch(
+                [documents[i] for i in escalate],
+                beam_size=beam_size,
+                batch_size=batch_size,
+            )
+            for index, prediction in zip(escalate, teacher_predictions):
+                decisions[index] = CascadeDecision(
+                    prediction=prediction,
+                    tier="teacher",
+                    reason="low_confidence",
+                    confidence=confidences[index],
+                    beam_margin=margins[index],
+                    attention_entropy=entropies[index],
+                    student_prediction=students[index],
+                )
+        return decisions
+
+    def predict_batch(
+        self,
+        documents: Sequence[Document],
+        beam_size: int = 4,
+        batch_size: int = 8,
+        capture: Optional[dict] = None,
+    ) -> List[BriefPrediction]:
+        """Generic batched surface: the cascade answer with escalation free."""
+        decisions = self.predict_cascade(
+            documents, beam_size=beam_size, batch_size=batch_size
+        )
+        if capture is not None:
+            capture["decisions"] = decisions
+        return [decision.prediction for decision in decisions]
+
+
+class CascadeBriefingPipeline(BatchedBriefingPipeline):
+    """Tiered :class:`BatchedBriefingPipeline` over a :class:`CascadeModel`.
+
+    The batched flow (front cache, in-flight coalescing, deadline sweeps,
+    degradation ladder) is inherited unchanged; this subclass replaces the
+    single model pass with student-then-maybe-teacher:
+
+    * ``cascade_student`` span: one student ``predict_batch`` with
+      confidence capture (the student answers *every* document);
+    * escalation policy: a document escalates iff its confidence falls below
+      the model's threshold **and** the governor has not forced
+      ``student_only`` **and** the remaining deadline budget affords a
+      teacher pass — suppressed escalations serve the student answer tagged
+      with the suppression reason;
+    * ``cascade_teacher`` span: one teacher ``predict_batch`` over the
+      escalated subset only.
+
+    Caches are keyed per tier: canonical answers (teacher, or student the
+    cascade is happy with) go to the shared brief cache; every complete
+    student answer also lands in a student-tier cache consulted only when
+    the governor is shedding, so overload can serve hot pages with zero
+    model work without ever leaking a suppressed answer to a healthy
+    request.
+    """
+
+    def __init__(
+        self,
+        model: CascadeModel,
+        *args,
+        student_cache=None,
+        student_cache_size: int = 256,
+        **kwargs,
+    ) -> None:
+        if not isinstance(model, CascadeModel):
+            raise TypeError(
+                f"CascadeBriefingPipeline requires a CascadeModel, got {type(model).__name__}"
+            )
+        super().__init__(model, *args, **kwargs)
+        self.student_cache = (
+            student_cache
+            if student_cache is not None
+            else BriefCache(student_cache_size, hash_fn=kwargs.get("hash_fn"))
+        )
+        self._escalation_counter = self.registry.counter(
+            "cascade_escalations_total",
+            help="teacher escalations performed, by reason",
+        )
+        self._suppressed_counter = self.registry.counter(
+            "cascade_suppressed_total",
+            help="wanted escalations held to the student tier, by reason",
+        )
+        self._tier_counter = self.registry.counter(
+            "cascade_documents_total",
+            help="documents answered by the cascade, by serving tier",
+        )
+
+    # -- per-tier cache policy -------------------------------------------
+    def _cache_lookup(self, html: str, student_only: bool) -> Optional[PartialBrief]:
+        cached = self.brief_cache.get(html)
+        if cached is None and student_only:
+            # Overload path: a hot page's student answer is better than a
+            # model pass the governor cannot afford.
+            cached = self.student_cache.get(html)
+        return cached
+
+    def _cache_store(self, content: str, brief: PartialBrief) -> None:
+        if not brief.complete:
+            return
+        if brief.tier == "student":
+            self.student_cache.put(content, _copy_brief(brief))
+        if brief.tier_reason in _CANONICAL_REASONS:
+            self.brief_cache.put(content, _copy_brief(brief))
+
+    # -- tiered prediction -------------------------------------------------
+    def _predict_briefs(
+        self,
+        documents: List[Document],
+        deadlines: Optional[List[Optional[float]]] = None,
+        clock: Optional[Callable[[], float]] = None,
+        student_only: bool = False,
+    ) -> List[PartialBrief]:
+        model: CascadeModel = self.model
+        read_clock = clock if clock is not None else time.monotonic
+        if deadlines is None:
+            deadlines = [None] * len(documents)
+        start = time.perf_counter() if self._observing else 0.0
+        with self.tracer.span(
+            "predict_batch", documents=len(documents), cascade=True
+        ) as span:
+            student_start = time.perf_counter() if self._observing else 0.0
+            with self.tracer.span(
+                "cascade_student", documents=len(documents)
+            ) as student_span:
+                try:
+                    with self._dtype_context():
+                        capture: Dict[str, list] = {}
+                        students = model.student.predict_batch(
+                            documents,
+                            beam_size=self.beam_size,
+                            batch_size=self.batch_size,
+                            capture=capture,
+                        )
+                except Exception as exc:
+                    # Same unit-failure semantics as the base pipeline: the
+                    # whole batch re-runs through the sequential degradation
+                    # ladder (teacher quality), and brief_many never raises.
+                    self.stats.inc("model_failures")
+                    student_span.record_error(exc)
+                    span.add_event("sequential_fallback", documents=len(documents))
+                    return [self._fallback.brief_document(doc) for doc in documents]
+                finally:
+                    if self._observing:
+                        self._stage_seconds.observe(
+                            time.perf_counter() - student_start, stage="cascade_student"
+                        )
+
+            confidences = [
+                model.estimator.confidence(margin, memory)
+                for margin, memory in zip(capture["beam_margins"], capture["memories"])
+            ]
+            tiers: List[Tuple[str, Optional[str]]] = [None] * len(documents)
+            escalate: List[int] = []
+            now = read_clock()
+            for index, confidence in enumerate(confidences):
+                if confidence >= model.threshold:
+                    tiers[index] = ("student", None)
+                    continue
+                if student_only:
+                    tiers[index] = ("student", "governor")
+                    continue
+                deadline = deadlines[index]
+                if deadline is not None and (
+                    (deadline - now) * 1000.0 <= model.escalation_budget_ms
+                ):
+                    tiers[index] = ("student", "deadline")
+                    continue
+                tiers[index] = ("teacher", "low_confidence")
+                escalate.append(index)
+
+            predictions: List[BriefPrediction] = list(students)
+            if escalate:
+                teacher_start = time.perf_counter() if self._observing else 0.0
+                with self.tracer.span(
+                    "cascade_teacher", documents=len(escalate)
+                ) as teacher_span:
+                    try:
+                        with self._dtype_context():
+                            escalated = model.teacher.predict_batch(
+                                [documents[i] for i in escalate],
+                                beam_size=self.beam_size,
+                                batch_size=self.batch_size,
+                            )
+                    except Exception as exc:
+                        # Teacher faults degrade per document through the
+                        # sequential ladder; the student tier's answers for
+                        # the rest of the batch are unaffected.
+                        self.stats.inc("model_failures")
+                        teacher_span.record_error(exc)
+                        briefs = self._assemble(documents, predictions, tiers, confidences)
+                        for index in escalate:
+                            briefs[index] = self._fallback.brief_document(documents[index])
+                        return briefs
+                    finally:
+                        if self._observing:
+                            self._stage_seconds.observe(
+                                time.perf_counter() - teacher_start,
+                                stage="cascade_teacher",
+                            )
+                for index, prediction in zip(escalate, escalated):
+                    predictions[index] = prediction
+            if self._observing:
+                span.set_attribute("escalated", len(escalate))
+                self._stage_seconds.observe(
+                    time.perf_counter() - start, stage="predict_batch"
+                )
+        return self._assemble(documents, predictions, tiers, confidences)
+
+    def _assemble(
+        self,
+        documents: List[Document],
+        predictions: List[BriefPrediction],
+        tiers: List[Tuple[str, Optional[str]]],
+        confidences: List[float],
+    ) -> List[PartialBrief]:
+        briefs: List[PartialBrief] = []
+        for prediction, (tier, reason) in zip(predictions, tiers):
+            brief = self._brief_from_prediction(prediction)
+            brief.tier = tier
+            brief.tier_reason = reason
+            briefs.append(brief)
+            if tier == "teacher":
+                self.stats.inc("teacher_escalations")
+                self._escalation_counter.inc(reason=reason)
+            else:
+                self.stats.inc("student_briefs")
+                if reason is not None:
+                    self.stats.inc("escalations_suppressed")
+                    self._suppressed_counter.inc(reason=reason)
+            self._tier_counter.inc(tier=tier)
+        return briefs
+
+
+def make_batched_pipeline(model, **kwargs) -> BatchedBriefingPipeline:
+    """Build the right batched pipeline for ``model``.
+
+    A :class:`CascadeModel` gets the tiered :class:`CascadeBriefingPipeline`;
+    anything else gets the plain :class:`BatchedBriefingPipeline` (the
+    ``student_cache`` knobs are silently dropped for it).  Worker pools on
+    both transports construct their per-worker pipelines through this
+    factory, so the cascade rides the existing serving stack without either
+    pool knowing about tiers.
+    """
+    if isinstance(model, CascadeModel):
+        return CascadeBriefingPipeline(model, **kwargs)
+    kwargs.pop("student_cache", None)
+    kwargs.pop("student_cache_size", None)
+    return BatchedBriefingPipeline(model, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# Offline calibration against the simulated human-eval panel
+# ----------------------------------------------------------------------
+@dataclass
+class CalibrationPoint:
+    """One threshold's position on the quality/escalation frontier."""
+
+    threshold: float
+    escalation_rate: float
+    panel_score: float
+    teacher_agreement: float
+
+    def to_dict(self) -> dict:
+        return {
+            "threshold": self.threshold,
+            "escalation_rate": self.escalation_rate,
+            "panel_score": self.panel_score,
+            "teacher_agreement": self.teacher_agreement,
+        }
+
+
+@dataclass
+class CalibrationResult:
+    """Outcome of sweeping escalation thresholds against the panel.
+
+    ``threshold`` is the cheapest (lowest-escalation) threshold whose panel
+    score stays within ``max_quality_drop`` of teacher-only quality;
+    ``escalation_band`` is the tolerance interval around that threshold's
+    escalation rate that a serving run over the same corpus must land in
+    (the CI gate).
+    """
+
+    points: List[CalibrationPoint]
+    student_score: float
+    teacher_score: float
+    threshold: float
+    escalation_rate: float
+    panel_score: float
+    max_quality_drop: float
+    escalation_band: Tuple[float, float]
+    num_documents: int
+    confidences: List[float] = field(default_factory=list)
+
+    @property
+    def quality_drop(self) -> float:
+        """Relative panel-quality drop of the chosen threshold vs teacher."""
+        if self.teacher_score <= 0:
+            return 0.0
+        return max(0.0, (self.teacher_score - self.panel_score) / self.teacher_score)
+
+    def to_dict(self) -> dict:
+        return {
+            "threshold": self.threshold,
+            "escalation_rate": self.escalation_rate,
+            "panel_score": self.panel_score,
+            "student_score": self.student_score,
+            "teacher_score": self.teacher_score,
+            "quality_drop": self.quality_drop,
+            "max_quality_drop": self.max_quality_drop,
+            "escalation_band": list(self.escalation_band),
+            "num_documents": self.num_documents,
+            "points": [point.to_dict() for point in self.points],
+        }
+
+
+def quality_by_confidence_band(
+    confidences: Sequence[float],
+    student_topics: Sequence[Sequence[str]],
+    documents: Sequence[Document],
+    num_bands: int = 3,
+) -> List[Tuple[float, float]]:
+    """(mean confidence, mean student quality) per confidence band.
+
+    Documents are sorted by confidence and split into ``num_bands``
+    contiguous bands; each band reports its mean confidence and the mean
+    underlying 0/1/2 quality of the *student* answers in it.  A calibrated
+    confidence signal yields non-decreasing quality with confidence — the
+    monotonicity contract the calibration test suite asserts.
+    """
+    from .human_eval import underlying_quality
+
+    if num_bands < 1:
+        raise ValueError(f"num_bands must be >= 1, got {num_bands}")
+    order = np.argsort(np.asarray(confidences, dtype=np.float64), kind="stable")
+    bands: List[Tuple[float, float]] = []
+    for chunk in np.array_split(order, num_bands):
+        if not len(chunk):
+            continue
+        mean_confidence = float(np.mean([confidences[i] for i in chunk]))
+        mean_quality = float(
+            np.mean(
+                [
+                    underlying_quality(
+                        list(student_topics[i]), list(documents[i].topic_tokens)
+                    )
+                    for i in chunk
+                ]
+            )
+        )
+        bands.append((mean_confidence, mean_quality))
+    return bands
+
+
+def calibrate_threshold(
+    cascade: CascadeModel,
+    documents: Sequence[Document],
+    thresholds: Optional[Sequence[float]] = None,
+    max_quality_drop: float = 0.02,
+    band_slack: float = 0.1,
+    num_raters: int = 10,
+    seed: int = 0,
+    fidelity: float = 0.92,
+    beam_size: int = 4,
+    batch_size: int = 8,
+) -> CalibrationResult:
+    """Sweep escalation thresholds against the simulated human-eval panel.
+
+    One student pass (with confidence capture) and one teacher pass answer
+    every document; each candidate threshold then routes documents between
+    the two *without further model work*, and the resulting topic set is
+    scored by :func:`~repro.core.human_eval.human_evaluation` under a fixed
+    panel seed.  The chosen threshold is the cheapest one whose panel score
+    stays within ``max_quality_drop`` (relative) of teacher-only quality;
+    if none qualifies the highest threshold wins (escalate everything the
+    signal distrusts).
+
+    Everything is deterministic: same documents + seed → same curve, on any
+    transport, which is why the curve can be a golden fixture.
+    """
+    from .human_eval import human_evaluation
+
+    documents = list(documents)
+    if not documents:
+        raise ValueError("calibration requires at least one document")
+    if thresholds is None:
+        thresholds = [i / 20.0 for i in range(21)]
+    thresholds = sorted(float(t) for t in thresholds)
+
+    students, confidences, _, _ = cascade.confidences(
+        documents, beam_size=beam_size, batch_size=batch_size
+    )
+    teachers = cascade.teacher.predict_batch(
+        documents, beam_size=beam_size, batch_size=batch_size
+    )
+    student_topics = [prediction.topic for prediction in students]
+    teacher_topics = [prediction.topic for prediction in teachers]
+
+    def panel_score(topics: List[List[str]]) -> float:
+        by_doc = {id(doc): topic for doc, topic in zip(documents, topics)}
+        results = human_evaluation(
+            {"candidate": lambda doc: by_doc[id(doc)]},
+            documents,
+            num_raters=num_raters,
+            seed=seed,
+            fidelity=fidelity,
+        )
+        return results[0].average_score
+
+    student_score = panel_score(student_topics)
+    teacher_score = panel_score(teacher_topics)
+
+    points: List[CalibrationPoint] = []
+    for threshold in thresholds:
+        escalated = [confidence < threshold for confidence in confidences]
+        topics = [
+            teacher_topics[i] if escalated[i] else student_topics[i]
+            for i in range(len(documents))
+        ]
+        agreement = float(
+            np.mean([topics[i] == teacher_topics[i] for i in range(len(documents))])
+        )
+        points.append(
+            CalibrationPoint(
+                threshold=threshold,
+                escalation_rate=float(np.mean(escalated)),
+                panel_score=panel_score(topics),
+                teacher_agreement=agreement,
+            )
+        )
+
+    floor = teacher_score * (1.0 - max_quality_drop)
+    chosen = next((p for p in points if p.panel_score >= floor), points[-1])
+    return CalibrationResult(
+        points=points,
+        student_score=student_score,
+        teacher_score=teacher_score,
+        threshold=chosen.threshold,
+        escalation_rate=chosen.escalation_rate,
+        panel_score=chosen.panel_score,
+        max_quality_drop=max_quality_drop,
+        escalation_band=(
+            max(0.0, chosen.escalation_rate - band_slack),
+            min(1.0, chosen.escalation_rate + band_slack),
+        ),
+        num_documents=len(documents),
+        confidences=[float(c) for c in confidences],
+    )

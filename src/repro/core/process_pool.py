@@ -76,6 +76,7 @@ from ..runtime.chaos import WorkerDeath
 from ..runtime.stats import RuntimeStats
 from .batched import BatchedBriefingPipeline, _copy_brief, content_hash
 from .briefing import Degradation, PartialBrief
+from .cascade import _CANONICAL_REASONS, make_batched_pipeline
 from .pipeline import _reason
 from .serving import RequestScheduler, _deadline_partial, _resolve
 from .transport import ConsistentHashRouter, ModelSnapshot, WorkerTransport
@@ -125,7 +126,11 @@ def _process_worker_main(conn, snapshot: ModelSnapshot, config: dict) -> None:
         if config.get("observe"):
             tracer = Tracer(id_prefix=f"w{config['index']}g{config['generation']}.")
             registry = MetricsRegistry()
-        pipeline = BatchedBriefingPipeline(
+        # The factory gives a restored CascadeModel the tiered pipeline (the
+        # escalation threshold and budget ride inside the pickled model, so
+        # no extra config keys cross the spawn boundary); anything else gets
+        # the plain batched pipeline.  Caches are process-local either way.
+        pipeline = make_batched_pipeline(
             model,
             beam_size=config["beam_size"],
             batch_size=config["batch_size"],
@@ -160,6 +165,9 @@ def _process_worker_main(conn, snapshot: ModelSnapshot, config: dict) -> None:
                 conn.send(("telemetry", telemetry()))
                 continue
             payload = message[1]
+            # Governor state lives parent-side; the student-only overload
+            # flag crosses the pipe with the batch it applies to.
+            student_only = bool(message[2]) if len(message) > 2 else False
             before = pipeline.stats.as_dict()
             now = time.monotonic()
             pages = [(doc_id, html) for doc_id, html, _, _ in payload]
@@ -178,7 +186,10 @@ def _process_worker_main(conn, snapshot: ModelSnapshot, config: dict) -> None:
             ]
             try:
                 briefs = pipeline.brief_many(
-                    pages, deadlines=deadlines, trace_contexts=contexts
+                    pages,
+                    deadlines=deadlines,
+                    trace_contexts=contexts,
+                    student_only=student_only,
                 )
             except WorkerDeath:
                 raise
@@ -632,11 +643,15 @@ class ProcessWorkerPool(WorkerTransport):
                         ),
                     )
                 )
+        # Overload forces the cascade to student-only service; the flag is
+        # sampled once per batch parent-side (where the governor lives) and
+        # shipped with the payload.
+        student_only = self.governor is not None and self.governor.level >= 2
         try:
             # The pipe lock covers the whole exchange so a concurrent flush
             # probe can never interleave its frames with ours.
             with worker.lock:
-                worker.conn.send(("serve", payload))
+                worker.conn.send(("serve", payload, student_only))
                 message = self._recv(worker)
                 while message[0] != "done":
                     if message[0] == "telemetry":
@@ -653,7 +668,14 @@ class ProcessWorkerPool(WorkerTransport):
         if self.governor is not None:
             self.governor.observe_batch(self.clock() - started, len(live))
         for request, brief in zip(live, briefs):
-            if self.front_cache is not None and brief.complete:
+            # Only canonical answers reach the shared front tier: a student
+            # brief served because a deadline or the governor suppressed its
+            # escalation is situational and must not answer future requests.
+            if (
+                self.front_cache is not None
+                and brief.complete
+                and brief.tier_reason in _CANONICAL_REASONS
+            ):
                 self.front_cache.put(request.html, _copy_brief(brief))
             _resolve(request.future, brief)
         for _, span in serve_spans:

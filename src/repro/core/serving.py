@@ -73,6 +73,7 @@ from ..runtime.retry import CircuitBreaker
 from ..runtime.stats import RuntimeStats
 from .batched import BatchedBriefingPipeline, BriefCache, Page, _copy_brief, content_hash
 from .briefing import Degradation, PartialBrief
+from .cascade import CascadeModel, make_batched_pipeline
 from .pipeline import _reason
 from .transport import ModelSnapshot, WorkerTransport
 
@@ -680,6 +681,7 @@ class WorkerPool(WorkerTransport):
         batch_size: int = 8,
         brief_cache=None,
         render_cache=None,
+        student_cache=None,
         hash_fn: Optional[Callable[[str], Hashable]] = None,
         dtype=None,
         observe: bool = False,
@@ -699,6 +701,7 @@ class WorkerPool(WorkerTransport):
         self._batch_size = batch_size
         self._brief_cache = brief_cache
         self._render_cache = render_cache
+        self._student_cache = student_cache
         self._hash_fn = hash_fn
         self._dtype = dtype
         self._lock = threading.Lock()
@@ -713,7 +716,10 @@ class WorkerPool(WorkerTransport):
         # tracers, so reassembled traces never collide parent ids.
         tracer = Tracer(id_prefix=f"w{index}g{generation}.") if self.observe else NOOP_TRACER
         registry = MetricsRegistry() if self.observe else NOOP_REGISTRY
-        pipeline = BatchedBriefingPipeline(
+        # The factory picks the tiered cascade pipeline for a CascadeModel
+        # (with the pool-shared student-tier cache) and the plain batched
+        # pipeline for everything else.
+        pipeline = make_batched_pipeline(
             self._model,
             beam_size=self._beam_size,
             stats=stats,
@@ -724,6 +730,7 @@ class WorkerPool(WorkerTransport):
             registry=registry,
             brief_cache=self._brief_cache,
             render_cache=self._render_cache,
+            student_cache=self._student_cache,
         )
         return _Worker(index, pipeline, stats, tracer, registry, generation)
 
@@ -897,12 +904,18 @@ class WorkerPool(WorkerTransport):
                         ),
                     )
                 )
+        # Overload forces the cascade to student-only service: at shedding or
+        # cache_only no teacher escalation may be spent on this batch.  The
+        # flag is computed once per batch so every document in it sees one
+        # consistent policy.
+        student_only = self.governor is not None and self.governor.level >= 2
         try:
             briefs = worker.pipeline.brief_many(
                 [(request.doc_id, request.html) for request in live],
                 deadlines=[request.deadline for request in live],
                 clock=self.clock,
                 trace_contexts=trace_contexts,
+                student_only=student_only,
             )
         except Exception as exc:  # brief_many never raises; last resort
             for _, span in serve_spans:
@@ -1291,6 +1304,17 @@ class ConcurrentBriefingPipeline:
         self.default_deadline_ms = default_deadline_ms
         self.brief_cache = ShardedBriefCache(brief_cache_size, num_shards, hash_fn=hash_fn)
         self.render_cache = ShardedBriefCache(render_cache_size, num_shards, hash_fn=hash_fn)
+        #: tiered serving: the front brief cache holds only canonical cascade
+        #: answers; the student cache (thread transport) holds every complete
+        #: student-tier answer for governor-forced student-only batches.
+        self.is_cascade = isinstance(model, CascadeModel) or (
+            isinstance(model, ModelSnapshot) and getattr(model, "is_cascade", False)
+        )
+        self.student_cache = (
+            ShardedBriefCache(brief_cache_size, num_shards, hash_fn=hash_fn)
+            if self.is_cascade and transport == "thread"
+            else None
+        )
         if governor is None:
             governor = ServingGovernor(max_queue)
         elif governor is False:
@@ -1340,6 +1364,7 @@ class ConcurrentBriefingPipeline:
                 batch_size=max_batch,
                 brief_cache=self.brief_cache,
                 render_cache=self.render_cache,
+                student_cache=self.student_cache,
                 hash_fn=hash_fn,
                 dtype=dtype,
                 observe=observe,
@@ -1568,7 +1593,9 @@ class ConcurrentBriefingPipeline:
         except BaseException:  # futures here never raise; belt and braces
             self.slo.record("error", latency)
             return
-        self.slo.record(self._slo_outcome(brief), latency)
+        self.slo.record(
+            self._slo_outcome(brief), latency, escalated=brief.tier == "teacher"
+        )
 
     def submit(
         self,
@@ -1812,12 +1839,23 @@ class ConcurrentBriefingPipeline:
                 "state": self.governor.state,
                 "ewma_latency_ms": self.governor.ewma_latency_ms,
             }
+        merged = self.merged_stats()
+        cascade = None
+        if self.is_cascade:
+            tiered = merged.student_briefs + merged.teacher_escalations
+            cascade = {
+                "student_briefs": merged.student_briefs,
+                "teacher_escalations": merged.teacher_escalations,
+                "escalations_suppressed": merged.escalations_suppressed,
+                "escalation_rate": merged.teacher_escalations / tiered if tiered else 0.0,
+            }
         return {
             "transport": self.transport,
             "queue_depth": self.pool.depth,
             "in_flight": self.in_flight(),
             "governor": governor,
-            "requests": self.merged_stats().as_dict(),
+            "cascade": cascade,
+            "requests": merged.as_dict(),
             "workers": workers,
             "slo": self.slo.snapshot() if self.slo is not None else None,
             "events": self.journal.tail(8) if self.journal is not None else [],

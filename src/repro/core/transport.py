@@ -157,11 +157,16 @@ class ModelSnapshot:
     """
 
     def __init__(self, model, dtype=None) -> None:
+        from .cascade import CascadeModel  # local: cascade imports core siblings
+
         self.blob = pickle.dumps(model, protocol=pickle.HIGHEST_PROTOCOL)
         #: dtype the serving pipeline runs inference under (or None).
         self.pipeline_dtype = None if dtype is None else np.dtype(dtype).str
         #: the nn-wide default dtype in effect when the snapshot was taken.
         self.default_dtype = np.dtype(get_default_dtype()).str
+        #: whether the snapshot wraps a tiered CascadeModel — lets the front
+        #: door pick cascade serving without unpickling the blob.
+        self.is_cascade = isinstance(model, CascadeModel)
 
     @property
     def num_bytes(self) -> int:

@@ -1,5 +1,6 @@
 """``repro.distill`` — Dual-Distill, Tri-Distill, Pip-Distill and ablations."""
 
+from .checkpoint import StudentCheckpoint
 from .dual import DistillConfig, DualDistiller
 from .identification import IdentificationDistiller
 from .interfaces import (
@@ -25,6 +26,7 @@ __all__ = [
     "TriDistiller",
     "PipelineDistiller",
     "IdentificationDistiller",
+    "StudentCheckpoint",
     "TopicPhraseBank",
     "understanding_loss",
     "soften",

@@ -34,6 +34,18 @@ from ..data.vocab import Vocabulary
 __all__ = ["TopicGenerator"]
 
 
+def _beam_margin(hypotheses) -> float:
+    """Log-probability gap between the best and runner-up hypotheses.
+
+    Both beam implementations return hypotheses sorted best-first with
+    float64 accumulated log-probabilities, so this is a pure function of the
+    search result — identical across the scalar and batched decode paths.
+    """
+    if len(hypotheses) < 2:
+        return float("inf")
+    return float(hypotheses[0].score - hypotheses[1].score)
+
+
 class TopicGenerator(nn.Module):
     """Bi-LSTM encoder + attentive LSTM decoder producing a topic phrase."""
 
@@ -151,8 +163,16 @@ class TopicGenerator(nn.Module):
         memory: nn.Tensor,
         beam_size: int = 4,
         max_depth: int = 8,
+        margins: Optional[List[float]] = None,
     ) -> List[str]:
-        """Beam-search a topic phrase; returns decoded tokens."""
+        """Beam-search a topic phrase; returns decoded tokens.
+
+        Pass a list as ``margins`` to also receive the beam-score margin —
+        the log-probability gap between the best and runner-up hypotheses
+        (``inf`` when the beam held a single hypothesis).  The margin is the
+        decoder's own confidence signal: a small gap means the beam nearly
+        picked a different topic.
+        """
         with nn.no_grad():
             def step_fn(token_id: int, state):
                 logits, new_state, _ = self._step(token_id, state, memory)
@@ -167,6 +187,8 @@ class TopicGenerator(nn.Module):
                 beam_size=beam_size,
                 max_depth=max_depth,
             )
+        if margins is not None:
+            margins.append(_beam_margin(hypotheses))
         best = hypotheses[0].tokens[1:]
         if best and best[-1] == self.vocabulary.eos_id:
             best = best[:-1]
@@ -245,12 +267,16 @@ class TopicGenerator(nn.Module):
         memories: Sequence[nn.Tensor],
         beam_size: int = 4,
         max_depth: int = 8,
+        margins: Optional[List[float]] = None,
     ) -> List[List[str]]:
         """Beam-search topic phrases for many pages with fused per-depth steps.
 
         Equivalent to ``[self.generate(m, beam_size, max_depth) for m in
         memories]`` — same top hypothesis per page — but every live beam of
         every page advances in one :meth:`_batched_raw_step` call per depth.
+        Pass a list as ``margins`` to receive one beam-score margin per page
+        (same semantics as :meth:`generate`; the batched search replicates
+        the scalar hypothesis scores bitwise, so the margins agree too).
         """
         memories = list(memories)
         if not memories:
@@ -278,6 +304,8 @@ class TopicGenerator(nn.Module):
             )
         decoded: List[List[str]] = []
         for hypotheses in results:
+            if margins is not None:
+                margins.append(_beam_margin(hypotheses))
             best = hypotheses[0].tokens[1:]
             if best and best[-1] == self.vocabulary.eos_id:
                 best = best[:-1]

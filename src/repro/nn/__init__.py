@@ -32,6 +32,7 @@ from .tensor import (
     concatenate,
     default_dtype,
     get_default_dtype,
+    get_dtype_override,
     is_grad_enabled,
     no_grad,
     pad_stack,
@@ -52,6 +53,7 @@ __all__ = [
     "is_grad_enabled",
     "default_dtype",
     "get_default_dtype",
+    "get_dtype_override",
     "set_default_dtype",
     "Module",
     "ModuleList",

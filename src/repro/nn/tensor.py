@@ -36,6 +36,7 @@ __all__ = [
     "is_grad_enabled",
     "default_dtype",
     "get_default_dtype",
+    "get_dtype_override",
     "set_default_dtype",
 ]
 
@@ -84,6 +85,17 @@ def get_default_dtype() -> np.dtype:
     """The dtype new tensors receive when neither they nor their input fix one."""
     override = _dtype_override()
     return override if override is not None else np.dtype(np.float64)
+
+
+def get_dtype_override() -> Optional[np.dtype]:
+    """The raw process-wide override (``None`` when unset).
+
+    Unlike :func:`get_default_dtype` this distinguishes "no override —
+    floating inputs keep their own dtype" from an explicit float64 override,
+    so callers that must temporarily call :func:`set_default_dtype` (e.g. an
+    in-process :meth:`ModelSnapshot.restore`) can put the mode back exactly.
+    """
+    return _PROCESS_DTYPE_OVERRIDE
 
 
 class default_dtype:

@@ -1,0 +1,96 @@
+"""Calibration harness: the confidence signal must be monotone with panel
+quality, and the chosen threshold must honour the quality-drop budget."""
+
+import pytest
+
+from repro.core import calibrate_threshold
+from repro.core.cascade import quality_by_confidence_band
+
+
+class TestCalibrationCurve:
+    def test_escalation_rate_monotone_in_threshold(self, calibration):
+        rates = [point.escalation_rate for point in calibration.points]
+        assert rates == sorted(rates)
+        assert rates[0] == 0.0
+        assert rates[-1] == 1.0
+
+    def test_panel_quality_monotone_in_threshold(self, calibration):
+        """The core contract: raising the threshold (escalating more) never
+        makes the panel score worse.  This is what makes the confidence
+        signal a usable routing key."""
+        scores = [point.panel_score for point in calibration.points]
+        assert scores == sorted(scores)
+
+    def test_curve_spans_student_to_teacher(self, calibration):
+        assert calibration.points[0].panel_score == pytest.approx(
+            calibration.student_score
+        )
+        assert calibration.points[-1].panel_score == pytest.approx(
+            calibration.teacher_score
+        )
+
+    def test_fixture_tiers_have_a_quality_gap(self, calibration):
+        # The under-distilled student must genuinely trail the teacher,
+        # otherwise every monotonicity assertion above is vacuous.
+        assert calibration.teacher_score > calibration.student_score
+
+    def test_teacher_agreement_monotone(self, calibration):
+        agreement = [point.teacher_agreement for point in calibration.points]
+        assert agreement == sorted(agreement)
+        assert agreement[-1] == pytest.approx(1.0)
+
+
+class TestChosenThreshold:
+    def test_chosen_threshold_meets_quality_floor(self, calibration):
+        floor = calibration.teacher_score * (1.0 - calibration.max_quality_drop)
+        assert calibration.panel_score >= floor
+
+    def test_chosen_threshold_is_cheapest_admissible(self, calibration):
+        floor = calibration.teacher_score * (1.0 - calibration.max_quality_drop)
+        admissible = [p for p in calibration.points if p.panel_score >= floor]
+        assert calibration.threshold == admissible[0].threshold
+        assert calibration.escalation_rate == admissible[0].escalation_rate
+
+    def test_quality_drop_within_budget(self, calibration):
+        assert calibration.quality_drop <= calibration.max_quality_drop
+
+    def test_band_brackets_chosen_rate(self, calibration):
+        low, high = calibration.escalation_band
+        assert 0.0 <= low <= calibration.escalation_rate <= high <= 1.0
+
+
+class TestResultShape:
+    def test_to_dict_round_trips_key_fields(self, calibration):
+        payload = calibration.to_dict()
+        assert payload["threshold"] == calibration.threshold
+        assert payload["escalation_rate"] == calibration.escalation_rate
+        assert len(payload["points"]) == len(calibration.points)
+        assert payload["num_documents"] == calibration.num_documents
+
+    def test_confidences_align_with_documents(self, calibration):
+        assert len(calibration.confidences) == calibration.num_documents
+        assert all(0.0 <= c <= 1.0 for c in calibration.confidences)
+
+    def test_deterministic(self, make_cascade, small_corpus, calibration):
+        rerun = calibrate_threshold(
+            make_cascade(), small_corpus.documents, seed=0, beam_size=2
+        )
+        assert rerun.to_dict() == calibration.to_dict()
+
+    def test_empty_documents_rejected(self, make_cascade):
+        with pytest.raises(ValueError):
+            calibrate_threshold(make_cascade(), [])
+
+
+class TestConfidenceBands:
+    def test_band_structure(self, make_cascade, small_corpus):
+        docs = small_corpus.documents
+        cascade = make_cascade()
+        predictions, confidences, _, _ = cascade.confidences(docs, beam_size=2)
+        bands = quality_by_confidence_band(
+            confidences, [p.topic for p in predictions], docs, num_bands=3
+        )
+        assert len(bands) <= 3
+        centers = [band[0] for band in bands]
+        assert centers == sorted(centers)
+        assert all(0.0 <= band[1] <= 2.0 for band in bands)

@@ -1,0 +1,202 @@
+"""Cascade through the serving stack: no third path, deterministic across
+worker counts and both transports, observable per tier."""
+
+import pytest
+
+from repro.core import (
+    BatchedBriefingPipeline,
+    CascadeBriefingPipeline,
+    ConcurrentBriefingPipeline,
+    ModelSnapshot,
+    make_batched_pipeline,
+)
+from repro.obs import MetricsRegistry, Tracer
+
+
+def _signature(brief):
+    return (brief.topic, brief.attributes, brief.informative_sentences)
+
+
+@pytest.fixture(scope="module")
+def expected(make_cascade, cascade_pages):
+    """Sequential cascade ground truth: briefs plus their serving tier."""
+    pipeline = CascadeBriefingPipeline(make_cascade(), beam_size=2)
+    briefs = pipeline.brief_many(cascade_pages)
+    return [(brief.tier, _signature(brief)) for brief in briefs]
+
+
+class TestNoThirdPath:
+    def test_every_brief_is_exactly_one_tier_output(
+        self, make_cascade, cascade_teacher, distilled, cascade_pages, expected
+    ):
+        """Property: escalated briefs are bit-identical to the teacher's,
+        everything else is bit-identical to the student's.  There is no
+        blended third path."""
+        student, _ = distilled
+        student_briefs = BatchedBriefingPipeline(student, beam_size=2).brief_many(
+            cascade_pages
+        )
+        teacher_briefs = BatchedBriefingPipeline(cascade_teacher, beam_size=2).brief_many(
+            cascade_pages
+        )
+        for (doc_id, _), (tier, signature), s_brief, t_brief in zip(
+            cascade_pages, expected, student_briefs, teacher_briefs
+        ):
+            want = t_brief if tier == "teacher" else s_brief
+            assert signature == _signature(want), (
+                f"{doc_id}: {tier}-tier brief is not the {tier} model's output"
+            )
+
+    def test_threshold_genuinely_mixes_tiers(self, expected):
+        tiers = {tier for tier, _ in expected}
+        assert tiers == {"student", "teacher"}
+
+    def test_tier_and_reason_stamping(self, make_cascade, cascade_pages):
+        pipeline = CascadeBriefingPipeline(make_cascade(), beam_size=2)
+        for brief in pipeline.brief_many(cascade_pages):
+            if brief.tier == "teacher":
+                assert brief.tier_reason == "low_confidence"
+            else:
+                assert brief.tier == "student"
+                assert brief.tier_reason is None
+
+
+class TestEscalationDeterminism:
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_thread_transport_matches_sequential(
+        self, make_cascade, cascade_pages, expected, workers
+    ):
+        server = ConcurrentBriefingPipeline(
+            make_cascade(),
+            num_workers=workers,
+            beam_size=2,
+            max_batch=8,
+            max_queue=128,
+        )
+        try:
+            briefs = server.brief_many(cascade_pages)
+            stats = server.merged_stats()
+        finally:
+            server.shutdown(timeout=30)
+        got = [(brief.tier, _signature(brief)) for brief in briefs]
+        assert got == expected
+        assert stats.cache_hits + stats.cache_misses == len(cascade_pages)
+
+    def test_process_transport_matches_sequential(
+        self, make_cascade, cascade_pages, expected
+    ):
+        server = ConcurrentBriefingPipeline(
+            make_cascade(),
+            num_workers=2,
+            transport="process",
+            beam_size=2,
+            max_batch=8,
+            max_queue=128,
+        )
+        try:
+            briefs = server.brief_many(cascade_pages)
+            stats = server.merged_stats()
+        finally:
+            server.shutdown(timeout=30)
+        got = [(brief.tier, _signature(brief)) for brief in briefs]
+        assert got == expected
+        assert stats.cache_hits + stats.cache_misses == len(cascade_pages)
+
+
+class TestSnapshotRoundTrip:
+    def test_snapshot_restores_identical_decisions(self, make_cascade, small_corpus):
+        cascade = make_cascade()
+        docs = small_corpus.documents[:8]
+        snapshot = ModelSnapshot(cascade)
+        assert snapshot.is_cascade
+        restored, _ = snapshot.restore()
+        want = cascade.predict_cascade(docs, beam_size=2)
+        got = restored.predict_cascade(docs, beam_size=2)
+        assert restored.threshold == cascade.threshold
+        for left, right in zip(want, got):
+            assert (left.tier, left.reason) == (right.tier, right.reason)
+            assert left.prediction.topic == right.prediction.topic
+            assert left.confidence == pytest.approx(right.confidence)
+
+
+class TestPipelineFactory:
+    def test_cascade_model_gets_tiered_pipeline(self, make_cascade):
+        pipeline = make_batched_pipeline(make_cascade(), beam_size=2)
+        assert isinstance(pipeline, CascadeBriefingPipeline)
+
+    def test_plain_model_gets_plain_pipeline(self, cascade_teacher):
+        pipeline = make_batched_pipeline(
+            cascade_teacher, beam_size=2, student_cache=None, student_cache_size=4
+        )
+        assert isinstance(pipeline, BatchedBriefingPipeline)
+        assert not isinstance(pipeline, CascadeBriefingPipeline)
+
+    def test_tiered_pipeline_rejects_plain_model(self, cascade_teacher):
+        with pytest.raises(TypeError):
+            CascadeBriefingPipeline(cascade_teacher, beam_size=2)
+
+
+def _unique_tiers(pages, briefs):
+    """Serving tier per unique page content (duplicates are cache hits, so
+    the model-pass counters only see each content once)."""
+    return {html: brief.tier for (_, html), brief in zip(pages, briefs)}
+
+
+class TestObservability:
+    def test_metrics_and_spans_per_tier(self, make_cascade, cascade_pages):
+        tracer = Tracer()
+        registry = MetricsRegistry()
+        pipeline = CascadeBriefingPipeline(
+            make_cascade(), beam_size=2, tracer=tracer, registry=registry
+        )
+        briefs = pipeline.brief_many(cascade_pages)
+        tiers = _unique_tiers(cascade_pages, briefs)
+        escalated = sum(1 for tier in tiers.values() if tier == "teacher")
+        counter = registry.counter("cascade_escalations_total")
+        assert counter.value(reason="low_confidence") == escalated
+        tier_counter = registry.counter("cascade_documents_total")
+        assert tier_counter.value(tier="teacher") == escalated
+        assert tier_counter.value(tier="student") == len(tiers) - escalated
+        names = {span.name for span in tracer.spans}
+        assert "cascade_student" in names
+        assert "cascade_teacher" in names
+
+    def test_status_and_slo_report_escalations(self, make_cascade, cascade_pages):
+        server = ConcurrentBriefingPipeline(
+            make_cascade(),
+            num_workers=2,
+            beam_size=2,
+            max_batch=8,
+            max_queue=128,
+            observe=True,
+        )
+        try:
+            briefs = server.brief_many(cascade_pages)
+            status = server.status()
+        finally:
+            server.shutdown(timeout=30)
+        tiers = _unique_tiers(cascade_pages, briefs)
+        unique_escalated = sum(1 for tier in tiers.values() if tier == "teacher")
+        # The stats counters count model passes (one per unique content)...
+        cascade = status["cascade"]
+        assert cascade is not None
+        assert cascade["teacher_escalations"] == unique_escalated
+        assert cascade["student_briefs"] == len(tiers) - unique_escalated
+        assert cascade["escalation_rate"] == pytest.approx(
+            unique_escalated / len(tiers)
+        )
+        # ...while the SLO counts served requests (cache hits included).
+        served_escalated = sum(1 for brief in briefs if brief.tier == "teacher")
+        slo = status["slo"]
+        assert slo["escalations"] == served_escalated
+        objective = slo["objectives"]["escalation_rate"]
+        assert objective["value"] == pytest.approx(served_escalated / slo["requests"])
+
+    def test_runtime_stats_counters(self, make_cascade, cascade_pages):
+        pipeline = CascadeBriefingPipeline(make_cascade(), beam_size=2)
+        briefs = pipeline.brief_many(cascade_pages)
+        tiers = _unique_tiers(cascade_pages, briefs)
+        escalated = sum(1 for tier in tiers.values() if tier == "teacher")
+        assert pipeline.stats.teacher_escalations == escalated
+        assert pipeline.stats.student_briefs == len(tiers) - escalated
+        assert pipeline.stats.escalations_suppressed == 0

@@ -1,0 +1,107 @@
+"""Unit tests for the confidence signal (margin term + attention entropy)."""
+
+import math
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core.cascade import ConfidenceEstimator
+
+
+def _bank(rows=3, dim=5, seed=0):
+    return np.random.default_rng(seed).normal(size=(rows, dim))
+
+
+class TestAttentionEntropy:
+    def test_entropy_is_normalised(self):
+        est = ConfidenceEstimator(query_dim=12, bank_matrix=_bank(), seed=7)
+        queries = np.random.default_rng(3).normal(size=(6, 12))
+        entropy = est.attention_entropy(queries)
+        assert 0.0 <= entropy <= 1.0
+
+    def test_peaked_query_has_lower_entropy_than_random(self):
+        est = ConfidenceEstimator(query_dim=12, bank_matrix=_bank(), seed=7)
+        # Solve for a query whose projection lands on bank row 0, so its
+        # attention over R is peaked on one seen topic.
+        row = est._unit_matrix[0]
+        peaked, *_ = np.linalg.lstsq(est.weight.T, row, rcond=None)
+        random_queries = np.random.default_rng(5).normal(size=(8, 12))
+        assert est.attention_entropy(peaked) < est.attention_entropy(random_queries)
+
+    def test_single_topic_bank_yields_zero(self):
+        est = ConfidenceEstimator(query_dim=12, bank_matrix=_bank(rows=1), seed=7)
+        queries = np.random.default_rng(3).normal(size=(4, 12))
+        assert est.attention_entropy(queries) == 0.0
+
+    def test_empty_memory_yields_zero(self):
+        est = ConfidenceEstimator(query_dim=12, bank_matrix=_bank(), seed=7)
+        assert est.attention_entropy(np.zeros((0, 12))) == 0.0
+
+
+class TestConfidence:
+    def test_monotone_in_beam_margin(self):
+        est = ConfidenceEstimator(query_dim=12, bank_matrix=_bank(), seed=7)
+        memory = np.random.default_rng(3).normal(size=(4, 12))
+        scores = [est.confidence(margin, memory) for margin in (0.0, 0.3, 1.0, 4.0)]
+        assert scores == sorted(scores)
+        assert scores[0] < scores[-1]
+
+    def test_infinite_margin_saturates_margin_term(self):
+        est = ConfidenceEstimator(query_dim=12, bank_matrix=_bank(), seed=7)
+        memory = np.random.default_rng(3).normal(size=(4, 12))
+        entropy = est.attention_entropy(memory)
+        expected = 0.5 * 1.0 + 0.5 * (1.0 - entropy)
+        assert est.confidence(math.inf, memory) == pytest.approx(expected)
+
+    def test_negative_margin_clamps_to_zero(self):
+        est = ConfidenceEstimator(query_dim=12, bank_matrix=_bank(), seed=7)
+        memory = np.random.default_rng(3).normal(size=(4, 12))
+        assert est.confidence(-5.0, memory) == pytest.approx(est.confidence(0.0, memory))
+
+    def test_bounded(self):
+        est = ConfidenceEstimator(query_dim=12, bank_matrix=_bank(), seed=7)
+        memory = np.random.default_rng(3).normal(size=(4, 12))
+        for margin in (0.0, 0.1, 2.0, math.inf):
+            assert 0.0 <= est.confidence(margin, memory) <= 1.0
+
+
+class TestDeterminism:
+    def test_same_seed_same_projection(self):
+        bank = _bank()
+        left = ConfidenceEstimator(query_dim=12, bank_matrix=bank, seed=7)
+        right = ConfidenceEstimator(query_dim=12, bank_matrix=bank, seed=7)
+        np.testing.assert_array_equal(left.weight, right.weight)
+
+    def test_pickle_round_trip_preserves_scores(self):
+        est = ConfidenceEstimator(query_dim=12, bank_matrix=_bank(), seed=7)
+        clone = pickle.loads(pickle.dumps(est))
+        memory = np.random.default_rng(3).normal(size=(4, 12))
+        assert clone.attention_entropy(memory) == est.attention_entropy(memory)
+        assert clone.confidence(0.4, memory) == est.confidence(0.4, memory)
+
+
+class TestValidation:
+    def test_rejects_non_2d_matrix(self):
+        with pytest.raises(ValueError):
+            ConfidenceEstimator(query_dim=12, bank_matrix=np.zeros(5))
+
+    def test_rejects_empty_matrix(self):
+        with pytest.raises(ValueError):
+            ConfidenceEstimator(query_dim=12, bank_matrix=np.zeros((0, 5)))
+
+    def test_rejects_non_positive_temperature(self):
+        with pytest.raises(ValueError):
+            ConfidenceEstimator(query_dim=12, bank_matrix=_bank(), temperature=0.0)
+
+
+def test_confidences_on_real_student(make_cascade, small_corpus):
+    cascade = make_cascade()
+    docs = small_corpus.documents[:8]
+    predictions, confidences, margins, entropies = cascade.confidences(
+        docs, beam_size=2
+    )
+    assert len(predictions) == len(confidences) == len(margins) == len(entropies) == 8
+    assert all(0.0 <= c <= 1.0 for c in confidences)
+    assert all(m >= 0.0 or math.isinf(m) for m in margins)
+    assert all(0.0 <= e <= 1.0 for e in entropies)

@@ -1,0 +1,120 @@
+"""Golden cascade fixtures: the calibration curve and the serving-stream
+tier map pinned to checked-in JSON, stable across both transports.
+
+Regenerate after an intentional model/estimator/calibration change with::
+
+    PYTHONPATH=src python -m pytest tests/cascade/test_golden.py --regen-golden
+"""
+
+import json
+from pathlib import Path
+
+from repro.core import CascadeBriefingPipeline, ConcurrentBriefingPipeline
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+GOLDEN_CALIBRATION = GOLDEN_DIR / "calibration.json"
+GOLDEN_TIERS = GOLDEN_DIR / "tiers.json"
+
+_REGEN_HINT = (
+    "golden fixture missing — run: "
+    "python -m pytest tests/cascade/test_golden.py --regen-golden"
+)
+
+
+def _round(value, places=9):
+    return round(float(value), places)
+
+
+def _serialize_calibration(calibration):
+    payload = {
+        "threshold": _round(calibration.threshold),
+        "escalation_rate": _round(calibration.escalation_rate),
+        "student_score": _round(calibration.student_score),
+        "teacher_score": _round(calibration.teacher_score),
+        "panel_score": _round(calibration.panel_score),
+        "escalation_band": [_round(edge) for edge in calibration.escalation_band],
+        "num_documents": calibration.num_documents,
+        "points": [
+            {
+                "threshold": _round(point.threshold),
+                "escalation_rate": _round(point.escalation_rate),
+                "panel_score": _round(point.panel_score),
+                "teacher_agreement": _round(point.teacher_agreement),
+            }
+            for point in calibration.points
+        ],
+    }
+    return json.loads(json.dumps(payload))
+
+
+def _serialize_tiers(pages, briefs):
+    records = [
+        {
+            "doc_id": doc_id,
+            "tier": brief.tier,
+            "reason": brief.tier_reason,
+            "topic": brief.topic,
+        }
+        for (doc_id, _), brief in zip(pages, briefs)
+    ]
+    return json.loads(json.dumps(records))
+
+
+def test_calibration_curve_matches_golden(calibration, regen_golden):
+    got = _serialize_calibration(calibration)
+    if regen_golden:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        GOLDEN_CALIBRATION.write_text(json.dumps(got, indent=2) + "\n")
+    assert GOLDEN_CALIBRATION.exists(), _REGEN_HINT
+    want = json.loads(GOLDEN_CALIBRATION.read_text())
+    assert got == want, (
+        "calibration curve (threshold -> escalation rate -> panel quality) "
+        "diverged from golden; if the estimator or panel changed "
+        "intentionally, regenerate with --regen-golden"
+    )
+
+
+def test_sequential_tier_map_matches_golden(make_cascade, cascade_pages, regen_golden):
+    pipeline = CascadeBriefingPipeline(make_cascade(), beam_size=2)
+    briefs = pipeline.brief_many(cascade_pages)
+    got = _serialize_tiers(cascade_pages, briefs)
+    if regen_golden:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        GOLDEN_TIERS.write_text(json.dumps(got, indent=2) + "\n")
+    assert GOLDEN_TIERS.exists(), _REGEN_HINT
+    want = json.loads(GOLDEN_TIERS.read_text())
+    assert got == want, (
+        "escalation decisions diverged from golden; if the model or "
+        "threshold changed intentionally, regenerate with --regen-golden"
+    )
+    tiers = {record["tier"] for record in want}
+    assert tiers == {"student", "teacher"}, "fixture must pin a genuine mix"
+
+
+def _serve(model, pages, transport):
+    server = ConcurrentBriefingPipeline(
+        model,
+        num_workers=2,
+        transport=transport,
+        beam_size=2,
+        max_batch=8,
+        max_queue=128,
+    )
+    try:
+        return server.brief_many(pages)
+    finally:
+        server.shutdown(timeout=30)
+
+
+def test_thread_transport_reproduces_golden_tier_map(make_cascade, cascade_pages):
+    briefs = _serve(make_cascade(), cascade_pages, "thread")
+    want = json.loads(GOLDEN_TIERS.read_text())
+    got = _serialize_tiers(cascade_pages, briefs)
+    assert got == want
+
+
+def test_process_transport_reproduces_golden_tier_map(make_cascade, cascade_pages):
+    briefs = _serve(make_cascade(), cascade_pages, "process")
+    want = json.loads(GOLDEN_TIERS.read_text())
+    got = _serialize_tiers(cascade_pages, briefs)
+    assert got == want

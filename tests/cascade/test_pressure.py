@@ -1,0 +1,161 @@
+"""Cascade under pressure: governor overload, deadline budgets, chaos.
+
+Every test here uses ``threshold=1.0`` — the confidence signal wants to
+escalate *every* document — so any teacher pass that does happen under
+pressure is an observable policy violation, not a coin flip.
+"""
+
+import time
+
+from repro.core import (
+    CascadeBriefingPipeline,
+    ConcurrentBriefingPipeline,
+    ServingGovernor,
+)
+from repro.runtime import ChaosWorker
+
+
+def _pin(governor):
+    """Freeze a governor at its current ladder level (instance monkeypatch)."""
+    governor.observe_queue = lambda depth, inflight=0: None
+    governor.observe_batch = lambda seconds, batch_size: None
+    return governor
+
+
+class TestGovernorForcesStudentOnly:
+    def test_shedding_serves_student_tier_only(self, make_cascade, cascade_pages):
+        governor = ServingGovernor(max_queue=100)
+        governor.observe_queue(80)
+        assert governor.state == "shedding"
+        server = ConcurrentBriefingPipeline(
+            make_cascade(threshold=1.0),
+            num_workers=2,
+            beam_size=2,
+            max_batch=8,
+            max_queue=128,
+            governor=_pin(governor),
+        )
+        try:
+            briefs = server.brief_many(cascade_pages)
+            stats = server.merged_stats()
+        finally:
+            server.shutdown(timeout=30)
+        assert all(brief.tier == "student" for brief in briefs)
+        assert stats.teacher_escalations == 0
+        assert stats.escalations_suppressed > 0
+        assert stats.cache_hits + stats.cache_misses == len(cascade_pages)
+
+    def test_student_only_batches_suppress_with_governor_reason(
+        self, make_cascade, cascade_pages
+    ):
+        pipeline = CascadeBriefingPipeline(make_cascade(threshold=1.0), beam_size=2)
+        briefs = pipeline.brief_many(cascade_pages[:8], student_only=True)
+        assert all(brief.tier == "student" for brief in briefs)
+        assert all(brief.tier_reason == "governor" for brief in briefs)
+        assert pipeline.stats.teacher_escalations == 0
+
+
+class TestSuppressedAnswersStayOutOfSharedCaches:
+    def test_suppressed_student_answers_never_poison_the_main_cache(
+        self, make_cascade, cascade_pages
+    ):
+        pipeline = CascadeBriefingPipeline(make_cascade(threshold=1.0), beam_size=2)
+        pages = cascade_pages[:8]
+        unique = len({html for _, html in pages})
+
+        suppressed = pipeline.brief_many(pages, student_only=True)
+        assert all(brief.tier_reason == "governor" for brief in suppressed)
+        assert len(pipeline.brief_cache) == 0
+        assert len(pipeline.student_cache) == unique
+
+        # Under continued overload the student cache serves the hot pages...
+        hits_before = pipeline.stats.cache_hits
+        again = pipeline.brief_many(pages, student_only=True)
+        assert pipeline.stats.cache_hits == hits_before + len(pages)
+        assert all(brief.tier == "student" for brief in again)
+
+        # ...but a healthy request never sees a suppressed answer: the full
+        # cascade re-runs and escalates, as if the overload never happened.
+        healthy = pipeline.brief_many(pages)
+        assert all(brief.tier == "teacher" for brief in healthy)
+        assert all(brief.tier_reason == "low_confidence" for brief in healthy)
+        assert len(pipeline.brief_cache) == unique
+
+
+class TestDeadlineBudget:
+    def test_tight_deadline_suppresses_escalation(self, make_cascade, cascade_pages):
+        model = make_cascade(threshold=1.0, escalation_budget_ms=10_000.0)
+        pipeline = CascadeBriefingPipeline(model, beam_size=2)
+        pages = cascade_pages[:6]
+        deadlines = [time.monotonic() + 1.0] * len(pages)  # 1s left < 10s budget
+        briefs = pipeline.brief_many(pages, deadlines=deadlines)
+        assert all(brief.tier == "student" for brief in briefs)
+        assert all(brief.tier_reason == "deadline" for brief in briefs)
+        assert pipeline.stats.teacher_escalations == 0
+        assert len(pipeline.brief_cache) == 0  # situational answers, not canonical
+
+    def test_generous_deadline_affords_escalation(self, make_cascade, cascade_pages):
+        model = make_cascade(threshold=1.0, escalation_budget_ms=10_000.0)
+        pipeline = CascadeBriefingPipeline(model, beam_size=2)
+        pages = cascade_pages[:6]
+        deadlines = [time.monotonic() + 100.0] * len(pages)
+        briefs = pipeline.brief_many(pages, deadlines=deadlines)
+        assert all(brief.tier == "teacher" for brief in briefs)
+
+    def test_expired_deadlines_never_reach_the_teacher(
+        self, make_cascade, cascade_pages
+    ):
+        pipeline = CascadeBriefingPipeline(make_cascade(threshold=1.0), beam_size=2)
+        pages = cascade_pages[:6]
+        deadlines = [time.monotonic() - 1.0] * len(pages)
+        briefs = pipeline.brief_many(pages, deadlines=deadlines)
+        assert len(briefs) == len(pages)
+        assert pipeline.stats.deadline_expirations > 0
+        assert pipeline.stats.teacher_escalations == 0
+
+    def test_serving_default_deadline_applies_the_budget(
+        self, make_cascade, cascade_pages
+    ):
+        server = ConcurrentBriefingPipeline(
+            make_cascade(threshold=1.0, escalation_budget_ms=1e9),
+            num_workers=2,
+            beam_size=2,
+            max_batch=8,
+            max_queue=128,
+            default_deadline_ms=5_000.0,
+        )
+        try:
+            briefs = server.brief_many(cascade_pages)
+            stats = server.merged_stats()
+        finally:
+            server.shutdown(timeout=30)
+        assert stats.teacher_escalations == 0
+        assert all(brief.tier != "teacher" for brief in briefs)
+
+
+class TestChaosMidEscalation:
+    def test_killed_workers_conserve_every_admitted_future(
+        self, make_cascade, cascade_pages
+    ):
+        chaos = ChaosWorker(death_rate=1.0, seed=3, max_deaths=2)
+        server = ConcurrentBriefingPipeline(
+            make_cascade(threshold=1.0),
+            num_workers=2,
+            beam_size=2,
+            max_batch=4,
+            max_queue=128,
+            supervisor_poll_ms=5.0,
+            chaos=chaos,
+        )
+        try:
+            briefs = server.brief_many(cascade_pages)
+            stats = server.merged_stats()
+        finally:
+            server.shutdown(timeout=30)
+        assert chaos.deaths == 2  # the chaos actually struck mid-stream
+        assert len(briefs) == len(cascade_pages)
+        assert all(brief is not None for brief in briefs)
+        assert stats.cache_hits + stats.cache_misses == len(cascade_pages)
+        assert stats.worker_restarts >= 1
+        # Requeued work still escalates once a healthy worker picks it up.
+        assert any(brief.tier == "teacher" for brief in briefs)
