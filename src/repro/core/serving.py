@@ -1348,6 +1348,20 @@ class ConcurrentBriefingPipeline:
                 observe=observe,
             )
         else:
+            if isinstance(model, ModelSnapshot):
+                # Thread workers run in-process, so restore here — but
+                # ``restore()`` is written for worker processes and sets the
+                # process-wide nn dtype; preserve the caller's override so
+                # accepting a snapshot never mutates in-process dtype state.
+                from ..nn import get_dtype_override, set_default_dtype
+
+                prior = get_dtype_override()
+                try:
+                    model, snapshot_dtype = model.restore()
+                finally:
+                    set_default_dtype(prior)
+                if dtype is None:
+                    dtype = snapshot_dtype
             self.scheduler = RequestScheduler(
                 max_queue=max_queue,
                 max_batch=max_batch,

@@ -41,6 +41,7 @@ The same class realises every joint baseline of §IV-A6-ii through
 
 from __future__ import annotations
 
+from contextlib import ExitStack
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
@@ -127,6 +128,15 @@ class JointForward:
 
 class JointWBModel(nn.Module):
     """Joint-WB (and, via ``ExchangeConfig``, every joint baseline)."""
+
+    #: Inference hooks armed by ``nn.quantize_module`` on quantized copies
+    #: (class-level defaults keep pickles from older snapshots inert):
+    #: ``_inference_dtype`` scopes ``predict_batch`` under
+    #: ``nn.default_dtype``, ``_use_arena`` runs it inside the arena
+    #: allocator, ``_quantized_mode`` records "int8"/"float16" provenance.
+    _inference_dtype = None
+    _use_arena = False
+    _quantized_mode = None
 
     def __init__(
         self,
@@ -389,7 +399,15 @@ class JointWBModel(nn.Module):
         if capture is not None:
             capture["beam_margins"] = [0.0] * len(documents)
             capture["memories"] = [None] * len(documents)
-        with nn.no_grad():
+        with ExitStack() as contexts:
+            # Quantized copies pin their inference precision and run the
+            # decode loop inside the arena allocator; float models enter
+            # neither context and behave exactly as before.
+            if self._inference_dtype is not None:
+                contexts.enter_context(nn.default_dtype(self._inference_dtype))
+            if self._use_arena:
+                contexts.enter_context(nn.use_arena())
+            contexts.enter_context(nn.no_grad())
             for batch in iterate_batches(
                 list(enumerate(documents)),
                 batch_size,

@@ -2,7 +2,7 @@
 
 import json
 
-from repro.core import compare_reports, merge_bench_report
+from repro.core import compare_reports, merge_bench_report, save_section
 from repro.core.bench import (
     ConcurrencyBenchResult,
     MultiprocessBenchResult,
@@ -67,6 +67,30 @@ def test_section_saves_preserve_siblings(tmp_path):
     assert report["concurrency"]["speedup"] == 2.0
     assert report["resilience"]["throughput"]["docs_per_second"] == 4.0
     assert report["multiprocess"]["start_method"] == "fork"
+
+
+# ----------------------------------------------------------------------
+# save_section: the one helper every .save() now goes through
+# ----------------------------------------------------------------------
+def test_save_section_nests_under_its_key_and_preserves_siblings(tmp_path):
+    path = str(tmp_path / "bench.json")
+    save_section(path, "quantized", {"speedup": 2.0})
+    save_section(path, "cascade", {"ok": True})
+    merged = save_section(path, "quantized", {"speedup": 2.5})
+    assert merged == {"quantized": {"speedup": 2.5}, "cascade": {"ok": True}}
+    with open(path) as handle:
+        assert json.load(handle) == merged
+
+
+def test_save_section_top_level_mode_merges_payload_directly(tmp_path):
+    """section=None is the BenchResult.save shape: the payload's own keys
+    merge at the top level instead of nesting under a section name."""
+    path = str(tmp_path / "bench.json")
+    save_section(path, "resilience", {"conserved": True})
+    merged = save_section(path, None, {"decode": {"speedup": 3.0}, "batched": {"x": 1}})
+    assert merged["resilience"] == {"conserved": True}
+    assert merged["decode"] == {"speedup": 3.0}
+    assert merged["batched"] == {"x": 1}
 
 
 # ----------------------------------------------------------------------
@@ -136,3 +160,38 @@ def test_compare_threshold_is_validated():
 
     with pytest.raises(ValueError):
         compare_reports({}, {}, threshold=-0.1)
+
+
+def _quantized_report(speedup=2.0, dps=400.0, p99=20.0):
+    return {
+        "quantized": {
+            "decode": {"speedup": speedup, "quantized_docs_per_second": dps},
+            "transports": {
+                "thread": {"docs_per_second": dps, "latency_p99_ms": p99},
+                "process": {"docs_per_second": dps / 2, "latency_p99_ms": p99},
+            },
+        }
+    }
+
+
+def test_compare_digs_into_the_quantized_section():
+    """The SLO gate watches the quantized decode speedup and both quantized
+    transports, so a regression in the fast path can't land silently."""
+    comparison = compare_reports(
+        _quantized_report(), _quantized_report(speedup=1.1), threshold=0.2
+    )
+    assert not comparison.ok
+    assert any("quantized.decode.speedup" in line for line in comparison.regressions)
+
+    latency = compare_reports(
+        _quantized_report(), _quantized_report(p99=100.0), threshold=0.2
+    )
+    assert not latency.ok
+    assert any(
+        "quantized.transports.thread.latency_p99_ms" in line
+        for line in latency.regressions
+    )
+
+    steady = compare_reports(_quantized_report(), _quantized_report(), threshold=0.2)
+    assert steady.ok
+    assert "quantized.decode.speedup" in steady.compared

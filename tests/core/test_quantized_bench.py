@@ -1,0 +1,99 @@
+"""run_quantized_bench end-to-end at unit-test scale.
+
+One small thread-transport run pins the whole quantized bench contract:
+the report section lands under ``"quantized"`` without clobbering siblings,
+the tolerance verdict is computed from the measured quality deltas, the
+layer census reflects the requested mode, and the arena counters ride into
+the payload.  (Speedup itself is NOT asserted here — at toy scale it is
+noise; the committed BENCH_serving.json carries the measured full-scale
+number and CI's quantized-smoke gates on tolerance only.)
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core import run_quantized_bench, save_section
+from repro.models import BertSumEncoder, make_joint_model
+
+
+@pytest.fixture(scope="module")
+def bench_result(small_corpus, small_vocab, tmp_path_factory):
+    rng = np.random.default_rng(5)
+    bert = nn.MiniBert(
+        vocab_size=len(small_vocab), dim=16, num_layers=1, num_heads=2,
+        rng=rng, max_len=256,
+    )
+    model = make_joint_model(
+        "Joint-WB", BertSumEncoder(small_vocab, bert), small_vocab, 8, rng
+    )
+    path = str(tmp_path_factory.mktemp("bench") / "bench.json")
+    save_section(path, "decode", {"speedup": 3.0})  # pre-existing sibling
+    result = run_quantized_bench(
+        num_pages=6,
+        beam_size=2,
+        max_depth=4,
+        workers=1,
+        max_batch=4,
+        transports=("thread",),
+        reps=1,
+        output_path=path,
+        model=model,
+        corpus=small_corpus,
+    )
+    return result, path
+
+
+def test_report_gains_quantized_section_and_keeps_siblings(bench_result):
+    result, path = bench_result
+    with open(path) as handle:
+        report = json.load(handle)
+    assert report["decode"] == {"speedup": 3.0}
+    quantized = report["quantized"]
+    assert quantized["mode"] == "int8"
+    assert quantized["decode"]["speedup"] == result.speedup
+    assert "thread" in quantized["transports"]
+
+
+def test_tolerance_verdict_reflects_measured_quality(bench_result):
+    result, _ = bench_result
+    assert result.f1_drop <= result.f1_tolerance
+    assert result.topic_em_drop_rel <= result.em_tolerance_rel
+    assert result.within_tolerance
+    assert set(result.quality) == {"reference", "quantized"}
+
+
+def test_layer_census_and_snapshot_shrink(bench_result):
+    result, _ = bench_result
+    assert result.quantized_layers.get("int8", 0) > 0
+    assert result.snapshot_bytes["quantized"] < result.snapshot_bytes["float"]
+    assert result.snapshot_bytes["ratio"] > 1.0
+
+
+def test_arena_counters_ride_into_the_payload(bench_result):
+    result, _ = bench_result
+    assert {"allocations", "reuses", "bypass", "allocations_per_doc"} <= set(result.arena)
+    payload = result.to_dict()
+    assert payload["arena"]["allocations_per_doc"] == result.arena["allocations_per_doc"]
+
+
+def test_format_renders_the_headline_numbers(bench_result):
+    result, _ = bench_result
+    text = result.format()
+    assert "speedup" in text
+    assert "tolerance" in text.lower()
+
+
+def test_bench_requires_a_corpus_with_an_explicit_model(small_vocab):
+    rng = np.random.default_rng(1)
+    bert = nn.MiniBert(
+        vocab_size=len(small_vocab), dim=16, num_layers=1, num_heads=2,
+        rng=rng, max_len=256,
+    )
+    model = make_joint_model(
+        "Joint-WB", BertSumEncoder(small_vocab, bert), small_vocab, 8, rng
+    )
+    with pytest.raises(ValueError):
+        run_quantized_bench(model=model, corpus=None)

@@ -1,0 +1,73 @@
+"""Satellite (c): padded batched forward == scalar forward under float32.
+
+The quantized serving path runs everything at float32, where GEMM blocking
+reorders sums with visibly larger drift than float64.  The documented
+tolerance contract (ARCHITECTURE.md, "Quantized decode"): decoded decisions
+— topic tokens, attribute spans, section picks — are **identical** between
+the padded batched engine and the per-document scalar loops; attribute
+confidence floats agree to 1e-5.  This is a property-style sweep: several
+seeds × batch sizes × all three heads, entirely under
+``nn.default_dtype(float32)`` so both sides see the same precision.
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.models import BertSumEncoder, make_joint_model
+
+#: float32 batched-vs-scalar confidence tolerance (documented contract).
+SCORE_ATOL = 1e-5
+
+
+def _build_model(small_vocab, seed):
+    rng = np.random.default_rng(seed)
+    bert = nn.MiniBert(
+        vocab_size=len(small_vocab), dim=16, num_layers=1, num_heads=2,
+        rng=rng, max_len=256,
+    )
+    return make_joint_model(
+        "Joint-WB", BertSumEncoder(small_vocab, bert), small_vocab, 12, rng
+    )
+
+
+@pytest.mark.parametrize("seed", [0, 7, 42])
+@pytest.mark.parametrize("batch_size", [1, 3, 5])
+def test_all_three_heads_agree_batched_vs_scalar_under_float32(
+    small_corpus, small_vocab, seed, batch_size
+):
+    model = _build_model(small_vocab, seed)
+    docs = list(small_corpus)[: batch_size + 2]  # force a ragged final bucket
+    with nn.default_dtype(np.float32):
+        batched = model.predict_batch(docs, beam_size=2, batch_size=batch_size)
+        for document, prediction in zip(docs, batched):
+            # Generation head: beam-searched topic tokens are discrete — the
+            # batched engine must pick the same sequence.
+            assert prediction.topic == model.predict_topic(document, beam_size=2)
+            # Extraction head: same spans; confidences within the float32
+            # padded-GEMM tolerance.
+            scored = model.predict_attributes_scored(document)
+            assert [a for a, _ in prediction.scored_attributes] == [a for a, _ in scored]
+            np.testing.assert_allclose(
+                [s for _, s in prediction.scored_attributes],
+                [s for _, s in scored],
+                atol=SCORE_ATOL,
+            )
+            # Section head: binary keep/drop decisions are identical.
+            np.testing.assert_array_equal(
+                prediction.sections, model.predict_sections(document)
+            )
+
+
+def test_float32_parity_holds_for_quantized_clone(small_corpus, small_vocab):
+    """The same batched-vs-scalar contract holds after quantization — the
+    packed kernels change the weights once, not the batching semantics."""
+    clone = _build_model(small_vocab, seed=3).quantize(mode="int8")
+    docs = list(small_corpus)[:4]
+    with nn.default_dtype(np.float32):
+        batched = clone.predict_batch(docs, beam_size=2, batch_size=2)
+        for document, prediction in zip(docs, batched):
+            assert prediction.topic == clone.predict_topic(document, beam_size=2)
+            np.testing.assert_array_equal(
+                prediction.sections, clone.predict_sections(document)
+            )
